@@ -1,0 +1,194 @@
+// Ablations of the design choices the paper motivates in §7 ("Experience"):
+//
+//  A. Upgrade hysteresis — "Avoiding video quality oscillations": with a
+//     noisy bandwidth measurement, count how often a subscriber's assigned
+//     resolution flips with the hysteresis latch on vs off.
+//  B. Probing — "Addressing bandwidth over-estimation" (and discovery):
+//     after a deep capacity drop and recovery, measure how much of the
+//     restored capacity is reclaimed with probing on vs off.
+//  C. Audio protection — "Protecting audios": on a tight downlink, measure
+//     voice stall with the protection headroom on vs off.
+//  D. Fine vs coarse ladder — the 15-level granularity claim: measure the
+//     achieved video rate under a fixed downlink limit with 5 levels per
+//     resolution vs 1.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench/support.h"
+
+using namespace gso;
+using namespace gso::conference;
+
+namespace {
+
+// --- A. hysteresis ---------------------------------------------------------
+
+int CountResolutionFlips(bool hysteresis) {
+  ConferenceConfig config;
+  config.mode = ControlMode::kGso;
+  config.controller.conditioner.enable_hysteresis = hysteresis;
+  // The confidence threshold must exceed the estimator's own sawtooth
+  // amplitude (~15-20%) to filter it; the paper tunes this in production.
+  config.controller.conditioner.upgrade_margin = 0.3;
+  auto conference = BuildMeeting(config, 2);
+
+  // Measurement-noise-sized wobble (~10-15%) around the 360p/720p ladder
+  // boundary: exactly the fluctuation §7 says must not flap the quality.
+  Rng rng(7);
+  conference->loop().Every(TimeDelta::MillisF(1500), [&] {
+    conference->SetDownlinkCapacity(
+        ClientId(2), DataRate::KilobitsPerSec(rng.UniformInt(760, 930)));
+    return true;
+  });
+
+  // Count changes in the resolution assigned to subscriber 2 from pub 1.
+  int flips = 0;
+  Resolution last{0, 0};
+  conference->loop().Every(TimeDelta::Millis(250), [&] {
+    const auto& solution = conference->control().last_solution();
+    const auto it = solution.per_subscriber.find({ClientId(2), 0});
+    if (it == solution.per_subscriber.end()) return true;
+    const auto source =
+        it->second.find({ClientId(1), core::SourceKind::kCamera});
+    if (source == it->second.end()) return true;
+    if (last.PixelCount() != 0 &&
+        !(source->second.resolution == last)) {
+      ++flips;
+    }
+    last = source->second.resolution;
+    return true;
+  });
+
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(90));
+  return flips;
+}
+
+// --- B. probing ------------------------------------------------------------
+
+double RecoveredFraction(bool probing) {
+  ConferenceConfig config;
+  config.mode = ControlMode::kGso;
+  config.enable_probing = probing;
+  auto conference = BuildMeeting(config, 2);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(15));
+  conference->SetDownlinkCapacity(ClientId(2), DataRate::KilobitsPerSec(400));
+  conference->RunFor(TimeDelta::Seconds(15));
+  conference->SetDownlinkCapacity(ClientId(2), DataRate::MegabitsPerSec(20));
+  conference->RunFor(TimeDelta::Seconds(15));
+  // How much of the publisher's 1.8 Mbps ceiling does the subscriber see
+  // 15 s after recovery?
+  const DataRate rate = conference->client(ClientId(2))
+                            ->CurrentReceiveRate(ClientId(1),
+                                                 core::SourceKind::kCamera);
+  return rate.kbps() / 1800.0;
+}
+
+// --- C. audio protection ---------------------------------------------------
+
+double VoiceStall(bool protection) {
+  // Publisher 1 sits behind a 200 kbps *uplink* — the regime where the
+  // protection headroom decides feasibility: with it, the controller
+  // grants the 120 kbps thumbnail and audio fits; without it, video is
+  // granted right up to the estimate and audio queues past its playout
+  // deadline. (The downlink direction has a second line of defense — the
+  // SFU's congestion brake — so the uplink isolates the §7 mechanism.)
+  ConferenceConfig config;
+  config.mode = ControlMode::kGso;
+  if (!protection) {
+    config.controller.conditioner.audio_protection_per_stream =
+        DataRate::Zero();
+  }
+  double sum = 0;
+  const int kSeeds = 3;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    config.seed = static_cast<uint64_t>(seed);
+    auto conference = BuildMeeting(
+        config, 3,
+        {Access(DataRate::KilobitsPerSec(200), DataRate::MegabitsPerSec(10))});
+    conference->Start();
+    conference->RunFor(TimeDelta::Seconds(5));
+    conference->MarkMeasurementStart();
+    conference->RunFor(TimeDelta::Seconds(40));
+    // Voice stall experienced by the two receivers of publisher 1's audio.
+    const auto report = conference->Report();
+    sum += (report.participants[1].voice_stall_rate +
+            report.participants[2].voice_stall_rate) /
+           2.0;
+  }
+  return sum / kSeeds;
+}
+
+// --- D. ladder granularity -------------------------------------------------
+
+double AchievedRate(int levels_per_resolution) {
+  ConferenceConfig config;
+  config.mode = ControlMode::kGso;
+  auto conference = std::make_unique<Conference>(config);
+  for (uint32_t id = 1; id <= 2; ++id) {
+    ParticipantConfig pc;
+    pc.client = DefaultClient(id);
+    pc.client.gso_levels_per_resolution = levels_per_resolution;
+    pc.client.supports_fine_bitrate = levels_per_resolution > 1;
+    pc.access = id == 2 ? Access(DataRate::MegabitsPerSec(10),
+                                 DataRate::KilobitsPerSec(1050))
+                        : Access();
+    conference->AddParticipant(pc);
+  }
+  conference->SubscribeAllCameras(kResolution720p);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(10));
+  conference->MarkMeasurementStart();
+  conference->RunFor(TimeDelta::Seconds(40));
+  DataRate total;
+  for (const auto& view :
+       conference->Report().participants[1].received) {
+    total += view.average_bitrate;
+  }
+  return total.kbps();
+}
+
+}  // namespace
+
+int main() {
+  gso::bench::PrintHeader("Ablations of the paper's §7 design choices");
+
+  const int flips_on = CountResolutionFlips(true);
+  const int flips_off = CountResolutionFlips(false);
+  std::printf(
+"A. upgrade hysteresis (noisy 760-930 kbps downlink straddling the\n"
+      "   360p/720p boundary, 90 s, 30%% confidence threshold):\n"
+      "   resolution flips: %d with hysteresis, %d without  (paper: only\n"
+      "   upgrade once the increase surpasses a confidence threshold)\n\n",
+      flips_on, flips_off);
+
+  const double recovered_on = RecoveredFraction(true);
+  const double recovered_off = RecoveredFraction(false);
+  std::printf(
+      "B. probing (400 kbps dip, then capacity restored; measured 15 s\n"
+      "   after recovery): %.0f%% of the 1.8 Mbps ceiling reclaimed with\n"
+      "   probing, %.0f%% without  (paper: paced probe bursts discover the\n"
+      "   bandwidth upper bound)\n\n",
+      100 * recovered_on, 100 * recovered_off);
+
+  const double stall_on = VoiceStall(true);
+  const double stall_off = VoiceStall(false);
+  std::printf(
+"C. audio protection (publisher on a 200 kbps uplink):\n"
+      "   receivers' voice stall %.1f%% with protection, %.1f%% without\n"
+      "   (paper: subtract a protection bandwidth so video cannot eat\n"
+      "   audio)\n\n",
+      100 * stall_on, 100 * stall_off);
+
+  const double fine = AchievedRate(5);
+  const double coarse = AchievedRate(1);
+  std::printf(
+      "D. ladder granularity (1.05 Mbps downlink): received %.0f kbps with\n"
+      "   the 15-level fine ladder vs %.0f kbps with one level per\n"
+      "   resolution  (paper: fine bitrates reduce video/network mismatch,\n"
+      "   cf. Fig. 3b's 1.45 Mbps example)\n",
+      fine, coarse);
+  return 0;
+}

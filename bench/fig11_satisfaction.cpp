@@ -1,0 +1,62 @@
+// Fig. 11: user satisfaction score (normalized) over the rollout window
+// 2021-11-12 .. 2021-12-24, from the same fleet model as Fig. 10 with a
+// monotone satisfaction function of the per-conference QoE.
+#include <cstdio>
+#include <vector>
+
+#include "bench/fleet.h"
+
+using namespace gso;
+using namespace gso::bench;
+
+int main() {
+  PrintHeader("Fig. 11: user satisfaction score during the rollout");
+  const int kFirstDay = 42;  // 2021-11-12
+  const int kLastDay = 84;   // 2021-12-24
+  const int confs_per_day = ConfsPerDayFromEnv(12);
+  const TimeDelta duration = TimeDelta::Seconds(12);
+
+  struct Day {
+    double fraction = 0;
+    double satisfaction = 0;
+  };
+  std::vector<Day> days;
+
+  for (int day = kFirstDay; day <= kLastDay; ++day) {
+    Day d;
+    d.fraction = DeploymentFraction(day);
+    RunningStats satisfaction;
+    for (int c = 0; c < confs_per_day; ++c) {
+      const uint64_t seed = 0x5a715ull + static_cast<uint64_t>(c) +
+                            static_cast<uint64_t>(day % 7) * 131ull;
+      Rng coin(static_cast<uint64_t>(day) * 1000003ull +
+               static_cast<uint64_t>(c));
+      const bool gso = coin.NextDouble() < d.fraction;
+      satisfaction.Add(
+          RunSyntheticConference(seed, gso, duration).satisfaction);
+    }
+    d.satisfaction = satisfaction.mean();
+    days.push_back(d);
+    std::fprintf(stderr, "  day %s done\n", DateLabel(day).c_str());
+  }
+
+  double max_satisfaction = 1e-12;
+  for (const auto& d : days) {
+    max_satisfaction = std::max(max_satisfaction, d.satisfaction);
+  }
+  std::printf("%-12s %9s %14s\n", "date", "deploy%", "satisfaction");
+  for (size_t i = 0; i < days.size(); i += 2) {
+    std::printf("%-12s %8.0f%% %14.3f\n",
+                DateLabel(kFirstDay + static_cast<int>(i)).c_str(),
+                100 * days[i].fraction,
+                days[i].satisfaction / max_satisfaction);
+  }
+  const double before = days.front().satisfaction;
+  const double after = days.back().satisfaction;
+  std::printf(
+      "\nSummary: satisfaction %.3f -> %.3f (%+.1f%%; paper reports +7.2%% "
+      "positive feedback).\n",
+      before / max_satisfaction, after / max_satisfaction,
+      100 * (after / std::max(before, 1e-12) - 1));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 12: CDF of the GSO controller's call interval. A 6-party meeting
+// runs for 10 virtual minutes while a network-change process perturbs
+// random participants' links; the controller's time trigger (3 s max) and
+// event trigger (1 s min) produce the paper's [1 s, 3 s] interval
+// distribution with a mean around 1.8 s.
+#include <cstdio>
+
+#include "bench/support.h"
+#include "common/stats.h"
+
+using namespace gso;
+using namespace gso::conference;
+
+int main() {
+  gso::bench::PrintHeader("Fig. 12: CDF of controller call interval");
+
+  ConferenceConfig config;
+  config.mode = ControlMode::kGso;
+  // Production-like event sensitivity: small estimate drifts ride on the
+  // 3 s time trigger; only substantial changes force an early run.
+  config.controller.event_threshold = 0.35;
+  auto conference = BuildMeeting(config, 6);
+  conference->Start();
+
+  // Network-change process: every ~3.5 s one random participant's
+  // downlink or uplink capacity moves, firing bandwidth-report events;
+  // quiet stretches fall back to the 3 s time trigger.
+  Rng rng(99);
+  conference->loop().Every(TimeDelta::MillisF(3500), [&] {
+    const ClientId victim(
+        static_cast<uint32_t>(rng.UniformInt(1, 6)));
+    const DataRate rate =
+        DataRate::KilobitsPerSec(rng.UniformInt(400, 12000));
+    if (rng.Bernoulli(0.5)) {
+      conference->SetDownlinkCapacity(victim, rate);
+    } else {
+      conference->SetUplinkCapacity(victim, rate);
+    }
+    return true;
+  });
+
+  conference->RunFor(TimeDelta::Seconds(600));
+
+  SampleSet intervals;
+  for (const auto& interval : conference->control().call_intervals()) {
+    intervals.Add(interval.seconds());
+  }
+  std::printf("collected %zu control intervals\n", intervals.size());
+  std::printf("%10s %8s\n", "interval(s)", "CDF");
+  for (const auto& [value, cdf] : intervals.CdfPoints(21)) {
+    std::printf("%10.2f %8.3f\n", value, cdf);
+  }
+  std::printf(
+      "\nmin=%.2fs mean=%.2fs p50=%.2fs p90=%.2fs max=%.2fs\n",
+      intervals.Min(), intervals.Mean(), intervals.Percentile(50),
+      intervals.Percentile(90), intervals.Max());
+  std::printf(
+      "\nExpected shape (paper): intervals within [1 s, 3 s], mean ~1.8 s "
+      "—\nevent-triggered runs land between the 1 s floor and the 3 s "
+      "ceiling.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig. 7: transient video bitrate adaptation. After 20 s the subscriber's
+// downlink is abruptly limited to 750 / 625 / 500 / 375 kbps; at 57 s it
+// recovers. (a) GSO-Simulcast with the 15-level fine ladder hugs the
+// limit; (b) Non-GSO-Simulcast (coarse 3-level template) steps between
+// 300 kbps / 600 kbps / 1.2 Mbps and wastes the gap.
+#include <cstdio>
+#include <vector>
+
+#include "bench/support.h"
+
+using namespace gso;
+using namespace gso::conference;
+
+namespace {
+
+struct Series {
+  std::vector<double> rate_kbps;  // sampled every 0.5 s
+};
+
+Series RunTransient(ControlMode mode, DataRate limit) {
+  ConferenceConfig config;
+  config.mode = mode;
+  auto conference = std::make_unique<Conference>(config);
+  for (uint32_t id = 1; id <= 2; ++id) {
+    ParticipantConfig pc;
+    pc.client = DefaultClient(id);
+    pc.client.template_kind = baseline::TemplateKind::kCoarseThreeLevel;
+    pc.access = Access();
+    conference->AddParticipant(pc);
+  }
+  conference->SubscribeAllCameras(kResolution720p);
+  conference->Start();
+
+  Series series;
+  conference->loop().Every(TimeDelta::Millis(500), [&] {
+    series.rate_kbps.push_back(
+        conference->client(ClientId(2))
+            ->CurrentReceiveRate(ClientId(1), core::SourceKind::kCamera)
+            .kbps());
+    return true;
+  });
+
+  conference->RunFor(TimeDelta::Seconds(20));
+  conference->SetDownlinkCapacity(ClientId(2), limit);
+  conference->RunFor(TimeDelta::Seconds(37));
+  conference->SetDownlinkCapacity(ClientId(2), DataRate::MegabitsPerSec(20));
+  conference->RunFor(TimeDelta::Seconds(23));
+  return series;
+}
+
+void PrintMode(const char* name, ControlMode mode) {
+  const std::vector<int> limits = {750, 625, 500, 375};
+  std::vector<Series> series;
+  for (int limit : limits) {
+    series.push_back(RunTransient(mode, DataRate::KilobitsPerSec(limit)));
+  }
+  std::printf("\n--- %s ---\n", name);
+  std::printf("%6s", "t(s)");
+  for (int limit : limits) std::printf(" %9dK", limit);
+  std::printf("\n");
+  size_t samples = series[0].rate_kbps.size();
+  for (size_t i = 0; i < samples; i += 4) {  // print every 2 s
+    std::printf("%6.1f", static_cast<double>(i) * 0.5);
+    for (const auto& s : series) {
+      std::printf(" %10.0f", i < s.rate_kbps.size() ? s.rate_kbps[i] : 0.0);
+    }
+    std::printf("\n");
+  }
+  // Steady-state utilization during the constrained window [30 s, 55 s].
+  std::printf("mean received rate in [30s,55s] (kbps):");
+  for (size_t k = 0; k < series.size(); ++k) {
+    double sum = 0;
+    int n = 0;
+    for (size_t i = 60; i < 110 && i < series[k].rate_kbps.size(); ++i) {
+      sum += series[k].rate_kbps[i];
+      ++n;
+    }
+    std::printf(" %s=%0.f", (std::to_string(limits[k]) + "K").c_str(),
+                n ? sum / n : 0.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  gso::bench::PrintHeader(
+      "Fig. 7: transient bitrate adaptation under abrupt downlink limits");
+  std::printf(
+      "Downlink limited at t=20s to {750, 625, 500, 375} kbps; recovered at "
+      "t=57s.\nSamples: received video rate at the subscriber (kbps).\n");
+  PrintMode("(a) GSO-Simulcast (fine 15-level ladder)", ControlMode::kGso);
+  PrintMode("(b) Non-GSO-Simulcast (coarse 3-level template)",
+            ControlMode::kTemplate);
+  std::printf(
+      "\nExpected shape (paper): GSO fits just under each limit (high "
+      "utilization);\nNon-GSO drops to the next coarse level (e.g. 300K "
+      "under a 625K limit).\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Fleet simulation for the deployment figures (Figs. 10-11).
+//
+// Substitution (see DESIGN.md): the paper reports production telemetry
+// from ~1M conferences/day during a staged rollout. We reproduce the ramp
+// mechanism: per simulated day, a batch of synthetic conferences runs —
+// participant counts and access-network qualities drawn from heavy-tailed
+// distributions — and each conference is assigned GSO or Non-GSO by the
+// day's deployment fraction. Common random numbers (a per-(day, index)
+// seed controls the network draw) keep day-to-day variation meaningful.
+#ifndef GSO_BENCH_FLEET_H_
+#define GSO_BENCH_FLEET_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/support.h"
+
+namespace gso::bench {
+
+struct ConferenceOutcome {
+  double video_stall = 0;
+  double voice_stall = 0;
+  double framerate = 0;
+  double satisfaction = 0;
+};
+
+// Draws a participant's access network from three quality classes.
+inline sim::DuplexLinkConfig DrawAccess(Rng& rng) {
+  const double u = rng.NextDouble();
+  sim::DuplexLinkConfig link;
+  if (u < 0.70) {  // good
+    link = conference::Access(
+        DataRate::KilobitsPerSec(rng.UniformInt(2000, 10000)),
+        DataRate::KilobitsPerSec(rng.UniformInt(5000, 20000)));
+    link.uplink.loss_rate = rng.Uniform(0.0, 0.01);
+    link.downlink.loss_rate = rng.Uniform(0.0, 0.01);
+  } else if (u < 0.90) {  // medium
+    link = conference::Access(
+        DataRate::KilobitsPerSec(rng.UniformInt(600, 2000)),
+        DataRate::KilobitsPerSec(rng.UniformInt(1000, 5000)));
+    link.uplink.loss_rate = rng.Uniform(0.0, 0.03);
+    link.downlink.loss_rate = rng.Uniform(0.0, 0.03);
+    link.downlink.jitter_stddev = TimeDelta::Millis(rng.UniformInt(0, 10));
+  } else {  // slow link
+    link = conference::Access(
+        DataRate::KilobitsPerSec(rng.UniformInt(300, 800)),
+        DataRate::KilobitsPerSec(rng.UniformInt(400, 1200)));
+    link.uplink.loss_rate = rng.Uniform(0.01, 0.08);
+    link.downlink.loss_rate = rng.Uniform(0.02, 0.08);
+    link.downlink.jitter_stddev = TimeDelta::Millis(rng.UniformInt(5, 40));
+  }
+  return link;
+}
+
+inline int DrawParticipants(Rng& rng) {
+  const double u = rng.NextDouble();
+  if (u < 0.35) return 2;
+  if (u < 0.60) return 3;
+  if (u < 0.75) return 4;
+  if (u < 0.85) return 5;
+  if (u < 0.92) return 6;
+  if (u < 0.97) return 7;
+  return 8;
+}
+
+// Runs one synthetic conference for `duration` of virtual time and
+// returns its QoE outcome. The same seed draws the same meeting shape and
+// network conditions regardless of `gso`, so mode comparisons are paired.
+inline ConferenceOutcome RunSyntheticConference(uint64_t seed, bool gso,
+                                                TimeDelta duration) {
+  Rng rng(seed);
+  conference::ConferenceConfig config;
+  config.mode = gso ? conference::ControlMode::kGso
+                    : conference::ControlMode::kTemplate;
+  config.seed = seed;
+  conference::Conference conf(config);
+  const int n = DrawParticipants(rng);
+  for (int i = 1; i <= n; ++i) {
+    conference::ParticipantConfig pc;
+    pc.client = conference::DefaultClient(static_cast<uint32_t>(i));
+    pc.access = DrawAccess(rng);
+    conf.AddParticipant(pc);
+  }
+  // Large meetings view peers as thumbnails plus one bigger view, small
+  // meetings use full resolution — approximated by a resolution cap.
+  conf.SubscribeAllCameras(n <= 4 ? kResolution720p : kResolution360p);
+  conf.Start();
+  // Let join/BWE ramp-up settle before measuring steady-state QoE.
+  conf.RunFor(TimeDelta::Seconds(5));
+  conf.MarkMeasurementStart();
+  conf.RunFor(duration);
+
+  const auto report = conf.Report();
+  ConferenceOutcome outcome;
+  outcome.video_stall = report.mean_video_stall_rate;
+  outcome.voice_stall = report.mean_voice_stall_rate;
+  outcome.framerate = report.mean_framerate;
+  // Satisfaction model: positive feedback falls with stalls and rises
+  // with smooth playback (monotone in the paper's core metrics).
+  double satisfaction = 1.0 - 0.35 * outcome.video_stall -
+                        0.7 * outcome.voice_stall;
+  if (satisfaction < 0) satisfaction = 0;
+  satisfaction *= 0.9 + 0.1 * std::min(outcome.framerate / 25.0, 1.0);
+  outcome.satisfaction = satisfaction;
+  return outcome;
+}
+
+// Deployment fraction on day `d` counting from 2021-10-01 (day 0):
+// rollout starts 2021-11-20 (day 50) and reaches full scale 2021-12-20
+// (day 80).
+inline double DeploymentFraction(int day) {
+  if (day < 50) return 0.0;
+  if (day >= 80) return 1.0;
+  return static_cast<double>(day - 50) / 30.0;
+}
+
+// yyyy-mm-dd label for day `d` counting from 2021-10-01.
+inline std::string DateLabel(int day) {
+  static const int days_in_month[] = {31, 30, 31, 31};  // Oct Nov Dec Jan
+  static const char* months[] = {"2021-10", "2021-11", "2021-12", "2022-01"};
+  int m = 0;
+  int d = day;
+  while (m < 4 && d >= days_in_month[m]) {
+    d -= days_in_month[m];
+    ++m;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s-%02d", months[m], d + 1);
+  return buf;
+}
+
+inline int ConfsPerDayFromEnv(int fallback) {
+  const char* env = std::getenv("GSO_FLEET_CONFS_PER_DAY");
+  if (env == nullptr) return fallback;
+  const int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
+
+}  // namespace gso::bench
+
+#endif  // GSO_BENCH_FLEET_H_

@@ -1,0 +1,88 @@
+// Shared helpers for the reproduction benches: problem generators for the
+// control-algorithm scalings (Fig. 6), scenario builders for full-stack
+// experiments (Figs. 7-12), timing, and table printing.
+#ifndef GSO_BENCH_SUPPORT_H_
+#define GSO_BENCH_SUPPORT_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "conference/scenarios.h"
+#include "core/orchestrator.h"
+#include "core/types.h"
+
+namespace gso::bench {
+
+// Wall-clock seconds of `fn()`, best of `repeats`.
+template <typename Fn>
+double TimeSeconds(Fn&& fn, int repeats = 1) {
+  double best = 1e100;
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double>(end - start).count());
+  }
+  return best;
+}
+
+// A symmetric mesh: `publishers` clients publish, `subscribers` clients
+// subscribe to every publisher; budgets drawn from a realistic spread.
+// When `levels_per_resolution` is given, each publisher advertises a
+// 3-resolution ladder with that many fine levels each.
+inline core::OrchestrationProblem MeshProblem(int publishers,
+                                              int subscribers,
+                                              int levels_per_resolution,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  core::OrchestrationProblem problem;
+  const auto ladder =
+      levels_per_resolution == 3
+          ? core::Table1Ladder()
+          : core::BuildLadder(
+                {{kResolution720p, DataRate::KilobitsPerSec(900),
+                  DataRate::KilobitsPerSec(1800), levels_per_resolution},
+                 {kResolution360p, DataRate::KilobitsPerSec(350),
+                  DataRate::KilobitsPerSec(800), levels_per_resolution},
+                 {kResolution180p, DataRate::KilobitsPerSec(80),
+                  DataRate::KilobitsPerSec(300), levels_per_resolution}});
+
+  const int total = std::max(publishers, subscribers);
+  for (int i = 1; i <= total; ++i) {
+    const ClientId id{static_cast<uint32_t>(i)};
+    core::ClientBudget budget;
+    budget.client = id;
+    budget.uplink = DataRate::KilobitsPerSec(rng.UniformInt(600, 6000));
+    budget.downlink = DataRate::KilobitsPerSec(rng.UniformInt(800, 8000));
+    problem.budgets.push_back(budget);
+    if (i <= publishers) {
+      problem.capabilities.push_back(
+          {{id, core::SourceKind::kCamera}, ladder});
+    }
+  }
+  for (int s = 1; s <= subscribers; ++s) {
+    const ClientId sub{static_cast<uint32_t>(s)};
+    for (int p = 1; p <= publishers; ++p) {
+      if (p == s) continue;
+      problem.subscriptions.push_back(
+          {sub,
+           {ClientId{static_cast<uint32_t>(p)}, core::SourceKind::kCamera},
+           kResolution720p,
+           1.0,
+           0});
+    }
+  }
+  return problem;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace gso::bench
+
+#endif  // GSO_BENCH_SUPPORT_H_

@@ -1,0 +1,106 @@
+// Reproduces the paper's Table 1: three worked examples of the GSO
+// control algorithm on the exact ladder, bandwidths and subscriptions
+// from the table. Prints the per-case final publish policies.
+#include <cstdio>
+
+#include "bench/support.h"
+#include "core/mckp.h"
+#include "core/orchestrator.h"
+
+using namespace gso;
+using namespace gso::core;
+
+namespace {
+
+SourceId Cam(uint32_t id) {
+  return SourceId{ClientId(id), SourceKind::kCamera};
+}
+
+OrchestrationProblem MakeCase(DataRate a_up, DataRate a_down, DataRate b_up,
+                              DataRate b_down, DataRate c_up,
+                              DataRate c_down) {
+  OrchestrationProblem p;
+  p.budgets = {{ClientId(1), a_up, a_down},
+               {ClientId(2), b_up, b_down},
+               {ClientId(3), c_up, c_down}};
+  for (uint32_t id = 1; id <= 3; ++id) {
+    p.capabilities.push_back({Cam(id), Table1Ladder()});
+  }
+  p.subscriptions = {
+      {ClientId(1), Cam(2), kResolution360p, 1.0, 0},
+      {ClientId(1), Cam(3), kResolution180p, 1.0, 0},
+      {ClientId(2), Cam(1), kResolution720p, 1.0, 0},
+      {ClientId(2), Cam(3), kResolution360p, 1.0, 0},
+      {ClientId(3), Cam(2), kResolution360p, 1.0, 0},
+      {ClientId(3), Cam(1), kResolution720p, 1.0, 0},
+  };
+  return p;
+}
+
+void PrintCase(const char* name, const OrchestrationProblem& p) {
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  const Solution s = orchestrator.Solve(p);
+  const std::string err = ValidateSolution(p, s);
+  std::printf("%s  (iterations=%d, total QoE=%.0f, constraints=%s)\n", name,
+              s.iterations, s.total_qoe, err.empty() ? "OK" : err.c_str());
+  std::printf("  %-8s %10s %10s %10s\n", "client", "720P", "360P", "180P");
+  for (uint32_t id = 1; id <= 3; ++id) {
+    double rates[3] = {0, 0, 0};
+    const auto it = s.publish.find(Cam(id));
+    if (it != s.publish.end()) {
+      for (const auto& stream : it->second) {
+        if (stream.resolution == kResolution720p) {
+          rates[0] = stream.bitrate.kbps();
+        } else if (stream.resolution == kResolution360p) {
+          rates[1] = stream.bitrate.kbps();
+        } else if (stream.resolution == kResolution180p) {
+          rates[2] = stream.bitrate.kbps();
+        }
+      }
+    }
+    const char names[] = {'A', 'B', 'C'};
+    std::printf("  %-8c", names[id - 1]);
+    for (double r : rates) {
+      if (r > 0) {
+        std::printf(" %8.0fK ", r);
+      } else {
+        std::printf("     --    ");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  gso::bench::PrintHeader(
+      "Table 1: GSO-Simulcast control algorithm worked examples");
+  std::printf(
+      "Ladder: 720P {1.5M/1200, 1.3M/1050, 1M/750}  360P {800K/700, "
+      "600K/530,\n        500K/440, 400K/360}  180P {300K/300, 100K/100}\n\n");
+
+  PrintCase("case1: C downlink limited to 500K",
+            MakeCase(DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSecF(1.4),
+                     DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(3),
+                     DataRate::MegabitsPerSec(5),
+                     DataRate::KilobitsPerSec(500)));
+  PrintCase("case2: B uplink limited to 600K",
+            MakeCase(DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(5),
+                     DataRate::KilobitsPerSec(600), DataRate::MegabitsPerSec(5),
+                     DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(5)));
+  PrintCase("case3: B uplink 600K and downlink 700K",
+            MakeCase(DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(5),
+                     DataRate::KilobitsPerSec(600),
+                     DataRate::KilobitsPerSec(700),
+                     DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(5)));
+  std::printf(
+      "\nPaper's Table 1 final solutions for reference:\n"
+      "  case1: A{720P:1.5M, 360P:400K} B{360P:800K, 180P:100K} "
+      "C{360P:800K, 180P:300K}\n"
+      "  case2: A{720P:1.5M} B{360P:600K} C{360P:800K, 180P:300K}\n"
+      "  case3: A{720P:1.5M, 360P:400K} B{360P:600K} C{180P:300K}\n"
+      "  (case3 has two QoE-equal optima; either may be printed above)\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Large conference: 40 participants with speaker-first viewing.
+//
+// Reproduces the paper's "bigger conference" trend (§1): everyone watches
+// the current speaker in high resolution (slot 0) plus a handful of
+// thumbnails (slot 1 — the §4.4 virtual-publisher / multi-stream
+// subscription feature). The speaker rotates every 20 s; the GSO
+// controller re-orchestrates on each change, raising the new speaker's
+// priority so their high-resolution stream survives tight downlinks.
+//
+//   ./build/examples/large_conference
+#include <cstdio>
+#include <vector>
+
+#include "conference/scenarios.h"
+
+using namespace gso;
+using namespace gso::conference;
+
+namespace {
+
+constexpr int kParticipants = 40;
+constexpr int kThumbnails = 4;
+
+// Everyone subscribes: speaker at 720p (slot 0) + the first few other
+// participants as 180p thumbnails (slot 1).
+void Subscribe(Conference& conference, ClientId speaker) {
+  for (uint32_t sub = 1; sub <= kParticipants; ++sub) {
+    const ClientId subscriber(sub);
+    std::vector<core::Subscription> subs;
+    if (subscriber != speaker) {
+      subs.push_back({subscriber,
+                      {speaker, core::SourceKind::kCamera},
+                      kResolution720p,
+                      /*priority=*/2.0,
+                      /*slot=*/0});
+    }
+    // Stable thumbnail strip (ids 2..): rotation only re-targets the big
+    // view, it does not churn the strip.
+    int thumbnails = 0;
+    for (uint32_t pub = 2; pub <= kParticipants && thumbnails < kThumbnails;
+         ++pub) {
+      const ClientId publisher(pub);
+      if (publisher == subscriber || publisher == speaker) continue;
+      subs.push_back({subscriber,
+                      {publisher, core::SourceKind::kCamera},
+                      kResolution180p,
+                      1.0,
+                      /*slot=*/0});
+      ++thumbnails;
+    }
+    conference.SetSubscriptions(subscriber, std::move(subs));
+  }
+  conference.control().SetSpeaker(speaker);
+}
+
+}  // namespace
+
+int main() {
+  ConferenceConfig config;
+  config.mode = ControlMode::kGso;
+  Conference conference(config);
+
+  Rng rng(2024);
+  for (uint32_t id = 1; id <= kParticipants; ++id) {
+    ParticipantConfig participant;
+    participant.client = DefaultClient(id);
+    // Mixed population: most links comfortable, some constrained.
+    const bool slow = rng.Bernoulli(0.2);
+    participant.access =
+        slow ? Access(DataRate::KilobitsPerSec(700),
+                      DataRate::KilobitsPerSecF(1100))
+             : Access(DataRate::MegabitsPerSec(4),
+                      DataRate::MegabitsPerSec(8));
+    conference.AddParticipant(participant);
+  }
+
+  Subscribe(conference, ClientId(1));
+  conference.Start();
+
+  for (int round = 0; round < 3; ++round) {
+    const ClientId speaker(static_cast<uint32_t>(round * 7 + 1));
+    Subscribe(conference, speaker);
+    conference.RunFor(TimeDelta::Seconds(20));
+    std::printf("after 20 s with %s speaking: controller ran %d times, "
+                "last solve visited %d knapsacks in %d iteration(s)\n",
+                speaker.ToString().c_str(),
+                conference.control().orchestration_count(),
+                conference.control().last_orchestrator_stats().knapsack_solves,
+                conference.control().last_solution().iterations);
+  }
+
+  // Summarize what the speaker published vs a thumbnail-only participant.
+  const auto& solution = conference.control().last_solution();
+  std::printf("\nFinal publish policies (non-empty):\n");
+  int shown = 0;
+  for (const auto& [source, streams] : solution.publish) {
+    if (streams.empty() || shown >= 8) continue;
+    ++shown;
+    std::printf("  %s:", source.ToString().c_str());
+    for (const auto& stream : streams) {
+      std::printf(" %s@%s(x%zu)", stream.resolution.ToString().c_str(),
+                  stream.bitrate.ToString().c_str(),
+                  stream.receivers.size());
+    }
+    std::printf("\n");
+  }
+
+  const auto report = conference.Report();
+  RunningStats stall, voice;
+  for (const auto& participant : report.participants) {
+    stall.Add(participant.mean_video_stall_rate);
+    voice.Add(participant.voice_stall_rate);
+  }
+  std::printf(
+      "\n%d participants: mean video stall %.1f%%, mean voice stall %.1f%% "
+      "(worst video stall %.1f%%)\n",
+      kParticipants, 100 * stall.mean(), 100 * voice.mean(),
+      100 * stall.max());
+  return 0;
+}

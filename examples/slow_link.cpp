@@ -1,0 +1,110 @@
+// Slow link: the paper's motivating scenario (Fig. 2a), GSO vs Non-GSO.
+//
+// A four-party meeting where one subscriber's downlink degrades in steps
+// (2 Mbps -> 1 Mbps -> 500 kbps -> recovery). With GSO the controller
+// moves only that subscriber onto smaller streams while the others keep
+// high quality; with the template baseline the publisher's coarse layers
+// and the SFU's fragmented view leave the slow subscriber stalling.
+//
+//   ./build/examples/slow_link
+#include <cstdio>
+#include <memory>
+
+#include "conference/scenarios.h"
+
+using namespace gso;
+using namespace gso::conference;
+
+namespace {
+
+struct Outcome {
+  double slow_sub_stall = 0;
+  double fast_sub_stall = 0;
+  DataRate fast_sub_rate;
+  DataRate slow_sub_rate;
+};
+
+Outcome Run(ControlMode mode, bool narrate) {
+  ConferenceConfig config;
+  config.mode = mode;
+  auto conference = std::make_unique<Conference>(config);
+  for (uint32_t id = 1; id <= 4; ++id) {
+    ParticipantConfig participant;
+    participant.client = DefaultClient(id);
+    participant.access = Access(DataRate::MegabitsPerSec(10),
+                                DataRate::MegabitsPerSec(10));
+    conference->AddParticipant(participant);
+  }
+  conference->SubscribeAllCameras(kResolution720p);
+  conference->Start();
+
+  const ClientId slow(4);
+  conference->RunFor(TimeDelta::Seconds(15));
+  conference->MarkMeasurementStart();
+
+  const DataRate steps[] = {DataRate::MegabitsPerSec(2),
+                            DataRate::MegabitsPerSec(1),
+                            DataRate::KilobitsPerSec(500),
+                            DataRate::MegabitsPerSec(10)};
+  const char* labels[] = {"2 Mbps", "1 Mbps", "500 kbps", "recovered"};
+  for (int step = 0; step < 4; ++step) {
+    conference->SetDownlinkCapacity(slow, steps[step]);
+    conference->RunFor(TimeDelta::Seconds(20));
+    if (narrate) {
+      DataRate slow_total;
+      DataRate fast_total;
+      for (uint32_t pub = 1; pub <= 3; ++pub) {
+        slow_total += conference->client(slow)->CurrentReceiveRate(
+            ClientId(pub), core::SourceKind::kCamera);
+        if (pub != 1) {
+          fast_total += conference->client(ClientId(1))->CurrentReceiveRate(
+              ClientId(pub), core::SourceKind::kCamera);
+        }
+      }
+      std::printf("  downlink %-9s -> slow sub receives %-10s  "
+                  "(fast sub keeps %s from 2 peers)\n",
+                  labels[step], slow_total.ToString().c_str(),
+                  fast_total.ToString().c_str());
+    }
+  }
+
+  const auto report = conference->Report();
+  Outcome outcome;
+  for (const auto& participant : report.participants) {
+    DataRate total;
+    for (const auto& view : participant.received) {
+      total += view.average_bitrate;
+    }
+    if (participant.id == slow) {
+      outcome.slow_sub_stall = participant.mean_video_stall_rate;
+      outcome.slow_sub_rate = total;
+    } else if (participant.id == ClientId(1)) {
+      outcome.fast_sub_stall = participant.mean_video_stall_rate;
+      outcome.fast_sub_rate = total;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GSO-Simulcast:\n");
+  const Outcome gso = Run(ControlMode::kGso, /*narrate=*/true);
+  std::printf("\nNon-GSO (template simulcast):\n");
+  const Outcome tpl = Run(ControlMode::kTemplate, /*narrate=*/true);
+
+  std::printf("\nSummary over the whole degradation episode:\n");
+  std::printf("  %-28s %10s %10s\n", "", "GSO", "Non-GSO");
+  std::printf("  %-28s %9.1f%% %9.1f%%\n", "slow subscriber video stall",
+              100 * gso.slow_sub_stall, 100 * tpl.slow_sub_stall);
+  std::printf("  %-28s %9.1f%% %9.1f%%\n", "fast subscriber video stall",
+              100 * gso.fast_sub_stall, 100 * tpl.fast_sub_stall);
+  std::printf("  %-28s %10s %10s\n", "fast subscriber total rate",
+              gso.fast_sub_rate.ToString().c_str(),
+              tpl.fast_sub_rate.ToString().c_str());
+  std::printf(
+      "\nThe point (paper §2.2): with GSO the slow link hurts only the slow\n"
+      "subscriber — and even they degrade gracefully instead of stalling.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Template-based Non-GSO simulcast stream policies.
+//
+// State-of-the-art Simulcast (paper §1, §2.3) drives publishers with
+// empirically tuned template rules keyed on the publisher's *local* view:
+// its own uplink estimate and the participant count. There is no
+// coordination with receivers; unsubscribed layers keep burning uplink
+// (Fig. 3a) and bitrates only move between a few coarse levels (Fig. 7b).
+//
+// Three templates are provided:
+//  - kChimeLike     — the paper's reference behaviour (e.g. Amazon Chime's
+//    "360p at 600 kbps if uplink > 300 kbps, for < 6 participants").
+//  - kCompetitorA   — a conservative 2-level ladder with slow switching
+//    (stands in for the paper's "Competitor 1" in Fig. 8).
+//  - kCompetitorB   — an aggressive 3-level ladder driven by optimistic
+//    receiver-side estimation ("Competitor 2").
+#ifndef GSO_BASELINE_TEMPLATE_POLICY_H_
+#define GSO_BASELINE_TEMPLATE_POLICY_H_
+
+#include <vector>
+
+#include "common/resolution.h"
+#include "common/units.h"
+
+namespace gso::baseline {
+
+enum class TemplateKind {
+  kChimeLike,          // participant-aware Chime-style template
+  kCoarseThreeLevel,   // classic 3-level simulcast (1.2M / 600k / 300k)
+  kCompetitorA,
+  kCompetitorB,
+};
+
+// One publisher-side layer decision: fixed target bitrate or disabled.
+struct LayerDecision {
+  Resolution resolution;
+  DataRate bitrate;  // zero = layer disabled
+};
+
+struct TemplatePolicyConfig {
+  TemplateKind kind = TemplateKind::kChimeLike;
+  // Rules are re-evaluated at this period (templates are sluggish by
+  // design; CompetitorA uses a longer period).
+  TimeDelta update_period = TimeDelta::Seconds(1);
+};
+
+// Publisher-side template: maps (uplink estimate, participant count) to
+// per-layer fixed bitrates. Stateless; the sluggishness lives in how often
+// the caller re-evaluates (update_period) and in the coarse levels.
+class TemplatePolicy {
+ public:
+  explicit TemplatePolicy(TemplatePolicyConfig config = {})
+      : config_(config) {}
+
+  std::vector<LayerDecision> Decide(DataRate uplink_estimate,
+                                    int participant_count) const;
+
+  const TemplatePolicyConfig& config() const { return config_; }
+
+ private:
+  TemplatePolicyConfig config_;
+};
+
+// Receiver-side layer selection at the SFU (the "fragmented view" switch):
+// picks the largest advertised layer whose bitrate fits within
+// margin * downlink_estimate, with simple down-switch hysteresis.
+class SfuLayerSelector {
+ public:
+  explicit SfuLayerSelector(double margin = 0.9) : margin_(margin) {}
+
+  // `layer_rates` are the currently active layer bitrates, largest first.
+  // Returns the selected index, or -1 when nothing fits (stall).
+  int Select(const std::vector<DataRate>& layer_rates,
+             DataRate downlink_estimate) const {
+    for (size_t i = 0; i < layer_rates.size(); ++i) {
+      if (layer_rates[i].IsZero()) continue;
+      if (layer_rates[i] <= downlink_estimate * margin_) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  double margin_;
+};
+
+}  // namespace gso::baseline
+
+#endif  // GSO_BASELINE_TEMPLATE_POLICY_H_

@@ -1,0 +1,103 @@
+// Strongly typed identifiers.
+//
+// Each id is a distinct type so a ClientId can never be passed where an Ssrc
+// is expected. Ids are cheap value types usable as map keys.
+#ifndef GSO_COMMON_IDS_H_
+#define GSO_COMMON_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gso {
+
+namespace internal {
+
+// CRTP base providing comparison, hashing support and formatting for ids.
+template <typename Tag, typename Value = uint32_t>
+class IdBase {
+ public:
+  using value_type = Value;
+
+  constexpr IdBase() : value_(0) {}
+  explicit constexpr IdBase(Value v) : value_(v) {}
+
+  constexpr Value value() const { return value_; }
+  constexpr auto operator<=>(const IdBase&) const = default;
+
+ private:
+  Value value_;
+};
+
+}  // namespace internal
+
+// A conference participant (a "client" in the paper's terminology).
+struct ClientIdTag {};
+class ClientId : public internal::IdBase<ClientIdTag> {
+  using IdBase::IdBase;
+
+ public:
+  ClientId() = default;
+  explicit constexpr ClientId(uint32_t v) : IdBase(v) {}
+  std::string ToString() const { return "client:" + std::to_string(value()); }
+};
+
+// An RTP synchronization source. GSO assigns one SSRC per stream resolution
+// (paper §4.2) so TMMBR feedback can address an individual simulcast layer.
+struct SsrcTag {};
+class Ssrc : public internal::IdBase<SsrcTag> {
+ public:
+  Ssrc() = default;
+  explicit constexpr Ssrc(uint32_t v) : IdBase(v) {}
+  std::string ToString() const { return "ssrc:" + std::to_string(value()); }
+};
+
+// A media-plane accessing node (SFU instance).
+struct NodeIdTag {};
+class NodeId : public internal::IdBase<NodeIdTag> {
+ public:
+  NodeId() = default;
+  explicit constexpr NodeId(uint32_t v) : IdBase(v) {}
+  std::string ToString() const { return "node:" + std::to_string(value()); }
+};
+
+// A meeting / conference instance.
+struct ConferenceIdTag {};
+class ConferenceId : public internal::IdBase<ConferenceIdTag, uint64_t> {
+ public:
+  ConferenceId() = default;
+  explicit constexpr ConferenceId(uint64_t v) : IdBase(v) {}
+  std::string ToString() const { return "conf:" + std::to_string(value()); }
+};
+
+}  // namespace gso
+
+namespace std {
+template <>
+struct hash<gso::ClientId> {
+  size_t operator()(const gso::ClientId& id) const noexcept {
+    return std::hash<uint32_t>()(id.value());
+  }
+};
+template <>
+struct hash<gso::Ssrc> {
+  size_t operator()(const gso::Ssrc& id) const noexcept {
+    return std::hash<uint32_t>()(id.value());
+  }
+};
+template <>
+struct hash<gso::NodeId> {
+  size_t operator()(const gso::NodeId& id) const noexcept {
+    return std::hash<uint32_t>()(id.value());
+  }
+};
+template <>
+struct hash<gso::ConferenceId> {
+  size_t operator()(const gso::ConferenceId& id) const noexcept {
+    return std::hash<uint64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // GSO_COMMON_IDS_H_

@@ -1,0 +1,66 @@
+// Minimal leveled logging with a process-wide severity threshold.
+//
+// Logging defaults to kWarning so tests and benches stay quiet; examples
+// raise it to kInfo to narrate what the conference is doing.
+#ifndef GSO_COMMON_LOGGING_H_
+#define GSO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gso {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the message is below threshold.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace gso
+
+#define GSO_LOG_IS_ON(level) (::gso::LogLevel::level >= ::gso::GetLogLevel())
+
+#define GSO_LOG(level)                                            \
+  !GSO_LOG_IS_ON(level)                                           \
+      ? (void)0                                                   \
+      : ::gso::internal::LogVoidify() &                           \
+            ::gso::internal::LogMessage(::gso::LogLevel::level,   \
+                                        __FILE__, __LINE__)       \
+                .stream()
+
+// GSO_CHECK aborts on violated invariants in any build mode; the library
+// treats broken invariants as programming errors, not recoverable conditions.
+#define GSO_CHECK(cond)                                               \
+  (cond) ? (void)0                                                    \
+         : ::gso::internal::CheckFailure(#cond, __FILE__, __LINE__)
+
+#define GSO_CHECK_LE(a, b) GSO_CHECK((a) <= (b))
+#define GSO_CHECK_GE(a, b) GSO_CHECK((a) >= (b))
+#define GSO_CHECK_EQ(a, b) GSO_CHECK((a) == (b))
+#define GSO_CHECK_LT(a, b) GSO_CHECK((a) < (b))
+#define GSO_CHECK_GT(a, b) GSO_CHECK((a) > (b))
+
+namespace gso::internal {
+[[noreturn]] void CheckFailure(const char* expr, const char* file, int line);
+}  // namespace gso::internal
+
+#endif  // GSO_COMMON_LOGGING_H_

@@ -1,0 +1,61 @@
+// Video resolution as a value type, ordered by pixel count.
+#ifndef GSO_COMMON_RESOLUTION_H_
+#define GSO_COMMON_RESOLUTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gso {
+
+struct Resolution {
+  int32_t width = 0;
+  int32_t height = 0;
+
+  constexpr int64_t PixelCount() const {
+    return static_cast<int64_t>(width) * height;
+  }
+
+  constexpr bool operator==(const Resolution& o) const {
+    return width == o.width && height == o.height;
+  }
+  // Resolutions are ordered by area, ties broken by width — this is the
+  // "maximum resolution" ordering subscribers use in the paper's R_ii'.
+  constexpr bool operator<(const Resolution& o) const {
+    if (PixelCount() != o.PixelCount()) return PixelCount() < o.PixelCount();
+    return width < o.width;
+  }
+  constexpr bool operator<=(const Resolution& o) const {
+    return *this < o || *this == o;
+  }
+  constexpr bool operator>(const Resolution& o) const { return o < *this; }
+  constexpr bool operator>=(const Resolution& o) const { return o <= *this; }
+
+  std::string ToString() const {
+    return std::to_string(height) + "p";
+  }
+  std::string ToDimensionString() const {
+    return std::to_string(width) + "x" + std::to_string(height);
+  }
+};
+
+inline constexpr Resolution kResolution1080p{1920, 1080};
+inline constexpr Resolution kResolution720p{1280, 720};
+inline constexpr Resolution kResolution540p{960, 540};
+inline constexpr Resolution kResolution360p{640, 360};
+inline constexpr Resolution kResolution180p{320, 180};
+inline constexpr Resolution kResolution90p{160, 90};
+
+}  // namespace gso
+
+namespace std {
+template <>
+struct hash<gso::Resolution> {
+  size_t operator()(const gso::Resolution& r) const noexcept {
+    return std::hash<int64_t>()((static_cast<int64_t>(r.width) << 32) |
+                                static_cast<uint32_t>(r.height));
+  }
+};
+}  // namespace std
+
+#endif  // GSO_COMMON_RESOLUTION_H_

@@ -1,0 +1,44 @@
+// Wrapping sequence-number arithmetic (RFC 3550 §A.1 style).
+//
+// RTP sequence numbers and transport-wide feedback counters are 16-bit and
+// wrap; SequenceUnwrapper maps them onto a monotone 64-bit axis.
+#ifndef GSO_COMMON_SEQUENCE_H_
+#define GSO_COMMON_SEQUENCE_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace gso {
+
+// True if sequence number `a` is newer than `b` under 16-bit wrapping.
+inline bool SeqNewerThan(uint16_t a, uint16_t b) {
+  return static_cast<uint16_t>(a - b) < 0x8000 && a != b;
+}
+
+// Unwraps a wrapping uint16 counter into an int64 that never decreases by
+// more than half the wrap range. The first value anchors the axis.
+class SequenceUnwrapper {
+ public:
+  int64_t Unwrap(uint16_t value) {
+    if (!last_value_) {
+      last_unwrapped_ = value;
+    } else {
+      const int16_t delta = static_cast<int16_t>(value - *last_value_);
+      last_unwrapped_ += delta;
+    }
+    last_value_ = value;
+    return last_unwrapped_;
+  }
+
+  std::optional<int64_t> last() const {
+    return last_value_ ? std::optional<int64_t>(last_unwrapped_) : std::nullopt;
+  }
+
+ private:
+  std::optional<uint16_t> last_value_;
+  int64_t last_unwrapped_ = 0;
+};
+
+}  // namespace gso
+
+#endif  // GSO_COMMON_SEQUENCE_H_

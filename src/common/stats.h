@@ -1,0 +1,194 @@
+// Small statistics toolkit: running moments, percentiles, histograms/CDFs,
+// windowed rate estimation, and exponentially weighted averages.
+#ifndef GSO_COMMON_STATS_H_
+#define GSO_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace gso {
+
+// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Collects raw samples; answers percentile and CDF queries. Intended for
+// bench/report use where sample counts are modest (≲ millions).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double Min() {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    return samples_.front();
+  }
+  double Max() {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    return samples_.back();
+  }
+
+  // Fraction of samples <= x.
+  double CdfAt(double x) {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  // Evenly spaced (value, cdf) points suitable for printing a CDF curve.
+  std::vector<std::pair<double, double>> CdfPoints(int n_points) {
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || n_points <= 1) return out;
+    Sort();
+    const double lo = samples_.front();
+    const double hi = samples_.back();
+    out.reserve(static_cast<size_t>(n_points));
+    for (int i = 0; i < n_points; ++i) {
+      const double x =
+          lo + (hi - lo) * static_cast<double>(i) / (n_points - 1);
+      out.emplace_back(x, CdfAt(x));
+    }
+    return out;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void Sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Exponentially weighted moving average with a configurable smoothing factor.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void Reset() { initialized_ = false; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Estimates a rate (bits per second) over a sliding time window from
+// discrete (timestamp, size) arrivals.
+class WindowedRateEstimator {
+ public:
+  explicit WindowedRateEstimator(TimeDelta window) : window_(window) {}
+
+  void Update(Timestamp now, DataSize size) {
+    arrivals_.push_back({now, size});
+    total_ += size;
+    Evict(now);
+  }
+
+  DataRate Rate(Timestamp now) {
+    Evict(now);
+    if (arrivals_.empty()) return DataRate::Zero();
+    const TimeDelta span =
+        std::max(now - arrivals_.front().time, TimeDelta::Millis(1));
+    return total_ / span;
+  }
+
+ private:
+  struct Arrival {
+    Timestamp time;
+    DataSize size;
+  };
+
+  void Evict(Timestamp now) {
+    while (!arrivals_.empty() && now - arrivals_.front().time > window_) {
+      total_ -= arrivals_.front().size;
+      arrivals_.pop_front();
+    }
+  }
+
+  TimeDelta window_;
+  std::deque<Arrival> arrivals_;
+  DataSize total_;
+};
+
+}  // namespace gso
+
+#endif  // GSO_COMMON_STATS_H_

@@ -1,0 +1,42 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gso {
+namespace {
+
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string TimeDelta::ToString() const {
+  if (!IsFinite()) return micros_ > 0 ? "+inf" : "-inf";
+  if (std::llabs(micros_) >= 1'000'000) return Format("%.3f s", seconds());
+  if (std::llabs(micros_) >= 1000) return Format("%.2f ms", ms_f());
+  return Format("%.0f us", static_cast<double>(micros_));
+}
+
+std::string Timestamp::ToString() const {
+  if (!IsFinite()) return "+inf";
+  return Format("%.3f s", seconds());
+}
+
+std::string DataSize::ToString() const {
+  if (bytes_ >= 1'000'000) return Format("%.2f MB", static_cast<double>(bytes_) / 1e6);
+  if (bytes_ >= 1000) return Format("%.2f KB", static_cast<double>(bytes_) / 1e3);
+  return Format("%.0f B", static_cast<double>(bytes_));
+}
+
+std::string DataRate::ToString() const {
+  if (!IsFinite()) return "+inf";
+  if (bps_ >= 1'000'000) return Format("%.2f Mbps", mbps());
+  if (bps_ >= 1000) return Format("%.1f kbps", kbps());
+  return Format("%.0f bps", static_cast<double>(bps_));
+}
+
+}  // namespace gso

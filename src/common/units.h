@@ -1,0 +1,266 @@
+// Strong unit types used throughout the library.
+//
+// Modeled after the value-type unit wrappers commonly used in RTC stacks:
+// arithmetic stays in integral micro-units internally so equality and
+// accumulation are exact, while named factory functions keep call sites
+// readable (`TimeDelta::Millis(200)`, `DataRate::KilobitsPerSec(600)`).
+//
+// All types are trivially copyable, totally ordered, and constexpr-friendly.
+#ifndef GSO_COMMON_UNITS_H_
+#define GSO_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gso {
+
+// A signed duration with microsecond resolution.
+class TimeDelta {
+ public:
+  constexpr TimeDelta() : micros_(0) {}
+
+  static constexpr TimeDelta Zero() { return TimeDelta(0); }
+  static constexpr TimeDelta PlusInfinity() {
+    return TimeDelta(std::numeric_limits<int64_t>::max());
+  }
+  static constexpr TimeDelta MinusInfinity() {
+    return TimeDelta(std::numeric_limits<int64_t>::min());
+  }
+  static constexpr TimeDelta Micros(int64_t us) { return TimeDelta(us); }
+  static constexpr TimeDelta Millis(int64_t ms) { return TimeDelta(ms * 1000); }
+  static constexpr TimeDelta Seconds(int64_t s) {
+    return TimeDelta(s * 1'000'000);
+  }
+  static constexpr TimeDelta SecondsF(double s) {
+    return TimeDelta(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr TimeDelta MillisF(double ms) {
+    return TimeDelta(static_cast<int64_t>(ms * 1e3));
+  }
+
+  constexpr int64_t us() const { return micros_; }
+  constexpr int64_t ms() const { return micros_ / 1000; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double ms_f() const { return static_cast<double>(micros_) / 1e3; }
+
+  constexpr bool IsZero() const { return micros_ == 0; }
+  constexpr bool IsFinite() const {
+    return micros_ != std::numeric_limits<int64_t>::max() &&
+           micros_ != std::numeric_limits<int64_t>::min();
+  }
+  constexpr bool IsPlusInfinity() const {
+    return micros_ == std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr TimeDelta operator+(TimeDelta o) const {
+    return TimeDelta(micros_ + o.micros_);
+  }
+  constexpr TimeDelta operator-(TimeDelta o) const {
+    return TimeDelta(micros_ - o.micros_);
+  }
+  constexpr TimeDelta operator-() const { return TimeDelta(-micros_); }
+  constexpr TimeDelta operator*(double f) const {
+    return TimeDelta(static_cast<int64_t>(static_cast<double>(micros_) * f));
+  }
+  constexpr TimeDelta operator*(int64_t f) const {
+    return TimeDelta(micros_ * f);
+  }
+  constexpr TimeDelta operator/(int64_t d) const {
+    return TimeDelta(micros_ / d);
+  }
+  constexpr double operator/(TimeDelta o) const {
+    return static_cast<double>(micros_) / static_cast<double>(o.micros_);
+  }
+  TimeDelta& operator+=(TimeDelta o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  TimeDelta& operator-=(TimeDelta o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimeDelta&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimeDelta(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+// An absolute point on the simulated clock (microseconds since sim start).
+class Timestamp {
+ public:
+  constexpr Timestamp() : micros_(0) {}
+
+  static constexpr Timestamp Zero() { return Timestamp(0); }
+  static constexpr Timestamp PlusInfinity() {
+    return Timestamp(std::numeric_limits<int64_t>::max());
+  }
+  static constexpr Timestamp Micros(int64_t us) { return Timestamp(us); }
+  static constexpr Timestamp Millis(int64_t ms) { return Timestamp(ms * 1000); }
+  static constexpr Timestamp Seconds(int64_t s) {
+    return Timestamp(s * 1'000'000);
+  }
+  static constexpr Timestamp SecondsF(double s) {
+    return Timestamp(static_cast<int64_t>(s * 1e6));
+  }
+
+  constexpr int64_t us() const { return micros_; }
+  constexpr int64_t ms() const { return micros_ / 1000; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr bool IsFinite() const {
+    return micros_ != std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr Timestamp operator+(TimeDelta d) const {
+    return Timestamp(micros_ + d.us());
+  }
+  constexpr Timestamp operator-(TimeDelta d) const {
+    return Timestamp(micros_ - d.us());
+  }
+  constexpr TimeDelta operator-(Timestamp o) const {
+    return TimeDelta::Micros(micros_ - o.micros_);
+  }
+  Timestamp& operator+=(TimeDelta d) {
+    micros_ += d.us();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Timestamp(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+// A size in bytes.
+class DataSize {
+ public:
+  constexpr DataSize() : bytes_(0) {}
+
+  static constexpr DataSize Zero() { return DataSize(0); }
+  static constexpr DataSize Bytes(int64_t b) { return DataSize(b); }
+  static constexpr DataSize KiloBytes(int64_t kb) { return DataSize(kb * 1000); }
+
+  constexpr int64_t bytes() const { return bytes_; }
+  constexpr int64_t bits() const { return bytes_ * 8; }
+  constexpr bool IsZero() const { return bytes_ == 0; }
+
+  constexpr DataSize operator+(DataSize o) const {
+    return DataSize(bytes_ + o.bytes_);
+  }
+  constexpr DataSize operator-(DataSize o) const {
+    return DataSize(bytes_ - o.bytes_);
+  }
+  constexpr DataSize operator*(double f) const {
+    return DataSize(static_cast<int64_t>(static_cast<double>(bytes_) * f));
+  }
+  DataSize& operator+=(DataSize o) {
+    bytes_ += o.bytes_;
+    return *this;
+  }
+  DataSize& operator-=(DataSize o) {
+    bytes_ -= o.bytes_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr DataSize(int64_t b) : bytes_(b) {}
+  int64_t bytes_;
+};
+
+// A rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() : bps_(0) {}
+
+  static constexpr DataRate Zero() { return DataRate(0); }
+  static constexpr DataRate PlusInfinity() {
+    return DataRate(std::numeric_limits<int64_t>::max());
+  }
+  static constexpr DataRate BitsPerSec(int64_t bps) { return DataRate(bps); }
+  static constexpr DataRate KilobitsPerSec(int64_t kbps) {
+    return DataRate(kbps * 1000);
+  }
+  static constexpr DataRate MegabitsPerSec(int64_t mbps) {
+    return DataRate(mbps * 1'000'000);
+  }
+  static constexpr DataRate KilobitsPerSecF(double kbps) {
+    return DataRate(static_cast<int64_t>(kbps * 1e3));
+  }
+  static constexpr DataRate MegabitsPerSecF(double mbps) {
+    return DataRate(static_cast<int64_t>(mbps * 1e6));
+  }
+
+  constexpr int64_t bps() const { return bps_; }
+  constexpr double kbps() const { return static_cast<double>(bps_) / 1e3; }
+  constexpr double mbps() const { return static_cast<double>(bps_) / 1e6; }
+  constexpr bool IsZero() const { return bps_ == 0; }
+  constexpr bool IsFinite() const {
+    return bps_ != std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr DataRate operator+(DataRate o) const {
+    return DataRate(bps_ + o.bps_);
+  }
+  constexpr DataRate operator-(DataRate o) const {
+    return DataRate(bps_ - o.bps_);
+  }
+  constexpr DataRate operator*(double f) const {
+    return DataRate(static_cast<int64_t>(static_cast<double>(bps_) * f));
+  }
+  constexpr double operator/(DataRate o) const {
+    return static_cast<double>(bps_) / static_cast<double>(o.bps_);
+  }
+  DataRate& operator+=(DataRate o) {
+    bps_ += o.bps_;
+    return *this;
+  }
+  DataRate& operator-=(DataRate o) {
+    bps_ -= o.bps_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr DataRate(int64_t bps) : bps_(bps) {}
+  int64_t bps_;
+};
+
+// Cross-type helpers: size = rate * time, time = size / rate, rate = size / time.
+constexpr DataSize operator*(DataRate rate, TimeDelta duration) {
+  // Compute in double to avoid overflow for long durations at high rates;
+  // accuracy at byte granularity is sufficient for simulation.
+  const double bits = static_cast<double>(rate.bps()) * duration.seconds();
+  return DataSize::Bytes(static_cast<int64_t>(bits / 8.0));
+}
+
+constexpr TimeDelta operator/(DataSize size, DataRate rate) {
+  if (rate.IsZero()) return TimeDelta::PlusInfinity();
+  const double seconds =
+      static_cast<double>(size.bits()) / static_cast<double>(rate.bps());
+  return TimeDelta::Micros(static_cast<int64_t>(seconds * 1e6));
+}
+
+constexpr DataRate operator/(DataSize size, TimeDelta duration) {
+  if (duration.IsZero()) return DataRate::PlusInfinity();
+  const double bps =
+      static_cast<double>(size.bits()) / duration.seconds();
+  return DataRate::BitsPerSec(static_cast<int64_t>(bps));
+}
+
+}  // namespace gso
+
+#endif  // GSO_COMMON_UNITS_H_

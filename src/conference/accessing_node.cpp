@@ -1,0 +1,661 @@
+#include "conference/accessing_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "conference/conference_node.h"
+#include "net/rtp_packet.h"
+
+namespace gso::conference {
+namespace {
+
+constexpr uint8_t kAudioPayloadType = 111;
+constexpr uint8_t kPaddingPayloadType = 127;
+constexpr int64_t kUdpIpOverheadBytes = 28;
+constexpr TimeDelta kRtcpInterval = TimeDelta::Millis(100);
+constexpr TimeDelta kSelectionInterval = TimeDelta::Millis(500);
+constexpr TimeDelta kGtbrRetryInterval = TimeDelta::Millis(200);
+constexpr int kGtbrMaxAttempts = 15;
+constexpr TimeDelta kStaleLayerTimeout = TimeDelta::Seconds(2);
+constexpr TimeDelta kDownlinkReportPeriod = TimeDelta::Millis(500);
+constexpr double kDownlinkReportEventThreshold = 0.10;
+
+bool IsRtcp(const sim::Packet& packet) {
+  // RTCP PT range is [200, 206]; an RTP byte-1 is marker|payload_type,
+  // which is <= 127 (no marker) or >= 224 (marker, PT >= 96).
+  return packet.data.size() >= 2 && packet.data[1] >= 200 &&
+         packet.data[1] <= 206;
+}
+
+}  // namespace
+
+AccessingNode::AccessingNode(sim::EventLoop* loop, NodeId id,
+                             ControlMode mode,
+                             const StreamDirectory* directory, Rng rng)
+    : loop_(loop), id_(id), mode_(mode), directory_(directory), rng_(rng) {}
+
+void AccessingNode::AttachClient(Client* client, sim::Link* downlink) {
+  GSO_CHECK(client != nullptr && downlink != nullptr);
+  transport::BweConfig config;
+  config.start_rate = DataRate::KilobitsPerSec(500);
+  auto attached = std::make_unique<AttachedClient>(config);
+  attached->client = client;
+  attached->downlink = downlink;
+  clients_[client->id()] = std::move(attached);
+}
+
+void AccessingNode::ConnectPeer(AccessingNode* peer, sim::Link* link) {
+  GSO_CHECK(peer != nullptr && link != nullptr);
+  peers_[peer->id()] = {peer, link};
+}
+
+void AccessingNode::Start() {
+  GSO_CHECK(!started_);
+  started_ = true;
+  loop_->Every(kRtcpInterval, [this] {
+    OnRtcpTick();
+    return true;
+  });
+  loop_->Every(kSelectionInterval, [this] {
+    OnSelectionTick();
+    return true;
+  });
+}
+
+DataRate AccessingNode::DownlinkEstimate(ClientId client) const {
+  const auto it = clients_.find(client);
+  return it == clients_.end() ? DataRate::Zero()
+                              : it->second->bwe.target_rate();
+}
+
+// --- Ingress ---------------------------------------------------------------
+
+void AccessingNode::OnClientPacket(ClientId from, const sim::Packet& packet) {
+  const auto attached = clients_.find(from);
+  if (attached == clients_.end()) return;
+
+  if (IsRtcp(packet)) {
+    HandleClientRtcp(from, packet.data);
+    return;
+  }
+  const auto parsed = net::RtpPacket::Parse(packet.data);
+  if (!parsed) return;
+  if (parsed->transport_sequence) {
+    attached->second->uplink_feedback.OnPacketArrived(
+        *parsed->transport_sequence, loop_->Now());
+  }
+  if (parsed->payload_type == kPaddingPayloadType) return;
+  HandleMediaPacket(*parsed, packet, /*from_peer=*/false);
+}
+
+void AccessingNode::OnPeerPacket(NodeId /*from*/, const sim::Packet& packet) {
+  if (IsRtcp(packet)) {
+    // Cross-node control relay (NACK/PLI toward a publisher homed here).
+    for (const auto& message : net::ParseCompound(packet.data)) {
+      if (const auto* nack = std::get_if<net::Nack>(&message)) {
+        RelayToPublisher(nack->media_ssrc, *nack);
+      } else if (const auto* pli = std::get_if<net::Pli>(&message)) {
+        RelayToPublisher(pli->media_ssrc, *pli);
+      }
+    }
+    return;
+  }
+  const auto parsed = net::RtpPacket::Parse(packet.data);
+  if (!parsed) return;
+  HandleMediaPacket(*parsed, packet, /*from_peer=*/true);
+}
+
+// --- Media forwarding ---------------------------------------------------
+
+void AccessingNode::HandleMediaPacket(const net::RtpPacket& packet,
+                                      const sim::Packet& wire,
+                                      bool from_peer) {
+  const Timestamp now = loop_->Now();
+
+  if (packet.payload_type == kAudioPayloadType) {
+    // Audio is not orchestrated, but its fan-out is bounded to the top-N
+    // active speakers (deterministic lowest-id proxy for loudness).
+    const auto info = directory_->Lookup(packet.ssrc);
+    if (!info) return;
+    audio_publishers_[info->owner] = now;
+    for (auto it = audio_publishers_.begin();
+         it != audio_publishers_.end();) {
+      if (now - it->second > TimeDelta::Seconds(2)) {
+        it = audio_publishers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    int rank = 0;
+    for (const auto& [owner, _] : audio_publishers_) {
+      if (owner == info->owner) break;
+      ++rank;
+    }
+    if (rank >= max_audio_fanout_) return;
+    for (auto& [client_id, attached] : clients_) {
+      if (client_id != info->owner) ForwardToSubscriber(packet, client_id);
+    }
+    if (!from_peer) ForwardToPeers(wire, packet.ssrc);
+    return;
+  }
+
+  // Video: bookkeeping for NACK, rate measurement, fallback detection.
+  auto& stream = uplink_streams_[packet.ssrc];
+  stream.last_packet = now;
+  stream.rate.Update(now, wire.wire_size);
+  if (!from_peer) {
+    const int64_t seq = stream.unwrapper.Unwrap(packet.sequence_number);
+    stream.received.insert(seq);
+    stream.nack_state.erase(seq);
+    stream.highest = std::max(stream.highest, seq);
+    while (stream.received.size() > 2000) {
+      stream.received.erase(stream.received.begin());
+    }
+  }
+  forward_cache_.Put(packet);
+
+  // A keyframe on a new layer completes any pending make-before-break
+  // switches onto that layer.
+  if (packet.is_keyframe && !pending_switches_.empty()) {
+    for (auto it = pending_switches_.begin();
+         it != pending_switches_.end();) {
+      if (it->first.first == packet.ssrc) {
+        it = pending_switches_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Who gets this packet?
+  std::vector<ClientId> subscribers = SubscribersOf(packet.ssrc);
+  bool remote_needed = false;
+  for (ClientId subscriber : subscribers) {
+    if (clients_.count(subscriber)) {
+      ForwardToSubscriber(packet, subscriber);
+    } else {
+      remote_needed = true;
+    }
+  }
+  if (remote_needed && !from_peer) ForwardToPeers(wire, packet.ssrc);
+}
+
+std::vector<ClientId> AccessingNode::SubscribersOf(Ssrc ssrc) const {
+  std::vector<ClientId> out;
+  if (mode_ == ControlMode::kGso) {
+    const auto it = forwarding_.find(ssrc);
+    if (it != forwarding_.end()) out = it->second;
+    // Make-before-break: subscribers still waiting for another layer's
+    // keyframe keep receiving this (old) layer.
+    for (const auto& [key, old_ssrc] : pending_switches_) {
+      if (old_ssrc == ssrc &&
+          std::find(out.begin(), out.end(), key.second) == out.end()) {
+        out.push_back(key.second);
+      }
+    }
+    // Failure fallback: also deliver to subscribers whose instructed layer
+    // of the same source has gone stale (paper §7).
+    const auto info = directory_->Lookup(ssrc);
+    if (info) {
+      const Timestamp now = loop_->Now();
+      for (const auto& [other_ssrc, subs] : forwarding_) {
+        if (other_ssrc == ssrc) continue;
+        const auto other = directory_->Lookup(other_ssrc);
+        if (!other || other->owner != info->owner ||
+            other->source != info->source) {
+          continue;
+        }
+        const auto state = uplink_streams_.find(other_ssrc);
+        const bool stale =
+            state == uplink_streams_.end() ||
+            now - state->second.last_packet > kStaleLayerTimeout;
+        if (!stale) continue;
+        // Substitute only from a lower resolution (safe for downlinks).
+        if (info->resolution < other->resolution) {
+          for (ClientId s : subs) {
+            if (std::find(out.begin(), out.end(), s) == out.end()) {
+              out.push_back(s);
+            }
+          }
+        }
+      }
+    }
+    return out;
+  }
+  // Local (Non-GSO) mode: subscribers whose greedy selection picked it.
+  const auto info = directory_->Lookup(ssrc);
+  if (!info) return out;
+  for (const auto& [client_id, attached] : clients_) {
+    const auto sel = attached->selected.find(info->owner);
+    if (sel != attached->selected.end() && sel->second == ssrc) {
+      out.push_back(client_id);
+    }
+  }
+  return out;
+}
+
+void AccessingNode::ForwardToSubscriber(const net::RtpPacket& packet,
+                                        ClientId subscriber) {
+  const auto it = clients_.find(subscriber);
+  if (it == clients_.end()) return;
+  auto& attached = *it->second;
+  if (packet.payload_type != kAudioPayloadType) {
+    const auto paused = attached.paused.find(packet.ssrc);
+    if (paused != attached.paused.end()) {
+      if (loop_->Now() < paused->second) {
+        return;  // paused by the local downlink congestion limit
+      }
+      attached.paused.erase(paused);
+    }
+  }
+  net::RtpPacket out = packet;
+  out.transport_sequence = attached.next_transport_seq++;
+  const auto data = out.Serialize();
+  const int64_t wire =
+      static_cast<int64_t>(out.WireSize()) + kUdpIpOverheadBytes;
+  attached.bwe.OnPacketSent(*out.transport_sequence, loop_->Now(),
+                            DataSize::Bytes(wire));
+  sim::Packet sp;
+  sp.data = data;
+  sp.wire_size = DataSize::Bytes(wire);
+  sp.first_send_time = loop_->Now();
+  attached.downlink->Send(std::move(sp));
+}
+
+void AccessingNode::ForwardToPeers(const sim::Packet& wire, Ssrc ssrc) {
+  // One copy per peer that homes at least one subscriber of the stream.
+  for (auto& [peer_id, peer] : peers_) {
+    bool needed = false;
+    for (ClientId subscriber : SubscribersOf(ssrc)) {
+      if (peer.first->IsAttached(subscriber)) {
+        needed = true;
+        break;
+      }
+    }
+    // Audio fan-out: every peer with any attached client needs it.
+    const auto info = directory_->Lookup(ssrc);
+    if (info && info->is_audio) needed = true;
+    if (!needed) continue;
+    peer.second->Send(wire);
+  }
+}
+
+// --- Client RTCP -----------------------------------------------------------
+
+void AccessingNode::HandleClientRtcp(ClientId from,
+                                     const std::vector<uint8_t>& data) {
+  auto& attached = *clients_.at(from);
+  for (const auto& message : net::ParseCompound(data)) {
+    if (const auto* fb = std::get_if<net::TransportFeedback>(&message)) {
+      attached.bwe.OnFeedback(*fb, loop_->Now());
+      ReportDownlink(from, /*force=*/false);
+    } else if (const auto* semb = std::get_if<net::Semb>(&message)) {
+      if (control_) control_->OnSembReport(from, semb->bitrate);
+    } else if (const auto* ack = std::get_if<net::GsoTmmbn>(&message)) {
+      if (attached.pending_gtbr &&
+          attached.pending_gtbr->message.request_id == ack->request_id) {
+        attached.pending_gtbr.reset();
+      }
+    } else if (const auto* nack = std::get_if<net::Nack>(&message)) {
+      std::vector<uint16_t> missing;
+      for (uint16_t seq : nack->sequences) {
+        if (const auto cached = forward_cache_.Get(nack->media_ssrc, seq)) {
+          ForwardToSubscriber(*cached, from);
+        } else {
+          missing.push_back(seq);
+        }
+      }
+      if (!missing.empty()) {
+        net::Nack upstream = *nack;
+        upstream.sequences = std::move(missing);
+        RelayToPublisher(nack->media_ssrc, upstream);
+      }
+    } else if (const auto* pli = std::get_if<net::Pli>(&message)) {
+      RelayToPublisher(pli->media_ssrc, *pli);
+    }
+  }
+}
+
+void AccessingNode::RelayToPublisher(Ssrc media_ssrc,
+                                     net::RtcpMessage message) {
+  const auto info = directory_->Lookup(media_ssrc);
+  if (!info) return;
+  if (clients_.count(info->owner)) {
+    std::vector<net::RtcpMessage> batch;
+    batch.push_back(std::move(message));
+    SendRtcpToClient(info->owner, std::move(batch));
+    return;
+  }
+  if (!node_of_) return;
+  AccessingNode* home = node_of_(info->owner);
+  if (home == nullptr || home == this) return;
+  const auto peer = peers_.find(home->id());
+  if (peer == peers_.end()) return;
+  auto data = net::SerializeCompound({message});
+  sim::Packet sp;
+  sp.wire_size = DataSize::Bytes(static_cast<int64_t>(data.size()) +
+                                 kUdpIpOverheadBytes);
+  sp.data = std::move(data);
+  sp.first_send_time = loop_->Now();
+  peer->second.second->Send(std::move(sp));
+}
+
+void AccessingNode::SendRtcpToClient(ClientId client,
+                                     std::vector<net::RtcpMessage> messages) {
+  if (messages.empty()) return;
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  auto data = net::SerializeCompound(messages);
+  sim::Packet sp;
+  sp.wire_size = DataSize::Bytes(static_cast<int64_t>(data.size()) +
+                                 kUdpIpOverheadBytes);
+  sp.data = std::move(data);
+  sp.first_send_time = loop_->Now();
+  it->second->downlink->Send(std::move(sp));
+}
+
+// --- Periodic work -----------------------------------------------------
+
+void AccessingNode::OnRtcpTick() {
+  const Timestamp now = loop_->Now();
+  const Ssrc node_ssrc(0xF0000000u | id_.value());
+
+  for (auto& [client_id, attached] : clients_) {
+    std::vector<net::RtcpMessage> messages;
+    if (auto feedback = attached->uplink_feedback.Build(node_ssrc)) {
+      messages.push_back(std::move(*feedback));
+    }
+    // GTBR retransmission until acknowledged.
+    if (attached->pending_gtbr) {
+      auto& pending = *attached->pending_gtbr;
+      if (pending.attempts == 0 ||
+          now - pending.last_sent >= kGtbrRetryInterval) {
+        if (pending.attempts >= kGtbrMaxAttempts) {
+          attached->pending_gtbr.reset();
+        } else {
+          if (pending.attempts > 0) ++gtbr_retransmissions_;
+          ++pending.attempts;
+          pending.last_sent = now;
+          messages.push_back(pending.message);
+        }
+      }
+    }
+    // Upstream NACKs for this client's own published streams.
+    for (auto& [ssrc, stream] : uplink_streams_) {
+      const auto info = directory_->Lookup(ssrc);
+      if (!info || info->owner != client_id) continue;
+      if (stream.highest < 0 || stream.received.empty()) continue;
+      std::vector<uint16_t> nacks;
+      const int64_t floor_seq = *stream.received.begin();
+      for (int64_t s = std::max(floor_seq, stream.highest - 150);
+           s < stream.highest && nacks.size() < 16; ++s) {
+        if (stream.received.count(s)) continue;
+        auto& [last_sent, attempts] = stream.nack_state[s];
+        if (attempts >= 4) continue;
+        if (attempts > 0 && now - last_sent < TimeDelta::Millis(50)) continue;
+        ++attempts;
+        last_sent = now;
+        nacks.push_back(static_cast<uint16_t>(s & 0xFFFF));
+      }
+      if (!nacks.empty()) {
+        messages.push_back(net::Nack{node_ssrc, ssrc, std::move(nacks)});
+      }
+    }
+    SendRtcpToClient(client_id, std::move(messages));
+  }
+
+  for (auto& [client_id, _] : clients_) {
+    MaybeProbeDownlink(client_id);
+    EnforceDownlinkLimit(client_id);
+  }
+
+  // Periodic downlink reports (time trigger).
+  if (now - last_downlink_report_ >= kDownlinkReportPeriod) {
+    last_downlinks_due_ = true;
+    last_downlink_report_ = now;
+  }
+  if (last_downlinks_due_) {
+    for (auto& [client_id, _] : clients_) ReportDownlink(client_id, true);
+    last_downlinks_due_ = false;
+  }
+}
+
+void AccessingNode::EnforceDownlinkLimit(ClientId client) {
+  // Emergency brake only: the controller owns allocation; the node steps
+  // in solely when the downlink estimate has *dropped* well below what is
+  // flowing (otherwise sending would keep overloading the link until the
+  // next orchestration, >= 1 s away). Paused layers stay paused until the
+  // controller reconciles with a new forwarding table.
+  auto& attached = *clients_.at(client);
+  const Timestamp now = loop_->Now();
+  const DataRate estimate = attached.bwe.target_rate();
+  // The brake needs *observable* congestion — heavy residual loss or a
+  // standing queue — not a stale estimate-vs-flow mismatch: during ramps
+  // the estimate routinely lags what the link demonstrably carries, and
+  // pausing then would itself create the freeze it tries to prevent.
+  const bool loss_emergency = attached.bwe.loss_fraction() > 0.35;
+  const bool queue_emergency = attached.bwe.StandingQueue();
+  if (!loss_emergency && !queue_emergency) return;
+
+  // Measure the unpaused video currently flowing toward this subscriber.
+  std::vector<std::pair<DataRate, Ssrc>> layers;
+  DataRate total;
+  for (const auto& [ssrc, subs] : forwarding_) {
+    const auto paused = attached.paused.find(ssrc);
+    if (paused != attached.paused.end() && now < paused->second) continue;
+    if (std::find(subs.begin(), subs.end(), client) == subs.end()) continue;
+    const auto info = directory_->Lookup(ssrc);
+    if (!info || info->is_audio) continue;
+    const auto state = uplink_streams_.find(ssrc);
+    if (state == uplink_streams_.end() ||
+        now - state->second.last_packet > TimeDelta::Seconds(1)) {
+      continue;  // not flowing, nothing to pause
+    }
+    const DataRate rate = state->second.rate.Rate(now);
+    layers.emplace_back(rate, ssrc);
+    total += rate;
+  }
+  if (total.IsZero()) return;
+
+  // Pause the largest layers until the remainder fits; always keep the
+  // smallest flowing layer alive (a degraded view beats a black screen).
+  // Under a loss emergency (the downlink is actively shedding packets)
+  // everything except the smallest layer is shed immediately.
+  std::sort(layers.begin(), layers.end());
+  const DataRate keep_budget =
+      loss_emergency ? layers.empty() ? DataRate::Zero() : layers.front().first
+                     : estimate;
+  // Pauses expire on their own (the queue drains in well under a second);
+  // the controller's next run supersedes them anyway.
+  const Timestamp expiry = now + TimeDelta::Millis(600);
+  while (layers.size() > 1 && total > keep_budget) {
+    const auto [rate, ssrc] = layers.back();
+    layers.pop_back();
+    attached.paused[ssrc] = expiry;
+    total -= rate;
+  }
+}
+
+void AccessingNode::MaybeProbeDownlink(ClientId client) {
+  if (!probing_enabled_) return;
+  auto& attached = *clients_.at(client);
+  const Timestamp now = loop_->Now();
+  if (!attached.bwe.WantsProbe(now)) return;
+  attached.bwe.OnProbeSent(now);
+  const int cluster = attached.next_probe_cluster++;
+  const DataRate probe_rate =
+      attached.bwe.target_rate() * transport::kProbeRateFactor;
+  const DataSize size = DataSize::Bytes(transport::kProbePacketBytes);
+  TimeDelta offset = TimeDelta::Zero();
+  for (int i = 0; i < transport::kProbePacketCount; ++i) {
+    loop_->After(offset, [this, client, cluster] {
+      SendProbePadding(client, cluster);
+    });
+    offset += size / probe_rate;
+  }
+}
+
+void AccessingNode::SendProbePadding(ClientId client, int cluster) {
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  auto& attached = *it->second;
+  net::RtpPacket padding;
+  padding.payload_type = 127;  // padding: receivers feed TWCC only
+  padding.ssrc = Ssrc(0xF1000000u | id_.value());
+  padding.sequence_number = attached.padding_seq++;
+  padding.payload_size = transport::kProbePacketBytes;
+  padding.packets_in_frame = 1;
+  padding.transport_sequence = attached.next_transport_seq++;
+  const auto data = padding.Serialize();
+  const int64_t wire =
+      static_cast<int64_t>(padding.WireSize()) + kUdpIpOverheadBytes;
+  attached.bwe.OnPacketSent(*padding.transport_sequence, loop_->Now(),
+                            DataSize::Bytes(wire), cluster);
+  sim::Packet sp;
+  sp.data = data;
+  sp.wire_size = DataSize::Bytes(wire);
+  sp.first_send_time = loop_->Now();
+  attached.downlink->Send(std::move(sp));
+}
+
+void AccessingNode::ReportDownlink(ClientId client, bool force) {
+  if (!control_) return;
+  auto& attached = *clients_.at(client);
+  // Discount the report by the residual loss: on a lossy downlink the
+  // controller should allocate smaller streams (fewer packets per frame)
+  // so retransmission can keep up — the budget FEC would otherwise claim.
+  const double loss = std::min(attached.bwe.loss_fraction(), 0.6);
+  const DataRate estimate = attached.bwe.target_rate() * (1.0 - 0.8 * loss);
+  const bool significant =
+      attached.last_reported.IsZero() ||
+      std::abs(estimate.bps() - attached.last_reported.bps()) >
+          static_cast<int64_t>(kDownlinkReportEventThreshold *
+                               static_cast<double>(
+                                   attached.last_reported.bps()));
+  if (!force && !significant) return;
+  attached.last_reported = estimate;
+  control_->OnDownlinkReport(client, estimate);
+}
+
+void AccessingNode::OnSelectionTick() {
+  if (mode_ != ControlMode::kTemplate) return;
+  const Timestamp now = loop_->Now();
+  for (auto& [subscriber_id, attached] : clients_) {
+    DataRate budget = attached->bwe.target_rate();
+    std::map<ClientId, Ssrc> new_selection;
+    // Greedy sequential allocation over publishers — the "fragmented view"
+    // behaviour that produces Fig. 3c's uneven split.
+    for (ClientId publisher : attached->interest) {
+      const auto layers =
+          directory_->LayersOf(publisher, core::SourceKind::kCamera);
+      std::vector<DataRate> rates;
+      std::vector<Ssrc> ssrcs;
+      for (const auto& layer : layers) {
+        const auto state = uplink_streams_.find(layer.ssrc);
+        const bool active =
+            state != uplink_streams_.end() &&
+            now - state->second.last_packet < TimeDelta::Seconds(1);
+        rates.push_back(active ? state->second.rate.Rate(now)
+                               : DataRate::Zero());
+        ssrcs.push_back(layer.ssrc);
+      }
+      // Largest-first order: directory layers are ladder order (largest
+      // resolution first by construction).
+      const int pick = selector_.Select(rates, budget);
+      if (pick >= 0) {
+        new_selection[publisher] = ssrcs[static_cast<size_t>(pick)];
+        budget -= rates[static_cast<size_t>(pick)];
+      }
+    }
+    // Keyframe-request on switch so the subscriber resyncs quickly.
+    for (const auto& [publisher, ssrc] : new_selection) {
+      const auto prev = attached->selected.find(publisher);
+      if (prev == attached->selected.end() || prev->second != ssrc) {
+        RelayToPublisher(ssrc,
+                         net::Pli{Ssrc(0xF0000000u | id_.value()), ssrc});
+      }
+    }
+    attached->selected = std::move(new_selection);
+  }
+}
+
+// --- Control-plane interface ---------------------------------------------
+
+void AccessingNode::SetForwarding(
+    std::map<Ssrc, std::vector<ClientId>> table) {
+  // A fresh coordination supersedes local pauses.
+  for (auto& [_, attached] : clients_) attached->paused.clear();
+
+  // Make-before-break: a subscriber moved between layers of the same
+  // source keeps the old layer until the new one delivers a keyframe.
+  auto selected_in = [this](const std::map<Ssrc, std::vector<ClientId>>& t,
+                            ClientId subscriber, ClientId owner,
+                            core::SourceKind kind) -> std::optional<Ssrc> {
+    for (const auto& [ssrc, subs] : t) {
+      const auto info = directory_->Lookup(ssrc);
+      if (!info || info->owner != owner || info->source != kind) continue;
+      if (std::find(subs.begin(), subs.end(), subscriber) != subs.end()) {
+        return ssrc;
+      }
+    }
+    return std::nullopt;
+  };
+  std::map<std::pair<Ssrc, ClientId>, Ssrc> new_pending;
+  for (const auto& [new_ssrc, subs] : table) {
+    const auto info = directory_->Lookup(new_ssrc);
+    if (!info || info->is_audio) continue;
+    for (ClientId subscriber : subs) {
+      if (!clients_.count(subscriber)) continue;
+      const auto old_ssrc =
+          selected_in(forwarding_, subscriber, info->owner, info->source);
+      if (old_ssrc && *old_ssrc != new_ssrc) {
+        new_pending[{new_ssrc, subscriber}] = *old_ssrc;
+      }
+    }
+  }
+  pending_switches_ = std::move(new_pending);
+  // Keyframe requests for any (ssrc, subscriber) pair that is new.
+  for (const auto& [ssrc, subscribers] : table) {
+    const auto old = forwarding_.find(ssrc);
+    for (ClientId subscriber : subscribers) {
+      if (!clients_.count(subscriber)) continue;
+      const bool existed =
+          old != forwarding_.end() &&
+          std::find(old->second.begin(), old->second.end(), subscriber) !=
+              old->second.end();
+      if (!existed) {
+        RelayToPublisher(ssrc, net::Pli{Ssrc(0xF0000000u | id_.value()),
+                                        ssrc});
+      }
+    }
+  }
+  forwarding_ = std::move(table);
+}
+
+void AccessingNode::SendGsoTmmbr(ClientId publisher,
+                                 std::vector<net::TmmbrEntry> entries) {
+  const auto it = clients_.find(publisher);
+  if (it == clients_.end()) return;
+  auto& attached = *it->second;
+  net::GsoTmmbr message;
+  message.sender_ssrc = Ssrc(0xF0000000u | id_.value());
+  message.request_id = attached.next_request_id++;
+  message.entries = std::move(entries);
+  attached.pending_gtbr =
+      AttachedClient::PendingGtbr{std::move(message), Timestamp::Zero(), 0};
+  // First transmission goes out immediately rather than on the next tick.
+  std::vector<net::RtcpMessage> batch;
+  attached.pending_gtbr->attempts = 1;
+  attached.pending_gtbr->last_sent = loop_->Now();
+  batch.push_back(attached.pending_gtbr->message);
+  SendRtcpToClient(publisher, std::move(batch));
+}
+
+void AccessingNode::SetLocalInterest(ClientId subscriber,
+                                     std::vector<ClientId> publishers) {
+  const auto it = clients_.find(subscriber);
+  if (it == clients_.end()) return;
+  it->second->interest = std::move(publishers);
+}
+
+}  // namespace gso::conference

@@ -1,0 +1,188 @@
+// Media-plane accessing node (SFU).
+//
+// Receives every attached client's uplink media, and per instruction from
+// the control plane (GSO mode) — or a local greedy selector (Non-GSO
+// mode) — forwards the right simulcast layer to each subscriber, directly
+// for same-node subscribers or via peer accessing nodes across regions.
+//
+// Per attached client the node also runs:
+//  - the downlink sender-side BWE (the node is the sender on the downlink;
+//    estimates are reported to the conference node — paper §4.2),
+//  - transport-wide feedback generation for the client's uplink,
+//  - GTBR delivery with TMMBN-acknowledged retransmission (paper §4.3),
+//  - NACK/PLI relay and retransmission from the forwarded-packet cache,
+//  - the failure fallback: an instructed layer that stops flowing is
+//    replaced by the lowest active layer (paper §7 "Design for failure").
+#ifndef GSO_CONFERENCE_ACCESSING_NODE_H_
+#define GSO_CONFERENCE_ACCESSING_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "baseline/template_policy.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sequence.h"
+#include "common/stats.h"
+#include "conference/client.h"
+#include "conference/directory.h"
+#include "media/rtx_cache.h"
+#include "net/rtcp_packets.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "transport/feedback_builder.h"
+#include "transport/send_side_bwe.h"
+
+namespace gso::conference {
+
+class ConferenceNode;  // control plane (forward declared)
+
+class AccessingNode {
+ public:
+  AccessingNode(sim::EventLoop* loop, NodeId id, ControlMode mode,
+                const StreamDirectory* directory, Rng rng);
+
+  void SetControlPlane(ConferenceNode* control) { control_ = control; }
+  // Resolves which node a client is attached to (for cross-node relay).
+  void SetNodeResolver(std::function<AccessingNode*(ClientId)> resolver) {
+    node_of_ = std::move(resolver);
+  }
+
+  // Attaches a client reachable through `downlink` (node -> client).
+  void AttachClient(Client* client, sim::Link* downlink);
+  // Interconnects with a peer node through `link_to_peer`.
+  void ConnectPeer(AccessingNode* peer, sim::Link* link_to_peer);
+
+  void Start();
+
+  // Ingress.
+  void OnClientPacket(ClientId from, const sim::Packet& packet);
+  void OnPeerPacket(NodeId from, const sim::Packet& packet);
+
+  // --- Control-plane interface (GSO mode) ------------------------------
+  // Replaces the forwarding table: ssrc -> subscribers.
+  void SetForwarding(std::map<Ssrc, std::vector<ClientId>> table);
+  // Sends a stream configuration to an attached publisher, retransmitting
+  // until the matching GTBN arrives.
+  void SendGsoTmmbr(ClientId publisher, std::vector<net::TmmbrEntry> entries);
+
+  // --- Non-GSO (local) mode ---------------------------------------------
+  // Registers a subscriber's interest in other publishers' cameras.
+  void SetLocalInterest(ClientId subscriber, std::vector<ClientId> publishers);
+
+  // Downlink probing toggle (ablation: paper §7 over-estimation lesson).
+  void SetProbingEnabled(bool enabled) { probing_enabled_ = enabled; }
+
+  // Audio is not orchestrated by GSO, but production SFUs still bound the
+  // fan-out to the top-N active speakers; with no loudness signal in the
+  // simulation we use the N lowest client ids as the deterministic proxy.
+  void SetMaxAudioFanout(int max_streams) { max_audio_fanout_ = max_streams; }
+
+  NodeId id() const { return id_; }
+  bool IsAttached(ClientId client) const { return clients_.count(client) > 0; }
+  DataRate DownlinkEstimate(ClientId client) const;
+  // Full downlink BWE of one attached client (diagnostics / benches).
+  const transport::SendSideBwe* DownlinkBwe(ClientId client) const {
+    const auto it = clients_.find(client);
+    return it == clients_.end() ? nullptr : &it->second->bwe;
+  }
+  int gtbr_retransmissions() const { return gtbr_retransmissions_; }
+
+ private:
+  struct AttachedClient {
+    Client* client = nullptr;
+    sim::Link* downlink = nullptr;
+    transport::SendSideBwe bwe;
+    transport::FeedbackBuilder uplink_feedback;
+    uint16_t next_transport_seq = 0;
+    DataRate last_reported;
+    // Reliable GTBR state.
+    struct PendingGtbr {
+      net::GsoTmmbr message;
+      Timestamp last_sent;
+      int attempts = 0;
+    };
+    std::optional<PendingGtbr> pending_gtbr;
+    uint32_t next_request_id = 1;
+    // Downlink probing state (bandwidth upper-bound discovery).
+    int next_probe_cluster = 1;
+    uint16_t padding_seq = 0;
+    // Local-mode interest and current selection per publisher.
+    std::vector<ClientId> interest;
+    std::map<ClientId, Ssrc> selected;
+    // Local congestion safety: instructed layers paused because the
+    // downlink estimate fell below the forwarded rate. Entries expire on
+    // their deadline or when the controller re-coordinates.
+    std::map<Ssrc, Timestamp> paused;  // ssrc -> pause expiry
+
+    explicit AttachedClient(transport::BweConfig config) : bwe(config) {}
+  };
+
+  struct UplinkStreamState {
+    SequenceUnwrapper unwrapper;
+    std::set<int64_t> received;
+    int64_t highest = -1;
+    std::map<int64_t, std::pair<Timestamp, int>> nack_state;
+    Timestamp last_packet = Timestamp::Zero();
+    WindowedRateEstimator rate{TimeDelta::Seconds(1)};
+  };
+
+  void OnRtcpTick();
+  void OnSelectionTick();  // local mode
+  void HandleClientRtcp(ClientId from, const std::vector<uint8_t>& data);
+  void HandleMediaPacket(const net::RtpPacket& packet,
+                         const sim::Packet& wire, bool from_peer);
+  void ForwardToSubscriber(const net::RtpPacket& packet, ClientId subscriber);
+  void ForwardToPeers(const sim::Packet& wire, Ssrc ssrc);
+  void SendRtcpToClient(ClientId client,
+                        std::vector<net::RtcpMessage> messages);
+  void RelayToPublisher(Ssrc media_ssrc, net::RtcpMessage message);
+  // Downlink bandwidth probing: short paced bursts of padding packets
+  // toward one client, so the downlink estimate can rise past what the
+  // currently forwarded media demonstrates (mirrors the paper's probing
+  // lesson, §7, on the server side).
+  void MaybeProbeDownlink(ClientId client);
+  void SendProbePadding(ClientId client, int cluster);
+  // Local downlink congestion safety between controller updates: pause the
+  // largest instructed layers when the estimate drops below what is being
+  // forwarded (the SFU-side analogue of the client's local limit).
+  void EnforceDownlinkLimit(ClientId client);
+  std::vector<ClientId> SubscribersOf(Ssrc ssrc) const;
+  void ReportDownlink(ClientId client, bool force);
+
+  sim::EventLoop* loop_;
+  NodeId id_;
+  ControlMode mode_;
+  const StreamDirectory* directory_;
+  Rng rng_;
+  ConferenceNode* control_ = nullptr;
+  std::function<AccessingNode*(ClientId)> node_of_;
+
+  std::map<ClientId, std::unique_ptr<AttachedClient>> clients_;
+  std::map<NodeId, std::pair<AccessingNode*, sim::Link*>> peers_;
+  std::map<Ssrc, std::vector<ClientId>> forwarding_;
+  // Make-before-break layer switches: when the controller moves a
+  // subscriber from old_ssrc to new_ssrc of the same source, the old layer
+  // keeps flowing until the new layer's first keyframe is forwarded, so
+  // the viewer never sees a decode gap. Keyed by (new_ssrc, subscriber).
+  std::map<std::pair<Ssrc, ClientId>, Ssrc> pending_switches_;
+  std::map<Ssrc, UplinkStreamState> uplink_streams_;
+  media::RtxCache forward_cache_;
+  baseline::SfuLayerSelector selector_;
+  int gtbr_retransmissions_ = 0;
+  bool probing_enabled_ = true;
+  int max_audio_fanout_ = 5;
+  // Recently active audio publishers, for the fan-out bound.
+  std::map<ClientId, Timestamp> audio_publishers_;
+  Timestamp last_downlink_report_ = Timestamp::Zero();
+  bool last_downlinks_due_ = false;
+  bool started_ = false;
+};
+
+}  // namespace gso::conference
+
+#endif  // GSO_CONFERENCE_ACCESSING_NODE_H_

@@ -1,0 +1,260 @@
+// A conference participant: publisher and subscriber in one.
+//
+// Send path:  SimulatedEncoder -> Packetizer -> Pacer -> uplink Link.
+// Every outgoing packet carries a transport-wide sequence number; feedback
+// from the accessing node drives the client's sender-side uplink BWE,
+// which is reported in-band via SEMB APP packets (paper §4.2) with both a
+// time trigger and a significant-change event trigger (paper §7).
+//
+// Receive path: RTP is demuxed per SSRC into jitter buffers (video) or the
+// audio tracker; NACK/PLI recover losses; stall detectors and quality
+// trackers accumulate the paper's QoE metrics.
+//
+// Control: in GSO mode the client obeys GTBR stream configurations
+// (acknowledged with GTBN); in template mode it runs a local
+// TemplatePolicy from its own uplink estimate — the Non-GSO baseline.
+#ifndef GSO_CONFERENCE_CLIENT_H_
+#define GSO_CONFERENCE_CLIENT_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/template_policy.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "conference/directory.h"
+#include "core/types.h"
+#include "media/audio.h"
+#include "media/cpu_model.h"
+#include "media/encoder.h"
+#include "media/jitter_buffer.h"
+#include "media/packetizer.h"
+#include "media/quality.h"
+#include "media/rtx_cache.h"
+#include "media/stall_detector.h"
+#include "net/rtcp_packets.h"
+#include "net/rtp_packet.h"
+#include "net/sdp.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "transport/feedback_builder.h"
+#include "transport/pacer.h"
+#include "transport/send_side_bwe.h"
+
+namespace gso::conference {
+
+enum class ControlMode { kGso, kTemplate };
+
+struct ClientConfig {
+  ClientId id;
+  ControlMode mode = ControlMode::kGso;
+  baseline::TemplateKind template_kind = baseline::TemplateKind::kChimeLike;
+  // Camera simulcast ladder, largest resolution first.
+  media::EncoderConfig camera;
+  // Optional screen-share source (second encoder).
+  std::optional<media::EncoderConfig> screen;
+  bool has_audio = true;
+  // Audio-only participation: the camera encoder never runs (used by the
+  // Fig. 9 "audio conferencing" scenario).
+  bool video_muted = false;
+  transport::BweConfig bwe;
+  // Bitrate levels per resolution advertised to the GSO controller.
+  int gso_levels_per_resolution = 5;
+  bool supports_fine_bitrate = true;
+  net::VideoCodec codec = net::VideoCodec::kH264;
+  // Probing for the bandwidth upper bound (paper §7); disable to ablate.
+  bool enable_probing = true;
+};
+
+// Per received video stream statistics exposed to benches.
+struct ReceivedStreamStats {
+  ClientId publisher;
+  core::SourceKind source = core::SourceKind::kCamera;
+  Resolution resolution;
+  double average_framerate = 0.0;
+  double stall_rate = 0.0;
+  double average_quality = 0.0;  // VMAF proxy
+  DataRate average_bitrate;
+  int64_t frames = 0;
+};
+
+class Client {
+ public:
+  Client(sim::EventLoop* loop, ClientConfig config, Rng rng);
+
+  // --- Wiring (called by the Conference harness) -----------------------
+  void SetUplink(sim::Link* uplink) { uplink_ = uplink; }
+  void SetDirectory(const StreamDirectory* directory) {
+    directory_ = directory;
+  }
+  // SDP offer for joining; the conference node answers with the accepted
+  // config and the allocated SSRCs (via directory + ConfigureStreams).
+  net::SessionDescription BuildOffer() const;
+  // Applies negotiated SSRCs: one per camera layer, optional screen layers,
+  // one audio.
+  void ConfigureStreams(std::vector<Ssrc> camera_layer_ssrcs,
+                        std::vector<Ssrc> screen_layer_ssrcs,
+                        Ssrc audio_ssrc);
+  // Starts periodic media/RTCP/policy timers. Call once after wiring.
+  void Start();
+
+  // Network ingress from the accessing node (downlink sink).
+  void OnPacketFromNode(const sim::Packet& packet);
+
+  // --- Template-mode inputs -------------------------------------------
+  void SetParticipantCount(int count) { participant_count_ = count; }
+
+  // --- Failure injection / fallback (paper §7 "Design for failure") ----
+  // Simulates a publisher fault: layer `index` stops producing frames even
+  // though the controller asked for it.
+  void InjectLayerFault(int layer_index, bool broken);
+  // Server-triggered fallback: single low stream only.
+  void ForceSingleStreamFallback();
+
+  // --- Introspection ----------------------------------------------------
+  ClientId id() const { return config_.id; }
+  ControlMode mode() const { return config_.mode; }
+  DataRate uplink_estimate() const { return uplink_bwe_.target_rate(); }
+  const transport::SendSideBwe& uplink_bwe() const { return uplink_bwe_; }
+  DataRate current_publish_rate() const;
+  const media::CpuMeter& cpu() const { return cpu_; }
+  media::CpuMeter& cpu() { return cpu_; }
+  // Rate the encoder currently targets for a layer (zero = disabled).
+  DataRate camera_layer_rate(int layer_index) const;
+  int gtbr_messages_received() const { return gtbr_received_; }
+
+  // Instantaneous received rate of one publisher's view (for time-series
+  // benches such as Fig. 7).
+  DataRate CurrentReceiveRate(ClientId publisher, core::SourceKind kind);
+
+  // Signals that this client's subscription to a view ended (delivered by
+  // the signaling plane); QoE accounting for the view stops here.
+  void OnViewEnded(ClientId publisher, core::SourceKind kind);
+  // A previously ended view is subscribed again: its QoE stats restart
+  // fresh (the ended segment is dropped from reports).
+  void OnViewResumed(ClientId publisher, core::SourceKind kind);
+
+  // Finalizes stall windows and returns per-stream receive stats.
+  std::vector<ReceivedStreamStats> ReceiveReport(Timestamp session_start,
+                                                 Timestamp session_end);
+  double VoiceStallRate(Timestamp session_start, Timestamp session_end) const;
+
+  // The ladder advertised to the GSO controller (camera source).
+  std::vector<core::StreamOption> GsoCameraLadder() const;
+  std::vector<core::StreamOption> GsoScreenLadder() const;
+
+ private:
+  // Per-SSRC reassembly state. Logical per-view statistics live in
+  // ViewStats because a subscriber's view of a publisher can switch
+  // between layer SSRCs over time.
+  struct ReceivedStream {
+    media::JitterBuffer jitter;
+    Timestamp last_packet = Timestamp::Zero();
+    Timestamp last_pli = Timestamp::Zero();
+  };
+
+  struct ViewKey {
+    ClientId owner;
+    core::SourceKind source;
+    bool operator<(const ViewKey& o) const {
+      if (owner != o.owner) return owner < o.owner;
+      return source < o.source;
+    }
+  };
+
+  struct ViewStats {
+    media::VideoStallDetector stalls;
+    WindowedRateEstimator rate{TimeDelta::Seconds(2)};
+    RunningStats quality;
+    std::deque<Timestamp> recent_frames;  // ~1 s window for fps
+    int64_t frames = 0;
+    DataSize bytes;
+    Resolution last_resolution;
+    // Set when the subscription ends: QoE windows stop here (a view the
+    // user closed is not a stalled view).
+    Timestamp ended_at = Timestamp::PlusInfinity();
+  };
+
+  struct AudioReceiveState {
+    std::map<int64_t, int> received_per_interval;  // 1 s interval index
+    Timestamp first_arrival = Timestamp::PlusInfinity();
+    Timestamp last_arrival = Timestamp::Zero();
+  };
+
+  // Periodic drivers.
+  void OnCameraFrameTick();
+  void OnScreenFrameTick();
+  void OnAudioTick();
+  void OnRtcpTick();
+  void OnPolicyTick();
+
+  void SendRtp(net::RtpPacket packet, bool pace);
+  void SendRtcp(std::vector<net::RtcpMessage> messages);
+  void TransmitRtp(const net::RtpPacket& packet,
+                   std::optional<int> probe_cluster);
+  void HandleRtcp(const std::vector<uint8_t>& data);
+  void HandleRtp(const sim::Packet& packet);
+  void ApplyGsoTmmbr(const net::GsoTmmbr& request);
+  void ApplyTemplatePolicy();
+  void MaybeSendSemb(bool force);
+  void MaybeProbe();
+  // Clamp encoder targets so total sending respects the local BWE even
+  // between controller updates (congestion safety).
+  void EnforceLocalCongestionLimit();
+
+  media::SimulatedEncoder* EncoderFor(core::SourceKind kind);
+  int LayerIndexOf(Ssrc ssrc) const;
+
+  sim::EventLoop* loop_;
+  ClientConfig config_;
+  Rng rng_;
+  sim::Link* uplink_ = nullptr;
+  const StreamDirectory* directory_ = nullptr;
+
+  // Send path.
+  std::unique_ptr<media::SimulatedEncoder> camera_encoder_;
+  std::unique_ptr<media::SimulatedEncoder> screen_encoder_;
+  media::Packetizer packetizer_;
+  transport::Pacer pacer_;
+  transport::SendSideBwe uplink_bwe_;
+  media::RtxCache send_cache_;
+  std::optional<media::AudioSource> audio_;
+  std::vector<Ssrc> camera_ssrcs_;
+  std::vector<Ssrc> screen_ssrcs_;
+  Ssrc audio_ssrc_;
+  uint16_t next_transport_seq_ = 0;
+  int next_probe_cluster_ = 1;
+  // Controller-granted per-layer bitrates (GSO mode).
+  std::map<Ssrc, DataRate> granted_;
+  std::vector<bool> camera_layer_fault_;
+  bool single_stream_fallback_ = false;
+
+  // Receive path.
+  transport::FeedbackBuilder feedback_builder_;
+  std::map<Ssrc, ReceivedStream> received_;
+  std::map<ViewKey, ViewStats> views_;
+  std::map<Ssrc, AudioReceiveState> audio_received_;
+  std::vector<net::RtcpMessage> pending_rtcp_;
+
+  // Reporting / control state.
+  baseline::TemplatePolicy template_policy_;
+  int participant_count_ = 2;
+  DataRate last_semb_sent_;
+  Timestamp last_semb_time_ = Timestamp::Zero();
+  int gtbr_received_ = 0;
+  media::CpuMeter cpu_;
+  double last_camera_cost_ = 0.0;
+  double last_screen_cost_ = 0.0;
+  uint16_t padding_seq_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace gso::conference
+
+#endif  // GSO_CONFERENCE_CLIENT_H_

@@ -1,0 +1,213 @@
+#include "conference/conference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gso::conference {
+
+Conference::Conference(ConferenceConfig config)
+    : config_(config), rng_(config.seed) {
+  control_ = std::make_unique<ConferenceNode>(&loop_, config_.controller);
+  GSO_CHECK(config_.num_accessing_nodes >= 1);
+  for (int i = 0; i < config_.num_accessing_nodes; ++i) {
+    auto node = std::make_unique<AccessingNode>(
+        &loop_, NodeId(static_cast<uint32_t>(i)), config_.mode,
+        control_->directory(), rng_.Fork());
+    node->SetControlPlane(control_.get());
+    node->SetProbingEnabled(config_.enable_probing);
+    nodes_.push_back(std::move(node));
+  }
+  // Full-mesh inter-node links.
+  for (int i = 0; i < config_.num_accessing_nodes; ++i) {
+    for (int j = 0; j < config_.num_accessing_nodes; ++j) {
+      if (i == j) continue;
+      auto link = std::make_unique<sim::Link>(
+          &loop_, config_.inter_node_link, rng_.Fork(),
+          "node" + std::to_string(i) + "->node" + std::to_string(j));
+      AccessingNode* from = nodes_[static_cast<size_t>(i)].get();
+      AccessingNode* to = nodes_[static_cast<size_t>(j)].get();
+      link->SetSink([to, from_id = from->id()](const sim::Packet& packet) {
+        to->OnPeerPacket(from_id, packet);
+      });
+      from->ConnectPeer(to, link.get());
+      inter_node_links_.push_back(std::move(link));
+    }
+  }
+  // Node resolver for cross-node control relay.
+  for (auto& node : nodes_) {
+    node->SetNodeResolver([this](ClientId client) -> AccessingNode* {
+      const auto it = participants_.find(client);
+      if (it == participants_.end()) return nullptr;
+      return nodes_[static_cast<size_t>(it->second.node_index)].get();
+    });
+  }
+}
+
+Conference::~Conference() = default;
+
+Client* Conference::AddParticipant(const ParticipantConfig& config) {
+  GSO_CHECK(!started_);
+  GSO_CHECK(config.node_index >= 0 &&
+            config.node_index < config_.num_accessing_nodes);
+  auto client_config = config.client;
+  client_config.mode = config_.mode;  // conference-wide control mode
+  client_config.enable_probing = config_.enable_probing;
+
+  Participant participant;
+  participant.node_index = config.node_index;
+  participant.client =
+      std::make_unique<Client>(&loop_, client_config, rng_.Fork());
+  participant.access = std::make_unique<sim::DuplexLink>(
+      &loop_, config.access, &rng_,
+      "client" + std::to_string(client_config.id.value()));
+
+  Client* client = participant.client.get();
+  AccessingNode* node = nodes_[static_cast<size_t>(config.node_index)].get();
+
+  // Wire media paths: uplink client -> node, downlink node -> client.
+  participant.access->uplink().SetSink(
+      [node, id = client->id()](const sim::Packet& packet) {
+        node->OnClientPacket(id, packet);
+      });
+  participant.access->downlink().SetSink(
+      [client](const sim::Packet& packet) {
+        client->OnPacketFromNode(packet);
+      });
+  client->SetUplink(&participant.access->uplink());
+  client->SetDirectory(control_->directory());
+  node->AttachClient(client, &participant.access->downlink());
+
+  const bool joined = control_->Join(client, node);
+  GSO_CHECK(joined);
+
+  participants_[client->id()] = std::move(participant);
+  return client;
+}
+
+void Conference::SubscribeAllCameras(Resolution max_resolution) {
+  for (const auto& [subscriber_id, _] : participants_) {
+    std::vector<core::Subscription> subs;
+    std::vector<ClientId> interest;
+    for (const auto& [publisher_id, __] : participants_) {
+      if (publisher_id == subscriber_id) continue;
+      subs.push_back({subscriber_id,
+                      {publisher_id, core::SourceKind::kCamera},
+                      max_resolution,
+                      1.0,
+                      0});
+      interest.push_back(publisher_id);
+    }
+    SetSubscriptions(subscriber_id, std::move(subs));
+    (void)interest;
+  }
+}
+
+void Conference::SetSubscriptions(
+    ClientId subscriber, std::vector<core::Subscription> subscriptions) {
+  // Template mode: the SFU needs the local interest list for its greedy
+  // selector; GSO mode feeds the controller.
+  const auto it = participants_.find(subscriber);
+  GSO_CHECK(it != participants_.end());
+  std::vector<ClientId> interest;
+  for (const auto& sub : subscriptions) {
+    if (sub.source.kind == core::SourceKind::kCamera) {
+      interest.push_back(sub.source.client);
+    }
+  }
+  nodes_[static_cast<size_t>(it->second.node_index)]->SetLocalInterest(
+      subscriber, std::move(interest));
+  // Views no longer subscribed stop accruing QoE on the client.
+  std::set<std::pair<ClientId, core::SourceKind>> now_subscribed;
+  for (const auto& sub : subscriptions) {
+    now_subscribed.insert({sub.source.client, sub.source.kind});
+  }
+  for (const auto& old_view : it->second.subscribed_views) {
+    if (!now_subscribed.count(old_view)) {
+      it->second.client->OnViewEnded(old_view.first, old_view.second);
+    }
+  }
+  for (const auto& view : now_subscribed) {
+    if (!it->second.subscribed_views.count(view)) {
+      it->second.client->OnViewResumed(view.first, view.second);
+    }
+  }
+  it->second.subscribed_views = std::move(now_subscribed);
+  control_->SetSubscriptions(subscriber, std::move(subscriptions));
+}
+
+void Conference::Start() {
+  GSO_CHECK(!started_);
+  started_ = true;
+  start_time_ = loop_.Now();
+  for (auto& node : nodes_) node->Start();
+  for (auto& [_, participant] : participants_) participant.client->Start();
+  if (config_.mode == ControlMode::kGso) control_->Start();
+}
+
+void Conference::RunFor(TimeDelta duration) { loop_.RunFor(duration); }
+
+Client* Conference::client(ClientId id) {
+  const auto it = participants_.find(id);
+  return it == participants_.end() ? nullptr : it->second.client.get();
+}
+
+void Conference::SetUplinkCapacity(ClientId client, DataRate rate) {
+  participants_.at(client).access->uplink().SetCapacity(rate);
+}
+void Conference::SetDownlinkCapacity(ClientId client, DataRate rate) {
+  participants_.at(client).access->downlink().SetCapacity(rate);
+}
+void Conference::SetUplinkLoss(ClientId client, double loss) {
+  participants_.at(client).access->uplink().SetLossRate(loss);
+}
+void Conference::SetDownlinkLoss(ClientId client, double loss) {
+  participants_.at(client).access->downlink().SetLossRate(loss);
+}
+void Conference::SetUplinkJitter(ClientId client, TimeDelta stddev) {
+  participants_.at(client).access->uplink().SetJitter(stddev);
+}
+void Conference::SetDownlinkJitter(ClientId client, TimeDelta stddev) {
+  participants_.at(client).access->downlink().SetJitter(stddev);
+}
+
+MeetingReport Conference::Report() {
+  MeetingReport report;
+  const Timestamp end = loop_.Now();
+  RunningStats all_stall;
+  RunningStats all_voice;
+  RunningStats all_fps;
+  RunningStats all_quality;
+
+  for (auto& [id, participant] : participants_) {
+    ParticipantReport pr;
+    pr.id = id;
+    pr.received = participant.client->ReceiveReport(start_time_, end);
+    pr.voice_stall_rate =
+        participant.client->VoiceStallRate(start_time_, end);
+    RunningStats fps, stall, quality;
+    for (const auto& stream : pr.received) {
+      fps.Add(stream.average_framerate);
+      stall.Add(stream.stall_rate);
+      quality.Add(stream.average_quality);
+    }
+    pr.mean_framerate = fps.mean();
+    pr.mean_video_stall_rate = stall.mean();
+    pr.mean_quality = quality.mean();
+    pr.sender_cpu_utilization =
+        participant.client->cpu().Utilization(end - start_time_);
+
+    all_stall.Add(pr.mean_video_stall_rate);
+    all_voice.Add(pr.voice_stall_rate);
+    if (fps.count() > 0) all_fps.Add(pr.mean_framerate);
+    if (quality.count() > 0) all_quality.Add(pr.mean_quality);
+    report.participants.push_back(std::move(pr));
+  }
+  report.mean_video_stall_rate = all_stall.mean();
+  report.mean_voice_stall_rate = all_voice.mean();
+  report.mean_framerate = all_fps.mean();
+  report.mean_quality = all_quality.mean();
+  return report;
+}
+
+}  // namespace gso::conference

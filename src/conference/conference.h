@@ -1,0 +1,128 @@
+// Full-conference simulation harness: the public entry point that wires
+// user plane (clients + access links), media plane (accessing nodes +
+// inter-node links) and control plane (conference node + GSO controller)
+// onto one virtual-time event loop.
+//
+// Examples and benches build a Conference, add participants with access-
+// network configs, subscribe them, run virtual time, script network
+// changes (capacity steps, loss, jitter), and collect a MeetingReport.
+#ifndef GSO_CONFERENCE_CONFERENCE_H_
+#define GSO_CONFERENCE_CONFERENCE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "conference/accessing_node.h"
+#include "conference/client.h"
+#include "conference/conference_node.h"
+#include "sim/duplex_link.h"
+#include "sim/event_loop.h"
+
+namespace gso::conference {
+
+struct ConferenceConfig {
+  ControlMode mode = ControlMode::kGso;
+  int num_accessing_nodes = 1;
+  ControllerConfig controller;
+  // Bandwidth probing at clients and accessing nodes (ablation switch).
+  bool enable_probing = true;
+  // Template for inter-node backbone links (well provisioned).
+  sim::LinkConfig inter_node_link{
+      DataRate::MegabitsPerSec(1000), TimeDelta::Millis(30),
+      TimeDelta::Zero(), 0.0, false, 0.01, 0.3, 0.7,
+      TimeDelta::Millis(500), true};
+  uint64_t seed = 1;
+};
+
+struct ParticipantConfig {
+  ClientConfig client;
+  sim::DuplexLinkConfig access;
+  int node_index = 0;
+};
+
+struct ParticipantReport {
+  ClientId id;
+  std::vector<ReceivedStreamStats> received;
+  double voice_stall_rate = 0.0;
+  double mean_framerate = 0.0;       // across received views
+  double mean_video_stall_rate = 0.0;
+  double mean_quality = 0.0;
+  double sender_cpu_utilization = 0.0;
+};
+
+struct MeetingReport {
+  std::vector<ParticipantReport> participants;
+  double mean_video_stall_rate = 0.0;
+  double mean_voice_stall_rate = 0.0;
+  double mean_framerate = 0.0;
+  double mean_quality = 0.0;
+};
+
+class Conference {
+ public:
+  explicit Conference(ConferenceConfig config = {});
+  ~Conference();
+
+  Conference(const Conference&) = delete;
+  Conference& operator=(const Conference&) = delete;
+
+  // Adds a participant; must be called before Start(). Returns the client.
+  Client* AddParticipant(const ParticipantConfig& config);
+
+  // Everyone subscribes to everyone else's camera at `max_resolution`.
+  void SubscribeAllCameras(Resolution max_resolution);
+  // Custom subscriptions for one subscriber (GSO mode; in template mode
+  // the publisher set is extracted as local interest).
+  void SetSubscriptions(ClientId subscriber,
+                        std::vector<core::Subscription> subscriptions);
+
+  void Start();
+  void RunFor(TimeDelta duration);
+  // Resets the measurement window: Report() metrics cover the span from
+  // the last call (or Start()) to now. Used to exclude the join/ramp-up
+  // transient from steady-state QoE measurements.
+  void MarkMeasurementStart() { start_time_ = loop_.Now(); }
+
+  // --- Scripted network changes (Table 2 / Fig. 7 scenarios) ------------
+  void SetUplinkCapacity(ClientId client, DataRate rate);
+  void SetDownlinkCapacity(ClientId client, DataRate rate);
+  void SetUplinkLoss(ClientId client, double loss);
+  void SetDownlinkLoss(ClientId client, double loss);
+  void SetUplinkJitter(ClientId client, TimeDelta stddev);
+  void SetDownlinkJitter(ClientId client, TimeDelta stddev);
+
+  // --- Access ------------------------------------------------------------
+  sim::EventLoop& loop() { return loop_; }
+  ConferenceNode& control() { return *control_; }
+  Client* client(ClientId id);
+  AccessingNode* node(int index) { return nodes_[static_cast<size_t>(index)].get(); }
+  Timestamp start_time() const { return start_time_; }
+
+  MeetingReport Report();
+
+ private:
+  struct Participant {
+    std::unique_ptr<Client> client;
+    std::unique_ptr<sim::DuplexLink> access;
+    int node_index = 0;
+    // Current video subscriptions, for end-of-view notifications.
+    std::set<std::pair<ClientId, core::SourceKind>> subscribed_views;
+  };
+
+  sim::EventLoop loop_;
+  ConferenceConfig config_;
+  Rng rng_;
+  std::unique_ptr<ConferenceNode> control_;
+  std::vector<std::unique_ptr<AccessingNode>> nodes_;
+  std::vector<std::unique_ptr<sim::Link>> inter_node_links_;
+  std::map<ClientId, Participant> participants_;
+  Timestamp start_time_;
+  bool started_ = false;
+};
+
+}  // namespace gso::conference
+
+#endif  // GSO_CONFERENCE_CONFERENCE_H_

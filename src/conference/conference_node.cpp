@@ -1,0 +1,281 @@
+#include "conference/conference_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gso::conference {
+
+ConferenceNode::ConferenceNode(sim::EventLoop* loop, ControllerConfig config)
+    : loop_(loop),
+      config_(config),
+      orchestrator_(&solver_),
+      conditioner_(config.conditioner) {}
+
+bool ConferenceNode::Join(Client* client, AccessingNode* node) {
+  GSO_CHECK(client != nullptr && node != nullptr);
+  const auto offer = client->BuildOffer();
+  // Exercise the real SDP codec path: serialize the offer to text and
+  // parse it back, as the production signaling channel would.
+  const auto reparsed = net::SessionDescription::Parse(offer.Serialize());
+  if (!reparsed) return false;
+  const auto negotiation =
+      net::NegotiateOffer(*reparsed, config_.max_simulcast_layers);
+  if (!negotiation.accepted) return false;
+
+  Member member;
+  member.client = client;
+  member.node = node;
+  member.negotiated = negotiation.config;
+
+  // Allocate one SSRC per accepted camera layer (paper §4.2: an SSRC per
+  // stream resolution so TMMBR can address layers individually).
+  for (size_t i = 0; i < negotiation.config.layers.size(); ++i) {
+    const auto& layer = negotiation.config.layers[i];
+    const Ssrc ssrc = ssrc_allocator_.Allocate(
+        {client->id(), net::MediaKind::kVideo, static_cast<int>(i)});
+    member.camera_ssrcs.push_back(ssrc);
+    StreamInfo info;
+    info.ssrc = ssrc;
+    info.owner = client->id();
+    info.source = core::SourceKind::kCamera;
+    info.layer_index = static_cast<int>(i);
+    info.resolution = layer.resolution;
+    info.max_bitrate = layer.max_bitrate;
+    directory_.Register(info);
+  }
+  // Screen-share layers, if the client has a screen source.
+  for (size_t i = 0; i < client->GsoScreenLadder().size(); ++i) {
+    // One SSRC per distinct screen resolution.
+    const auto& option = client->GsoScreenLadder()[i];
+    bool seen = false;
+    for (const auto& existing :
+         directory_.LayersOf(client->id(), core::SourceKind::kScreen)) {
+      if (existing.resolution == option.resolution) seen = true;
+    }
+    if (seen) continue;
+    const Ssrc ssrc = ssrc_allocator_.Allocate(
+        {client->id(), net::MediaKind::kScreenShare,
+         static_cast<int>(member.screen_ssrcs.size())});
+    member.screen_ssrcs.push_back(ssrc);
+    StreamInfo info;
+    info.ssrc = ssrc;
+    info.owner = client->id();
+    info.source = core::SourceKind::kScreen;
+    info.layer_index = static_cast<int>(member.screen_ssrcs.size()) - 1;
+    info.resolution = option.resolution;
+    info.max_bitrate = option.bitrate;
+    directory_.Register(info);
+  }
+  // Audio SSRC.
+  member.audio_ssrc =
+      ssrc_allocator_.Allocate({client->id(), net::MediaKind::kAudio, 0});
+  StreamInfo audio_info;
+  audio_info.ssrc = member.audio_ssrc;
+  audio_info.owner = client->id();
+  audio_info.is_audio = true;
+  directory_.Register(audio_info);
+
+  client->ConfigureStreams(member.camera_ssrcs, member.screen_ssrcs,
+                           member.audio_ssrc);
+  members_[client->id()] = member;
+  event_pending_ = true;  // membership change triggers orchestration
+  UpdateParticipantCounts();
+  return true;
+}
+
+void ConferenceNode::Leave(ClientId client) {
+  const auto it = members_.find(client);
+  if (it == members_.end()) return;
+  for (Ssrc ssrc : it->second.camera_ssrcs) directory_.Unregister(ssrc);
+  for (Ssrc ssrc : it->second.screen_ssrcs) directory_.Unregister(ssrc);
+  directory_.Unregister(it->second.audio_ssrc);
+  members_.erase(it);
+  subscriptions_.erase(client);
+  event_pending_ = true;
+  UpdateParticipantCounts();
+}
+
+void ConferenceNode::SetSubscriptions(
+    ClientId subscriber, std::vector<core::Subscription> subscriptions) {
+  subscriptions_[subscriber] = std::move(subscriptions);
+  event_pending_ = true;
+}
+
+void ConferenceNode::SetSpeaker(std::optional<ClientId> speaker) {
+  if (speaker_ == speaker) return;
+  speaker_ = speaker;
+  event_pending_ = true;
+}
+
+void ConferenceNode::Start() {
+  GSO_CHECK(!started_);
+  started_ = true;
+  loop_->Every(config_.tick_period, [this] {
+    Tick();
+    return true;
+  });
+}
+
+void ConferenceNode::UpdateParticipantCounts() {
+  for (auto& [_, member] : members_) {
+    member.client->SetParticipantCount(static_cast<int>(members_.size()));
+  }
+}
+
+void ConferenceNode::OnSembReport(ClientId client, DataRate uplink_estimate) {
+  const auto it = members_.find(client);
+  if (it == members_.end()) return;
+  const DataRate prev = it->second.uplink_report;
+  it->second.uplink_report = uplink_estimate;
+  if (prev.IsZero() ||
+      std::abs(uplink_estimate.bps() - prev.bps()) >
+          static_cast<int64_t>(config_.event_threshold *
+                               static_cast<double>(prev.bps()))) {
+    event_pending_ = true;
+  }
+}
+
+void ConferenceNode::OnDownlinkReport(ClientId client,
+                                      DataRate downlink_estimate) {
+  const auto it = members_.find(client);
+  if (it == members_.end()) return;
+  const DataRate prev = it->second.downlink_report;
+  it->second.downlink_report = downlink_estimate;
+  if (prev.IsZero() ||
+      std::abs(downlink_estimate.bps() - prev.bps()) >
+          static_cast<int64_t>(config_.event_threshold *
+                               static_cast<double>(prev.bps()))) {
+    event_pending_ = true;
+  }
+}
+
+void ConferenceNode::Tick() {
+  if (members_.empty()) return;
+  const Timestamp now = loop_->Now();
+  const TimeDelta since_last = now - last_run_;
+  const bool time_trigger = !has_run_ || since_last >= config_.max_interval;
+  const bool event_trigger =
+      event_pending_ && since_last >= config_.min_interval;
+  if (!time_trigger && !event_trigger) return;
+  Orchestrate();
+}
+
+void ConferenceNode::OrchestrateNow() { Orchestrate(); }
+
+void ConferenceNode::Orchestrate() {
+  const Timestamp now = loop_->Now();
+  if (has_run_) call_intervals_.push_back(now - last_run_);
+  last_run_ = now;
+  has_run_ = true;
+  event_pending_ = false;
+  ++orchestration_count_;
+
+  last_problem_ = BuildProblem();
+  last_solution_ = orchestrator_.Solve(last_problem_);
+  Disseminate(last_solution_);
+}
+
+core::OrchestrationProblem ConferenceNode::BuildProblem() {
+  core::OrchestrationProblem problem;
+  const int n = static_cast<int>(members_.size());
+
+  for (const auto& [client_id, member] : members_) {
+    // Audio protection: one outgoing audio stream on the uplink and one
+    // incoming per other participant on the downlink (paper §7).
+    core::ClientBudget budget;
+    budget.client = client_id;
+    const DataRate uplink_raw = member.uplink_report.IsZero()
+                                    ? DataRate::KilobitsPerSec(300)
+                                    : member.uplink_report;
+    const DataRate downlink_raw = member.downlink_report.IsZero()
+                                      ? DataRate::KilobitsPerSec(500)
+                                      : member.downlink_report;
+    budget.uplink = conditioner_.Condition(
+        static_cast<uint64_t>(client_id.value()) << 1,
+        uplink_raw * config_.utilization, 1);
+    budget.downlink = conditioner_.Condition(
+        (static_cast<uint64_t>(client_id.value()) << 1) | 1,
+        downlink_raw * config_.utilization, std::max(n - 1, 0));
+    problem.budgets.push_back(budget);
+
+    // Codec capability constraints from the negotiated simulcastInfo.
+    core::SourceCapability camera;
+    camera.source = {client_id, core::SourceKind::kCamera};
+    camera.options = member.client->GsoCameraLadder();
+    problem.capabilities.push_back(std::move(camera));
+    if (!member.screen_ssrcs.empty()) {
+      core::SourceCapability screen;
+      screen.source = {client_id, core::SourceKind::kScreen};
+      screen.options = member.client->GsoScreenLadder();
+      problem.capabilities.push_back(std::move(screen));
+    }
+  }
+
+  for (const auto& [subscriber, subs] : subscriptions_) {
+    if (!members_.count(subscriber)) continue;
+    for (auto sub : subs) {
+      if (!members_.count(sub.source.client)) continue;
+      // Speaker-first and screen-share priorities (paper §4.4).
+      if (speaker_ && sub.source.client == *speaker_ &&
+          sub.source.kind == core::SourceKind::kCamera) {
+        sub.priority *= config_.speaker_priority;
+      }
+      if (sub.source.kind == core::SourceKind::kScreen) {
+        sub.priority *= config_.screen_priority;
+      }
+      problem.subscriptions.push_back(sub);
+    }
+  }
+  return problem;
+}
+
+void ConferenceNode::Disseminate(const core::Solution& solution) {
+  // Per publisher: one GTBR entry per layer SSRC (zero mantissa disables).
+  std::map<Ssrc, std::vector<ClientId>> forwarding;
+
+  for (const auto& [client_id, member] : members_) {
+    std::vector<net::TmmbrEntry> entries;
+    for (core::SourceKind kind :
+         {core::SourceKind::kCamera, core::SourceKind::kScreen}) {
+      const auto layers = directory_.LayersOf(client_id, kind);
+      if (layers.empty()) continue;
+      const auto published =
+          solution.publish.find(core::SourceId{client_id, kind});
+      for (const auto& layer : layers) {
+        DataRate granted = DataRate::Zero();
+        if (published != solution.publish.end()) {
+          for (const auto& stream : published->second) {
+            if (stream.resolution == layer.resolution) {
+              granted = stream.bitrate;
+              // Forwarding: this layer SSRC reaches the stream's receivers.
+              auto& receivers = forwarding[layer.ssrc];
+              for (const auto& receiver : stream.receivers) {
+                if (std::find(receivers.begin(), receivers.end(),
+                              receiver.subscriber) == receivers.end()) {
+                  receivers.push_back(receiver.subscriber);
+                }
+              }
+            }
+          }
+        }
+        entries.push_back(
+            {layer.ssrc, net::MxTbr::FromBitrate(granted)});
+      }
+    }
+    if (!entries.empty()) {
+      member.node->SendGsoTmmbr(client_id, std::move(entries));
+    }
+  }
+
+  // Every accessing node gets the full table; each filters locally.
+  std::vector<AccessingNode*> nodes;
+  for (const auto& [_, member] : members_) {
+    if (std::find(nodes.begin(), nodes.end(), member.node) == nodes.end()) {
+      nodes.push_back(member.node);
+    }
+  }
+  for (AccessingNode* node : nodes) node->SetForwarding(forwarding);
+}
+
+}  // namespace gso::conference

@@ -1,0 +1,138 @@
+// Control plane: the conference node + GSO controller driver.
+//
+// The conference node handles signaling (SDP + simulcastInfo negotiation,
+// SSRC assignment per layer — paper §4.2), captures the global picture
+// (subscriptions, codec capabilities, uplink SEMB reports, downlink BWE
+// reports from accessing nodes, the current speaker), and periodically
+// runs the GSO control algorithm:
+//  - a time trigger guarantees a run at least every `max_interval` (3 s),
+//  - an event trigger (significant bandwidth change, membership or
+//    subscription change, speaker change) runs it earlier, but never
+//    sooner than `min_interval` (1 s) after the previous run
+// (paper §6, Fig. 12: mean interval ~1.8 s, bounded to [1 s, 3 s]).
+//
+// Solutions are disseminated as per-publisher GTBR stream configurations
+// (via the publisher's accessing node, acknowledged with GTBN) plus
+// forwarding tables for every accessing node.
+#ifndef GSO_CONFERENCE_CONFERENCE_NODE_H_
+#define GSO_CONFERENCE_CONFERENCE_NODE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "conference/accessing_node.h"
+#include "conference/client.h"
+#include "conference/directory.h"
+#include "core/conditioner.h"
+#include "core/mckp.h"
+#include "core/orchestrator.h"
+#include "core/types.h"
+#include "net/sdp.h"
+#include "net/ssrc_allocator.h"
+#include "sim/event_loop.h"
+
+namespace gso::conference {
+
+struct ControllerConfig {
+  TimeDelta min_interval = TimeDelta::Seconds(1);
+  TimeDelta max_interval = TimeDelta::Seconds(3);
+  TimeDelta tick_period = TimeDelta::Millis(200);
+  // Bandwidth report change that counts as an orchestration event.
+  double event_threshold = 0.20;
+  core::ConditionerConfig conditioner;
+  // Fraction of a conditioned bandwidth estimate the controller actually
+  // allocates: a little headroom keeps the links from sitting exactly at
+  // saturation, which would flap the delay-gradient detector.
+  double utilization = 0.95;
+  int max_simulcast_layers = 3;
+  double speaker_priority = 3.0;
+  double screen_priority = 4.0;
+};
+
+class ConferenceNode {
+ public:
+  ConferenceNode(sim::EventLoop* loop, ControllerConfig config = {});
+
+  StreamDirectory* directory() { return &directory_; }
+
+  // --- Signaling ---------------------------------------------------------
+  // Joins `client` homed at `node`: negotiates the SDP offer, allocates
+  // SSRCs, registers streams, wires the client. Returns false if the offer
+  // was rejected.
+  bool Join(Client* client, AccessingNode* node);
+  void Leave(ClientId client);
+  // Replaces the subscription intents of one subscriber.
+  void SetSubscriptions(ClientId subscriber,
+                        std::vector<core::Subscription> subscriptions);
+  void SetSpeaker(std::optional<ClientId> speaker);
+
+  void Start();
+
+  // --- Global picture inputs (paper §4.2) --------------------------------
+  void OnSembReport(ClientId client, DataRate uplink_estimate);
+  void OnDownlinkReport(ClientId client, DataRate downlink_estimate);
+
+  // Forces an immediate orchestration (used by tests).
+  void OrchestrateNow();
+
+  // --- Introspection ------------------------------------------------------
+  int orchestration_count() const { return orchestration_count_; }
+  const std::vector<TimeDelta>& call_intervals() const {
+    return call_intervals_;
+  }
+  const core::Solution& last_solution() const { return last_solution_; }
+  const core::OrchestrationProblem& last_problem() const {
+    return last_problem_;
+  }
+  // Total CPU-style cost of all orchestrations (knapsack solve count).
+  const core::OrchestratorStats& last_orchestrator_stats() const {
+    return orchestrator_.last_stats();
+  }
+
+ private:
+  struct Member {
+    Client* client = nullptr;
+    AccessingNode* node = nullptr;
+    net::SimulcastInfo negotiated;
+    std::vector<Ssrc> camera_ssrcs;
+    std::vector<Ssrc> screen_ssrcs;
+    Ssrc audio_ssrc;
+    DataRate uplink_report;
+    DataRate downlink_report;
+  };
+
+  void Tick();
+  void Orchestrate();
+  core::OrchestrationProblem BuildProblem();
+  void Disseminate(const core::Solution& solution);
+  void UpdateParticipantCounts();
+
+  sim::EventLoop* loop_;
+  ControllerConfig config_;
+  StreamDirectory directory_;
+  net::SsrcAllocator ssrc_allocator_;
+  core::DpMckpSolver solver_;
+  core::Orchestrator orchestrator_;
+  core::BandwidthConditioner conditioner_;
+
+  std::map<ClientId, Member> members_;
+  std::map<ClientId, std::vector<core::Subscription>> subscriptions_;
+  std::optional<ClientId> speaker_;
+
+  bool event_pending_ = true;  // first run happens asap
+  Timestamp last_run_ = Timestamp::Zero();
+  bool has_run_ = false;
+  int orchestration_count_ = 0;
+  std::vector<TimeDelta> call_intervals_;
+  core::Solution last_solution_;
+  core::OrchestrationProblem last_problem_;
+  bool started_ = false;
+};
+
+}  // namespace gso::conference
+
+#endif  // GSO_CONFERENCE_CONFERENCE_NODE_H_

@@ -1,0 +1,76 @@
+// Ready-made participant and link configurations shared by tests, benches
+// and examples.
+#ifndef GSO_CONFERENCE_SCENARIOS_H_
+#define GSO_CONFERENCE_SCENARIOS_H_
+
+#include "conference/conference.h"
+
+namespace gso::conference {
+
+// A standard 3-layer camera ladder: 720p (<=1.8 Mbps), 360p (<=800 kbps),
+// 180p (<=300 kbps), 25 fps.
+inline media::EncoderConfig DefaultCameraConfig() {
+  media::EncoderConfig config;
+  config.layers = {
+      {kResolution720p, DataRate::KilobitsPerSec(1800)},
+      {kResolution360p, DataRate::KilobitsPerSec(800)},
+      {kResolution180p, DataRate::KilobitsPerSec(300)},
+  };
+  config.framerate_fps = 25.0;
+  return config;
+}
+
+// A screen-share source: single 1080p layer at low framerate.
+inline media::EncoderConfig DefaultScreenConfig() {
+  media::EncoderConfig config;
+  config.layers = {{kResolution1080p, DataRate::MegabitsPerSec(2)}};
+  config.framerate_fps = 5.0;
+  config.keyframe_interval_frames = 25;
+  return config;
+}
+
+inline ClientConfig DefaultClient(uint32_t id) {
+  ClientConfig config;
+  config.id = ClientId(id);
+  config.camera = DefaultCameraConfig();
+  config.gso_levels_per_resolution = 5;  // 15 bitrate levels total
+  return config;
+}
+
+// An access network with symmetric propagation delay and the given
+// capacities; defaults are comfortable (no constraint binds).
+inline sim::DuplexLinkConfig Access(
+    DataRate uplink = DataRate::MegabitsPerSec(20),
+    DataRate downlink = DataRate::MegabitsPerSec(20),
+    TimeDelta one_way_delay = TimeDelta::Millis(20)) {
+  sim::DuplexLinkConfig config;
+  config.uplink.capacity = uplink;
+  config.uplink.propagation_delay = one_way_delay;
+  config.downlink.capacity = downlink;
+  config.downlink.propagation_delay = one_way_delay;
+  return config;
+}
+
+// Builds an N-participant meeting where participant i gets the link config
+// from `links[i]` (or the default when the vector is short). Participants
+// get ids 1..N and a full camera mesh at `max_resolution`.
+inline std::unique_ptr<Conference> BuildMeeting(
+    ConferenceConfig conference_config, int participants,
+    const std::vector<sim::DuplexLinkConfig>& links = {},
+    Resolution max_resolution = kResolution720p) {
+  auto conference = std::make_unique<Conference>(conference_config);
+  for (int i = 1; i <= participants; ++i) {
+    ParticipantConfig pc;
+    pc.client = DefaultClient(static_cast<uint32_t>(i));
+    pc.access = static_cast<size_t>(i - 1) < links.size()
+                    ? links[static_cast<size_t>(i - 1)]
+                    : Access();
+    conference->AddParticipant(pc);
+  }
+  conference->SubscribeAllCameras(max_resolution);
+  return conference;
+}
+
+}  // namespace gso::conference
+
+#endif  // GSO_CONFERENCE_SCENARIOS_H_

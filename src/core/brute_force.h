@@ -1,0 +1,28 @@
+// Brute-force baseline: the same Knapsack-Merge-Reduction pipeline with
+// Step 1 solved by exhaustive enumeration instead of DP. This reproduces
+// the paper's "brute force" line in Fig. 6a/6b — exponential in the number
+// of publishers and bitrate levels — and serves as the exact reference for
+// the QoE-optimality metric.
+#ifndef GSO_CORE_BRUTE_FORCE_H_
+#define GSO_CORE_BRUTE_FORCE_H_
+
+#include "core/mckp.h"
+#include "core/orchestrator.h"
+#include "core/types.h"
+
+namespace gso::core {
+
+class BruteForceOrchestrator {
+ public:
+  Solution Solve(const OrchestrationProblem& problem) const {
+    Orchestrator orchestrator(&solver_);
+    return orchestrator.Solve(problem);
+  }
+
+ private:
+  ExhaustiveMckpSolver solver_;
+};
+
+}  // namespace gso::core
+
+#endif  // GSO_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,148 @@
+#include "core/mckp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace gso::core {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
+                               int64_t capacity) const {
+  constexpr int64_t kInfWeight = std::numeric_limits<int64_t>::max() / 2;
+
+  MckpResult result;
+  result.choice.assign(classes.size(), -1);
+  if (classes.empty()) return result;
+
+  // Value grid: each item's value is floored to multiples of `quantum`.
+  double value_sum = 0.0;
+  for (const auto& cls : classes) {
+    double best = 0.0;
+    for (const auto& item : cls.items) best = std::max(best, item.value);
+    value_sum += best;
+  }
+  double quantum = value_quantum_;
+  if (value_sum / quantum > static_cast<double>(max_cells_)) {
+    quantum = value_sum / static_cast<double>(max_cells_);
+  }
+  const int64_t cells =
+      std::max<int64_t>(1, static_cast<int64_t>(value_sum / quantum));
+
+  // dp[v]: minimum weight achieving quantized value exactly v.
+  std::vector<int64_t> dp(static_cast<size_t>(cells) + 1, kInfWeight);
+  dp[0] = 0;
+  // choices[k][v]: item picked in class k on the best path through state v.
+  std::vector<std::vector<int16_t>> choices(
+      classes.size(),
+      std::vector<int16_t>(static_cast<size_t>(cells) + 1, -1));
+
+  std::vector<int64_t> next(dp.size());
+  for (size_t k = 0; k < classes.size(); ++k) {
+    const auto& cls = classes[k];
+    GSO_CHECK(cls.items.size() <
+              static_cast<size_t>(std::numeric_limits<int16_t>::max()));
+    // Start from the skip branch (or unreachable when the class is
+    // mandatory: every state must then include an item of this class).
+    if (cls.mandatory) {
+      std::fill(next.begin(), next.end(), kInfWeight);
+    } else {
+      next = dp;
+    }
+    for (size_t j = 0; j < cls.items.size(); ++j) {
+      const auto& item = cls.items[j];
+      if (item.weight < 0 || item.weight > capacity || item.value < 0) {
+        continue;
+      }
+      const int64_t vq = static_cast<int64_t>(item.value / quantum);
+      for (int64_t v = cells; v >= vq; --v) {
+        const int64_t base = dp[static_cast<size_t>(v - vq)];
+        if (base >= kInfWeight) continue;
+        const int64_t cand = base + item.weight;
+        if (cand <= capacity && cand < next[static_cast<size_t>(v)]) {
+          next[static_cast<size_t>(v)] = cand;
+          choices[k][static_cast<size_t>(v)] = static_cast<int16_t>(j);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Best achievable quantized value within capacity.
+  int64_t best_v = -1;
+  for (int64_t v = cells; v >= 0; --v) {
+    if (dp[static_cast<size_t>(v)] <= capacity) {
+      best_v = v;
+      break;
+    }
+  }
+  if (best_v < 0) {
+    result.feasible = false;
+    return result;
+  }
+
+  // Backtrack through the per-class choice tables.
+  int64_t v = best_v;
+  for (size_t k = classes.size(); k-- > 0;) {
+    const int16_t j = choices[k][static_cast<size_t>(v)];
+    result.choice[k] = j;
+    if (j >= 0) {
+      const auto& item = classes[k].items[static_cast<size_t>(j)];
+      result.total_value += item.value;
+      result.total_weight += item.weight;
+      v -= static_cast<int64_t>(item.value / quantum);
+      GSO_CHECK_GE(v, 0);
+    }
+  }
+  return result;
+}
+
+MckpResult ExhaustiveMckpSolver::Solve(const std::vector<MckpClass>& classes,
+                                       int64_t capacity) const {
+  visits_ = 0;
+  MckpResult best;
+  best.choice.assign(classes.size(), -1);
+  best.total_value = kNegInf;
+
+  std::vector<int> current(classes.size(), -1);
+
+  // Depth-first over classes; `weight`/`value` accumulate the partial pick.
+  auto recurse = [&](auto&& self, size_t k, int64_t weight,
+                     double value) -> void {
+    if (k == classes.size()) {
+      ++visits_;
+      if (value > best.total_value) {
+        best.total_value = value;
+        best.total_weight = weight;
+        best.choice = current;
+      }
+      return;
+    }
+    const auto& cls = classes[k];
+    if (!cls.mandatory) {
+      current[k] = -1;
+      self(self, k + 1, weight, value);
+    }
+    for (size_t j = 0; j < cls.items.size(); ++j) {
+      const auto& item = cls.items[j];
+      if (weight + item.weight > capacity) continue;
+      current[k] = static_cast<int>(j);
+      self(self, k + 1, weight + item.weight, value + item.value);
+    }
+    current[k] = -1;
+  };
+  recurse(recurse, 0, 0, 0.0);
+
+  if (best.total_value == kNegInf) {
+    best.total_value = 0.0;
+    best.feasible = false;
+  }
+  return best;
+}
+
+}  // namespace gso::core

@@ -1,0 +1,83 @@
+// Multiple-Choice Knapsack solvers.
+//
+// Step 1 of the GSO control algorithm reduces each subscriber's downlink to
+// a Multiple-Choice Knapsack: one class per subscribed source, one item per
+// feasible (resolution, bitrate) option, capacity = B_d. The paper solves
+// it with pseudo-polynomial dynamic programming; the exhaustive solver
+// reproduces the paper's brute-force baseline (Fig. 6a/6b) and is also used
+// to cross-check DP optimality in tests.
+#ifndef GSO_CORE_MCKP_H_
+#define GSO_CORE_MCKP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gso::core {
+
+struct MckpItem {
+  int64_t weight = 0;  // bits per second
+  double value = 0.0;  // priority-weighted QoE utility
+};
+
+struct MckpClass {
+  std::vector<MckpItem> items;
+  // Mandatory classes must select an item (used by the Step-3 repair
+  // knapsack, where every already-published resolution keeps a stream).
+  bool mandatory = false;
+};
+
+struct MckpResult {
+  // choice[k] = selected item index in class k, or -1 for none.
+  std::vector<int> choice;
+  double total_value = 0.0;
+  int64_t total_weight = 0;
+  bool feasible = true;  // false iff a mandatory class cannot be satisfied
+};
+
+class MckpSolver {
+ public:
+  virtual ~MckpSolver() = default;
+  virtual MckpResult Solve(const std::vector<MckpClass>& classes,
+                           int64_t capacity) const = 0;
+};
+
+// Pseudo-polynomial DP over the *value* dimension: dp[v] = minimum weight
+// achieving quantized value v (the classic FPTAS formulation). Weights stay
+// exact, so a returned solution never exceeds the capacity and knife-edge
+// fits are found; value quantization is the only source of sub-optimality
+// (loss <= #classes * value_quantum). With value_quantum = 1 QoE unit the
+// table size grows linearly with the number of classes (publishers), which
+// reproduces the paper's reported scaling: linear in subscribers and
+// bitrate levels, quadratic in publishers (Fig. 6c).
+class DpMckpSolver : public MckpSolver {
+ public:
+  explicit DpMckpSolver(double value_quantum = 1.0,
+                        int64_t max_cells = 1 << 16)
+      : value_quantum_(value_quantum), max_cells_(max_cells) {}
+
+  MckpResult Solve(const std::vector<MckpClass>& classes,
+                   int64_t capacity) const override;
+
+ private:
+  double value_quantum_;
+  int64_t max_cells_;
+};
+
+// Exact exponential-time enumeration: the paper's brute-force baseline.
+// Visits every combination of (item or none) per class; complexity
+// prod_k (|items_k| + 1).
+class ExhaustiveMckpSolver : public MckpSolver {
+ public:
+  MckpResult Solve(const std::vector<MckpClass>& classes,
+                   int64_t capacity) const override;
+
+  // Combinations visited by the last Solve call (for scaling benches).
+  int64_t last_visit_count() const { return visits_; }
+
+ private:
+  mutable int64_t visits_ = 0;
+};
+
+}  // namespace gso::core
+
+#endif  // GSO_CORE_MCKP_H_

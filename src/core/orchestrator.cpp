@@ -1,0 +1,364 @@
+#include "core/orchestrator.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gso::core {
+namespace {
+
+// Step-1 result for one subscription: the chosen option.
+struct Request {
+  const Subscription* subscription = nullptr;
+  StreamOption option;
+};
+
+struct SubscriberKey {
+  ClientId client;
+  bool operator<(const SubscriberKey& o) const { return client < o.client; }
+};
+
+DataRate BudgetOr(const std::map<ClientId, ClientBudget>& budgets,
+                  ClientId client, bool uplink) {
+  const auto it = budgets.find(client);
+  if (it == budgets.end()) return DataRate::PlusInfinity();
+  return uplink ? it->second.uplink : it->second.downlink;
+}
+
+}  // namespace
+
+Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
+  stats_ = OrchestratorStats{};
+
+  std::map<ClientId, ClientBudget> budgets;
+  for (const auto& b : problem.budgets) budgets[b.client] = b;
+
+  // Active feasible stream sets, shrunk by Reduction steps.
+  std::map<SourceId, std::vector<StreamOption>> active;
+  for (const auto& cap : problem.capabilities) {
+    auto options = cap.options;
+    // Deterministic order: descending resolution then descending bitrate.
+    std::sort(options.begin(), options.end(),
+              [](const StreamOption& a, const StreamOption& b) {
+                if (!(a.resolution == b.resolution))
+                  return b.resolution < a.resolution;
+                return b.bitrate < a.bitrate;
+              });
+    active[cap.source] = std::move(options);
+  }
+
+  // Group subscriptions per subscriber, dropping invalid edges.
+  std::map<ClientId, std::vector<const Subscription*>> per_subscriber;
+  for (const auto& sub : problem.subscriptions) {
+    if (sub.subscriber == sub.source.client) continue;  // N_i excludes i
+    if (!active.count(sub.source)) continue;            // unknown source
+    per_subscriber[sub.subscriber].push_back(&sub);
+  }
+
+  // Count distinct resolutions for the iteration bound.
+  size_t total_resolutions = 0;
+  for (const auto& [_, options] : active) {
+    std::set<Resolution, std::less<>> seen;
+    for (const auto& o : options) seen.insert(o.resolution);
+    total_resolutions += seen.size();
+  }
+  const int max_iterations = static_cast<int>(total_resolutions) + 1;
+
+  // Step-1 cache: recompute a subscriber only when a source it subscribes
+  // to was reduced.
+  std::map<ClientId, std::vector<Request>> step1_cache;
+  std::set<ClientId> dirty;
+  for (const auto& [client, _] : per_subscriber) dirty.insert(client);
+
+  Solution solution;
+  for (int iteration = 1; iteration <= max_iterations; ++iteration) {
+    stats_.iterations = iteration;
+
+    // ---- Step 1: per-subscriber Multiple-Choice Knapsack ----
+    for (const ClientId& subscriber : dirty) {
+      const auto& subs = per_subscriber[subscriber];
+      std::vector<MckpClass> classes;
+      std::vector<std::vector<StreamOption>> class_options;
+      classes.reserve(subs.size());
+      for (const Subscription* sub : subs) {
+        MckpClass cls;
+        std::vector<StreamOption> opts;
+        for (const auto& option : active[sub->source]) {
+          if (option.resolution <= sub->max_resolution) {
+            cls.items.push_back(
+                MckpItem{option.bitrate.bps(), option.qoe * sub->priority});
+            opts.push_back(option);
+          }
+        }
+        classes.push_back(std::move(cls));
+        class_options.push_back(std::move(opts));
+      }
+      const DataRate downlink = BudgetOr(budgets, subscriber, false);
+      const int64_t capacity = downlink.IsFinite()
+                                   ? downlink.bps()
+                                   : std::numeric_limits<int64_t>::max() / 4;
+      const MckpResult result = step1_solver_->Solve(classes, capacity);
+      ++stats_.knapsack_solves;
+
+      std::vector<Request> requests;
+      for (size_t k = 0; k < subs.size(); ++k) {
+        if (result.choice[k] < 0) continue;
+        Request req;
+        req.subscription = subs[k];
+        req.option = class_options[k][static_cast<size_t>(result.choice[k])];
+        requests.push_back(req);
+      }
+      step1_cache[subscriber] = std::move(requests);
+    }
+    dirty.clear();
+
+    // ---- Step 2: per-source merge by resolution ----
+    // merged[source][resolution] -> (min bitrate, receivers)
+    std::map<SourceId, std::map<Resolution, PublishedStream, std::less<>>>
+        merged;
+    for (const auto& [subscriber, requests] : step1_cache) {
+      for (const auto& req : requests) {
+        auto& stream = merged[req.subscription->source][req.option.resolution];
+        if (stream.receivers.empty() || req.option.bitrate < stream.bitrate) {
+          stream.resolution = req.option.resolution;
+          stream.bitrate = req.option.bitrate;
+          stream.qoe = req.option.qoe;
+        }
+        stream.receivers.push_back(
+            PublishedStream::Receiver{subscriber, req.subscription->slot});
+      }
+    }
+
+    // ---- Step 3: per-publisher uplink check / fix / reduction ----
+    // Collect per-client published streams (across the client's sources).
+    std::map<ClientId, std::vector<std::pair<SourceId, PublishedStream*>>>
+        per_publisher;
+    for (auto& [source, by_res] : merged) {
+      for (auto& [res, stream] : by_res) {
+        per_publisher[source.client].emplace_back(source, &stream);
+      }
+    }
+
+    std::optional<ClientId> reduce_client;
+    for (auto& [client, streams] : per_publisher) {
+      const DataRate uplink = BudgetOr(budgets, client, true);
+      if (!uplink.IsFinite()) continue;
+      DataRate published;
+      for (const auto& [_, stream] : streams) published += stream->bitrate;
+      if (published <= uplink) continue;  // Eq. (14) holds
+
+      // Eq. (17): fixable iff the per-resolution minimum bitrates fit.
+      DataRate floor_total;
+      bool floor_ok = true;
+      std::vector<MckpClass> classes;
+      std::vector<std::vector<StreamOption>> class_options;
+      for (const auto& [source, stream] : streams) {
+        MckpClass cls;
+        cls.mandatory = true;
+        std::vector<StreamOption> opts;
+        DataRate cheapest = DataRate::PlusInfinity();
+        for (const auto& option : active[source]) {
+          if (!(option.resolution == stream->resolution)) continue;
+          if (option.bitrate > stream->bitrate) continue;  // Eq. (16)
+          cls.items.push_back(MckpItem{option.bitrate.bps(), option.qoe});
+          opts.push_back(option);
+          cheapest = std::min(cheapest, option.bitrate);
+        }
+        if (!cheapest.IsFinite()) {
+          floor_ok = false;
+          break;
+        }
+        floor_total += cheapest;
+        classes.push_back(std::move(cls));
+        class_options.push_back(std::move(opts));
+      }
+
+      if (floor_ok && floor_total <= uplink) {
+        // Fix by the small mandatory knapsack over B_u (Eq. 15-16).
+        const MckpResult fix = fix_solver_.Solve(classes, uplink.bps());
+        ++stats_.knapsack_solves;
+        if (fix.feasible) {
+          ++stats_.uplink_fixes;
+          for (size_t k = 0; k < streams.size(); ++k) {
+            GSO_CHECK_GE(fix.choice[k], 0);
+            const StreamOption& replacement =
+                class_options[k][static_cast<size_t>(fix.choice[k])];
+            streams[k].second->bitrate = replacement.bitrate;
+            streams[k].second->qoe = replacement.qoe;
+          }
+          continue;
+        }
+      }
+      // Unfixable: remember the first offender; reduce one publisher per
+      // iteration (paper §4.1.3).
+      reduce_client = client;
+      break;
+    }
+
+    if (!reduce_client) {
+      // Every constraint satisfied: assemble the final solution.
+      for (auto& [source, by_res] : merged) {
+        for (auto& [res, stream] : by_res) {
+          std::sort(stream.receivers.begin(), stream.receivers.end());
+          solution.publish[source].push_back(stream);
+        }
+      }
+      for (const auto& [subscriber, requests] : step1_cache) {
+        for (const auto& req : requests) {
+          solution.step1_qoe += req.option.qoe * req.subscription->priority;
+          const auto& streams = merged[req.subscription->source];
+          const auto it = streams.find(req.option.resolution);
+          GSO_CHECK(it != streams.end());
+          solution
+              .per_subscriber[{subscriber, req.subscription->slot}]
+                             [req.subscription->source] =
+              Solution::Assigned{it->second.resolution, it->second.bitrate};
+          solution.total_qoe += it->second.qoe * req.subscription->priority;
+        }
+      }
+      solution.iterations = iteration;
+      return solution;
+    }
+
+    // ---- Reduction (Eq. 18-20): drop the highest published resolution of
+    // the offending client and invalidate affected subscribers.
+    ++stats_.reductions;
+    Resolution highest{0, 0};
+    SourceId victim_source;
+    for (const auto& [source, stream] : per_publisher[*reduce_client]) {
+      if (highest < stream->resolution || highest.PixelCount() == 0) {
+        highest = stream->resolution;
+        victim_source = source;
+      }
+    }
+    auto& options = active[victim_source];
+    options.erase(std::remove_if(options.begin(), options.end(),
+                                 [&](const StreamOption& o) {
+                                   return o.resolution == highest;
+                                 }),
+                  options.end());
+    for (const auto& [subscriber, subs] : per_subscriber) {
+      for (const Subscription* sub : subs) {
+        if (sub->source == victim_source) {
+          dirty.insert(subscriber);
+          break;
+        }
+      }
+    }
+  }
+
+  // The iteration bound guarantees we never get here: every pass without a
+  // solution removes one resolution and the loop runs one extra pass.
+  GSO_CHECK(false);
+  return solution;
+}
+
+std::string ValidateSolution(const OrchestrationProblem& problem,
+                             const Solution& solution) {
+  std::ostringstream err;
+  std::map<ClientId, ClientBudget> budgets;
+  for (const auto& b : problem.budgets) budgets[b.client] = b;
+  std::map<SourceId, const SourceCapability*> caps;
+  for (const auto& c : problem.capabilities) caps[c.source] = &c;
+
+  // Codec capability: at most one bitrate per resolution per source, and
+  // every published stream must exist in the source's ladder.
+  for (const auto& [source, streams] : solution.publish) {
+    std::set<Resolution, std::less<>> seen;
+    for (const auto& stream : streams) {
+      if (!seen.insert(stream.resolution).second) {
+        err << source.ToString() << " publishes two streams at "
+            << stream.resolution.ToString();
+        return err.str();
+      }
+      const auto cap = caps.find(source);
+      if (cap == caps.end()) {
+        err << source.ToString() << " published but has no capability";
+        return err.str();
+      }
+      const bool in_ladder = std::any_of(
+          cap->second->options.begin(), cap->second->options.end(),
+          [&](const StreamOption& o) {
+            return o.resolution == stream.resolution &&
+                   o.bitrate == stream.bitrate;
+          });
+      if (!in_ladder) {
+        err << source.ToString() << " publishes "
+            << stream.bitrate.ToString() << "@"
+            << stream.resolution.ToString() << " not in its ladder";
+        return err.str();
+      }
+    }
+  }
+
+  // Uplink: per client, sum of published bitrates <= B_u.
+  std::map<ClientId, DataRate> uplink_used;
+  for (const auto& [source, streams] : solution.publish) {
+    for (const auto& stream : streams) {
+      uplink_used[source.client] += stream.bitrate;
+    }
+  }
+  for (const auto& [client, used] : uplink_used) {
+    const DataRate budget = BudgetOr(budgets, client, true);
+    if (used > budget) {
+      err << client.ToString() << " uplink " << used.ToString() << " > "
+          << budget.ToString();
+      return err.str();
+    }
+  }
+
+  // Downlink: per subscriber, sum of received bitrates <= B_d; also check
+  // the subscription's resolution cap and at-most-one-stream-per-class.
+  std::map<const Subscription*, int> assigned_count;
+  std::map<ClientId, DataRate> downlink_used;
+  for (const auto& [source, streams] : solution.publish) {
+    for (const auto& stream : streams) {
+      for (const auto& receiver : stream.receivers) {
+        downlink_used[receiver.subscriber] += stream.bitrate;
+        // Find the subscription edge this receiver corresponds to.
+        const Subscription* edge = nullptr;
+        for (const auto& sub : problem.subscriptions) {
+          if (sub.subscriber == receiver.subscriber && sub.source == source &&
+              sub.slot == receiver.slot) {
+            edge = &sub;
+            break;
+          }
+        }
+        if (edge == nullptr) {
+          err << receiver.subscriber.ToString() << " receives from "
+              << source.ToString() << " without a subscription";
+          return err.str();
+        }
+        if (edge->max_resolution < stream.resolution) {
+          err << receiver.subscriber.ToString() << " got "
+              << stream.resolution.ToString() << " above its cap "
+              << edge->max_resolution.ToString() << " from "
+              << source.ToString();
+          return err.str();
+        }
+        if (++assigned_count[edge] > 1) {
+          err << receiver.subscriber.ToString()
+              << " got two streams for one subscription to "
+              << source.ToString();
+          return err.str();
+        }
+      }
+    }
+  }
+  for (const auto& [client, used] : downlink_used) {
+    const DataRate budget = BudgetOr(budgets, client, false);
+    if (used > budget) {
+      err << client.ToString() << " downlink " << used.ToString() << " > "
+          << budget.ToString();
+      return err.str();
+    }
+  }
+  return std::string();
+}
+
+}  // namespace gso::core

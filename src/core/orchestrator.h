@@ -1,0 +1,63 @@
+// The GSO control algorithm (paper §4.1): iterative
+// Knapsack -> Merge -> Reduction until every constraint holds.
+//
+//  Step 1 (Knapsack)  — per subscriber, fill the downlink B_d with at most
+//    one stream per subscribed source, maximizing priority-weighted QoE
+//    (one Multiple-Choice Knapsack per subscriber; Eq. 1-4).
+//  Step 2 (Merge)     — per source, requests for the same resolution are
+//    merged into one stream at the minimum requested bitrate (codec
+//    capability: at most one bitrate per resolution; Eq. 7-13).
+//  Step 3 (Reduction) — per publisher, check the uplink budget B_u
+//    (Eq. 14). If violated but fixable (Eq. 17), replace stream bitrates
+//    with lower ones of the same resolution via a small mandatory knapsack
+//    (Eq. 15-16). If unfixable, remove the highest published resolution
+//    from that publisher's feasible set (Eq. 18-20) — one publisher per
+//    iteration — and restart from Step 1.
+//
+// Convergence: each iteration either terminates or strictly shrinks one
+// source's feasible set, so iterations <= #sources x #resolutions.
+#ifndef GSO_CORE_ORCHESTRATOR_H_
+#define GSO_CORE_ORCHESTRATOR_H_
+
+#include <memory>
+
+#include "core/mckp.h"
+#include "core/types.h"
+
+namespace gso::core {
+
+struct OrchestratorStats {
+  int iterations = 0;
+  int knapsack_solves = 0;
+  int reductions = 0;
+  int uplink_fixes = 0;
+};
+
+class Orchestrator {
+ public:
+  // `step1_solver` solves the per-subscriber MCKP; pass DpMckpSolver for
+  // production behaviour or ExhaustiveMckpSolver for the brute-force
+  // baseline. The solver must outlive the orchestrator.
+  explicit Orchestrator(const MckpSolver* step1_solver)
+      : step1_solver_(step1_solver) {}
+
+  Solution Solve(const OrchestrationProblem& problem) const;
+
+  const OrchestratorStats& last_stats() const { return stats_; }
+
+ private:
+  const MckpSolver* step1_solver_;
+  DpMckpSolver fix_solver_;
+  mutable OrchestratorStats stats_;
+};
+
+// Validates an OrchestrationProblem / Solution pair: every budget,
+// codec-capability and subscription constraint holds. Returns an empty
+// string when valid, else a description of the first violation. Used by
+// property tests and (in debug builds) by the conference controller.
+std::string ValidateSolution(const OrchestrationProblem& problem,
+                             const Solution& solution);
+
+}  // namespace gso::core
+
+#endif  // GSO_CORE_ORCHESTRATOR_H_

@@ -1,0 +1,82 @@
+#include "core/types.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gso::core {
+
+double DefaultQoe(DataRate bitrate) {
+  // qoe = c * kbps^0.85, anchored so 300 kbps -> 300 (Table 1's 180p row).
+  // The exponent < 1 makes utility/bitrate strictly decreasing, protecting
+  // small streams when they compete for a subscriber's downlink.
+  static const double kAnchor = 300.0 / std::pow(300.0, 0.85);
+  return kAnchor * std::pow(bitrate.kbps(), 0.85);
+}
+
+std::vector<StreamOption> BuildLadder(const std::vector<LadderSpec>& specs) {
+  std::vector<StreamOption> options;
+  for (const auto& spec : specs) {
+    GSO_CHECK(spec.levels >= 1);
+    GSO_CHECK(spec.min_bitrate.bps() > 0);
+    GSO_CHECK(spec.min_bitrate <= spec.max_bitrate);
+    for (int i = 0; i < spec.levels; ++i) {
+      const double t =
+          spec.levels == 1
+              ? 1.0
+              : static_cast<double>(i) / static_cast<double>(spec.levels - 1);
+      // Geometric interpolation spreads levels evenly in log space, giving
+      // finer steps at low bitrates where they matter most.
+      const double bps =
+          static_cast<double>(spec.min_bitrate.bps()) *
+          std::pow(static_cast<double>(spec.max_bitrate.bps()) /
+                       static_cast<double>(spec.min_bitrate.bps()),
+                   t);
+      StreamOption opt;
+      opt.resolution = spec.resolution;
+      opt.bitrate = DataRate::BitsPerSec(static_cast<int64_t>(bps));
+      opt.qoe = DefaultQoe(opt.bitrate);
+      options.push_back(opt);
+    }
+  }
+  return options;
+}
+
+std::vector<StreamOption> Table1Ladder() {
+  // Exact rows from the paper's Table 1.
+  return {
+      {kResolution720p, DataRate::MegabitsPerSecF(1.5), 1200},
+      {kResolution720p, DataRate::MegabitsPerSecF(1.3), 1050},
+      {kResolution720p, DataRate::MegabitsPerSec(1), 750},
+      {kResolution360p, DataRate::KilobitsPerSec(800), 700},
+      {kResolution360p, DataRate::KilobitsPerSec(600), 530},
+      {kResolution360p, DataRate::KilobitsPerSec(500), 440},
+      {kResolution360p, DataRate::KilobitsPerSec(400), 360},
+      {kResolution180p, DataRate::KilobitsPerSec(300), 300},
+      {kResolution180p, DataRate::KilobitsPerSec(100), 100},
+  };
+}
+
+std::vector<StreamOption> FineLadder(int levels_per_resolution) {
+  return BuildLadder({
+      {kResolution720p, DataRate::KilobitsPerSec(900),
+       DataRate::KilobitsPerSec(1800), levels_per_resolution},
+      {kResolution360p, DataRate::KilobitsPerSec(350),
+       DataRate::KilobitsPerSec(800), levels_per_resolution},
+      {kResolution180p, DataRate::KilobitsPerSec(80),
+       DataRate::KilobitsPerSec(300), levels_per_resolution},
+  });
+}
+
+std::vector<StreamOption> CoarseLadder() {
+  return {
+      {kResolution720p, DataRate::MegabitsPerSecF(1.5),
+       DefaultQoe(DataRate::MegabitsPerSecF(1.5))},
+      {kResolution360p, DataRate::KilobitsPerSec(600),
+       DefaultQoe(DataRate::KilobitsPerSec(600))},
+      {kResolution180p, DataRate::KilobitsPerSec(300),
+       DefaultQoe(DataRate::KilobitsPerSec(300))},
+  };
+}
+
+}  // namespace gso::core

@@ -1,0 +1,133 @@
+#include "media/jitter_buffer.h"
+
+#include <algorithm>
+
+namespace gso::media {
+namespace {
+
+// A gap is declared unrecoverable once the decoder is this many complete
+// frames ahead of it; we then freeze until the next keyframe.
+constexpr int kMaxFrameReorderWindow = 50;
+constexpr TimeDelta kNackRetryInterval = TimeDelta::Millis(50);
+constexpr int kMaxNackAttempts = 6;
+constexpr int64_t kNackWindow = 150;  // only recent gaps are worth repair
+constexpr size_t kSeqWindow = 2000;
+
+}  // namespace
+
+std::vector<DecodedFrame> JitterBuffer::Insert(const net::RtpPacket& packet,
+                                               Timestamp now) {
+  std::vector<DecodedFrame> decoded;
+
+  const int64_t seq = seq_unwrapper_.Unwrap(packet.sequence_number);
+  received_seqs_.insert(seq);
+  nack_state_.erase(seq);
+  highest_seq_ = std::max(highest_seq_, seq);
+  while (received_seqs_.size() > kSeqWindow) {
+    received_seqs_.erase(received_seqs_.begin());
+  }
+
+  // Frames older than the decode head are late retransmissions of frames we
+  // already decoded or abandoned.
+  if (have_decoded_ && packet.frame_id <= last_decoded_frame_) return decoded;
+
+  auto& frame = partial_frames_[packet.frame_id];
+  frame.packets_expected = packet.packets_in_frame;
+  frame.is_keyframe = packet.is_keyframe;
+  if (frame.packets_received.insert(packet.packet_index).second) {
+    frame.size += DataSize::Bytes(packet.payload_size);
+  }
+
+  // Drain every frame that became decodable, in frame order.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = partial_frames_.begin(); it != partial_frames_.end();) {
+      const uint32_t frame_id = it->first;
+      PartialFrame& pf = it->second;
+      const bool complete =
+          pf.packets_expected > 0 &&
+          pf.packets_received.size() == pf.packets_expected;
+      if (!complete) {
+        ++it;
+        continue;
+      }
+      const bool next_in_order =
+          have_decoded_ && frame_id == last_decoded_frame_ + 1;
+      const bool key_resync =
+          pf.is_keyframe && (waiting_for_keyframe_ || !have_decoded_ ||
+                             frame_id > last_decoded_frame_);
+      if (next_in_order && !waiting_for_keyframe_) {
+        // in-order delta (or key) frame
+      } else if (key_resync) {
+        // keyframe resynchronizes the decoder; everything older is dropped
+        for (auto drop = partial_frames_.begin(); drop != it;) {
+          ++frames_dropped_;
+          drop = partial_frames_.erase(drop);
+        }
+      } else {
+        ++it;
+        continue;
+      }
+      DecodedFrame out;
+      out.frame_id = frame_id;
+      out.size = pf.size;
+      out.is_keyframe = pf.is_keyframe;
+      out.completion_time = now;
+      decoded.push_back(out);
+      ++frames_decoded_;
+      last_decoded_frame_ = frame_id;
+      have_decoded_ = true;
+      waiting_for_keyframe_ = false;
+      it = partial_frames_.erase(partial_frames_.begin(), std::next(it));
+      progressed = true;
+      break;
+    }
+  }
+
+  // Give up on a gap once the buffer has run too far ahead of it. From
+  // that point the only useful repair is a keyframe: abandon the NACK
+  // backlog so the link is not flooded with stale retransmissions.
+  if (!waiting_for_keyframe_ && have_decoded_ &&
+      !partial_frames_.empty() &&
+      partial_frames_.rbegin()->first >
+          last_decoded_frame_ + kMaxFrameReorderWindow) {
+    waiting_for_keyframe_ = true;
+    waiting_since_ = now;
+    nack_floor_ = highest_seq_;
+    nack_state_.clear();
+  }
+  return decoded;
+}
+
+std::vector<uint16_t> JitterBuffer::CollectNacks(Timestamp now) {
+  std::vector<uint16_t> nacks;
+  if (highest_seq_ < 0 || received_seqs_.empty()) return nacks;
+  const int64_t floor_seq =
+      std::max({*received_seqs_.begin(), nack_floor_ + 1,
+                highest_seq_ - kNackWindow});
+  for (int64_t s = floor_seq; s < highest_seq_; ++s) {
+    if (received_seqs_.count(s)) continue;
+    auto& state = nack_state_[s];
+    if (state.attempts >= kMaxNackAttempts) continue;
+    if (state.attempts > 0 && now - state.last_sent < kNackRetryInterval) {
+      continue;
+    }
+    state.attempts++;
+    state.last_sent = now;
+    nacks.push_back(static_cast<uint16_t>(s & 0xFFFF));
+    if (nacks.size() >= 64) break;  // a few hundred repairs/s at 100 ms ticks
+  }
+  return nacks;
+}
+
+bool JitterBuffer::NeedsKeyframe(Timestamp now) const {
+  if (!waiting_for_keyframe_) return false;
+  if (!have_decoded_) {
+    // Initial keyframe wait: only escalate if joining stalls noticeably.
+    return now - waiting_since_ > TimeDelta::Millis(500);
+  }
+  return now - waiting_since_ > TimeDelta::Millis(250);
+}
+
+}  // namespace gso::media

@@ -1,0 +1,60 @@
+// Splits encoded frames into RTP packets (MTU-sized, marker on last) and
+// maintains per-SSRC RTP sequence/timestamp state.
+#ifndef GSO_MEDIA_PACKETIZER_H_
+#define GSO_MEDIA_PACKETIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "media/encoder.h"
+#include "net/rtp_packet.h"
+
+namespace gso::media {
+
+inline constexpr int64_t kMaxRtpPayloadBytes = 1200;
+inline constexpr uint32_t kVideoClockRate = 90000;
+
+class Packetizer {
+ public:
+  // Packetizes one frame onto `ssrc`. Sequence numbers continue across
+  // calls; the RTP timestamp is derived from the capture time at 90 kHz.
+  std::vector<net::RtpPacket> Packetize(Ssrc ssrc, const EncodedFrame& frame) {
+    auto& stream = streams_[ssrc];
+    const int64_t payload = frame.size.bytes();
+    const int packet_count = static_cast<int>(
+        (payload + kMaxRtpPayloadBytes - 1) / kMaxRtpPayloadBytes);
+
+    const int total = std::max(packet_count, 1);
+    std::vector<net::RtpPacket> packets;
+    packets.reserve(static_cast<size_t>(total));
+    int64_t remaining = payload;
+    for (int i = 0; i < total; ++i) {
+      net::RtpPacket p;
+      p.ssrc = ssrc;
+      p.sequence_number = stream.next_sequence++;
+      p.timestamp = static_cast<uint32_t>(
+          frame.capture_time.us() * (kVideoClockRate / 1000) / 1000);
+      p.marker = (i == total - 1);
+      p.payload_size = static_cast<uint32_t>(
+          std::min<int64_t>(remaining, kMaxRtpPayloadBytes));
+      p.frame_id = frame.frame_id;
+      p.packet_index = static_cast<uint16_t>(i);
+      p.packets_in_frame = static_cast<uint16_t>(total);
+      p.is_keyframe = frame.is_keyframe;
+      remaining -= p.payload_size;
+      packets.push_back(p);
+    }
+    return packets;
+  }
+
+ private:
+  struct StreamState {
+    uint16_t next_sequence = 0;
+  };
+  std::unordered_map<Ssrc, StreamState> streams_;
+};
+
+}  // namespace gso::media
+
+#endif  // GSO_MEDIA_PACKETIZER_H_

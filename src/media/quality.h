@@ -1,0 +1,48 @@
+// VMAF-proxy video quality model.
+//
+// The paper reports VMAF scores (Fig. 8) measured with Netflix's tool on
+// real decoded video. We cannot run VMAF on synthetic frames, so we use a
+// calibrated monotone proxy: per-resolution saturating rate-quality curves
+// (upscaling a low resolution to the viewport caps its attainable score),
+// degraded by the delivered framerate. The proxy preserves orderings —
+// higher bitrate or resolution at equal delivery never scores lower —
+// which is all Fig. 8's normalized comparison requires.
+#ifndef GSO_MEDIA_QUALITY_H_
+#define GSO_MEDIA_QUALITY_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/resolution.h"
+#include "common/units.h"
+
+namespace gso::media {
+
+class VmafProxy {
+ public:
+  // Score in [0, 100] for a stream of `resolution` delivered at `bitrate`
+  // and `framerate` fps, viewed in a 720p window.
+  static double Score(Resolution resolution, DataRate bitrate,
+                      double framerate_fps) {
+    if (bitrate.IsZero() || framerate_fps <= 0) return 0.0;
+    // Attainable ceiling given upscaling loss to the 720p viewport.
+    const double pixel_ratio = std::min(
+        1.0, static_cast<double>(resolution.PixelCount()) /
+                 static_cast<double>(kResolution720p.PixelCount()));
+    const double ceiling = 45.0 + 55.0 * std::pow(pixel_ratio, 0.35);
+    // Saturating rate-quality curve; `nominal` is the bitrate at which the
+    // resolution reaches ~86% of its ceiling.
+    const double nominal_kbps =
+        0.07 * static_cast<double>(resolution.PixelCount()) / 25.0;
+    const double rate_term =
+        1.0 - std::exp(-2.0 * bitrate.kbps() / std::max(nominal_kbps, 1.0));
+    // Framerate degradation: sub-12 fps playback reads as choppy.
+    const double fps_term =
+        std::clamp(std::pow(framerate_fps / 25.0, 0.5), 0.0, 1.0);
+    return ceiling * rate_term * fps_term;
+  }
+};
+
+}  // namespace gso::media
+
+#endif  // GSO_MEDIA_QUALITY_H_

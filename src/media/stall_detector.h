@@ -1,0 +1,111 @@
+// QoE stall metrics as defined by the paper.
+//
+// Video stall (footnote 9): the percentage of playback intervals in which
+// the maximum delay between two consecutive rendered frames exceeds 200 ms.
+// Voice stall (footnote 10): the percentage of audio playback intervals
+// whose packet loss exceeds 10%.
+#ifndef GSO_MEDIA_STALL_DETECTOR_H_
+#define GSO_MEDIA_STALL_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/units.h"
+
+namespace gso::media {
+
+inline constexpr TimeDelta kVideoStallGap = TimeDelta::Millis(200);
+inline constexpr TimeDelta kPlaybackInterval = TimeDelta::Seconds(1);
+inline constexpr double kVoiceStallLossThreshold = 0.10;
+
+class VideoStallDetector {
+ public:
+  void OnFrameRendered(Timestamp now) {
+    if (has_frame_) {
+      const TimeDelta gap = now - last_frame_;
+      if (gap > kVideoStallGap) {
+        // Every playback interval the frozen span [last_frame_, now] touches
+        // counts as stalled.
+        MarkStalled(last_frame_, now);
+      }
+    }
+    has_frame_ = true;
+    last_frame_ = now;
+    total_frames_++;
+  }
+
+  // Finalizes the session: a trailing freeze up to `end` also stalls.
+  void OnSessionEnd(Timestamp end) {
+    if (has_frame_ && end - last_frame_ > kVideoStallGap) {
+      MarkStalled(last_frame_, end);
+    }
+    session_end_ = end;
+  }
+
+  // Stall rate over [session_start, end): stalled intervals / total.
+  double StallRate(Timestamp session_start, Timestamp session_end) const {
+    const int64_t first = session_start.us() / kPlaybackInterval.us();
+    const int64_t last = (session_end.us() - 1) / kPlaybackInterval.us();
+    if (last < first) return 0.0;
+    int64_t stalled = 0;
+    for (int64_t i = first; i <= last; ++i) stalled += stalled_intervals_.count(i);
+    return static_cast<double>(stalled) / static_cast<double>(last - first + 1);
+  }
+
+  int64_t total_frames() const { return total_frames_; }
+
+  // Average framerate over the session.
+  double AverageFramerate(Timestamp session_start, Timestamp session_end) const {
+    const double seconds = (session_end - session_start).seconds();
+    return seconds > 0 ? static_cast<double>(total_frames_) / seconds : 0.0;
+  }
+
+ private:
+  void MarkStalled(Timestamp from, Timestamp to) {
+    const int64_t first = from.us() / kPlaybackInterval.us();
+    const int64_t last = to.us() / kPlaybackInterval.us();
+    for (int64_t i = first; i <= last; ++i) stalled_intervals_.insert(i);
+  }
+
+  bool has_frame_ = false;
+  Timestamp last_frame_;
+  Timestamp session_end_;
+  int64_t total_frames_ = 0;
+  std::set<int64_t> stalled_intervals_;
+};
+
+class VoiceStallDetector {
+ public:
+  // Records one audio packet outcome attributed to its playout interval.
+  void OnPacketExpected(Timestamp when, bool received) {
+    const int64_t interval = when.us() / kPlaybackInterval.us();
+    auto& counts = intervals_[interval];
+    counts.expected++;
+    if (received) counts.received++;
+  }
+
+  double StallRate() const {
+    if (intervals_.empty()) return 0.0;
+    int64_t stalled = 0;
+    for (const auto& [_, c] : intervals_) {
+      const double loss =
+          c.expected > 0
+              ? 1.0 - static_cast<double>(c.received) / c.expected
+              : 0.0;
+      if (loss > kVoiceStallLossThreshold) ++stalled;
+    }
+    return static_cast<double>(stalled) / static_cast<double>(intervals_.size());
+  }
+
+ private:
+  struct Counts {
+    int64_t expected = 0;
+    int64_t received = 0;
+  };
+  std::map<int64_t, Counts> intervals_;
+};
+
+}  // namespace gso::media
+
+#endif  // GSO_MEDIA_STALL_DETECTOR_H_

@@ -1,0 +1,170 @@
+// RTCP packet types used by GSO-Simulcast's reporting and feedback planes.
+//
+// Implemented wire formats:
+//  - Sender/Receiver Reports with report blocks (RFC 3550, PT 200/201)
+//  - TMMBR / TMMBN (RFC 5104 §4.2, RTPFB PT 205 FMT 3/4) with the
+//    17-bit-mantissa / 6-bit-exponent / 9-bit-overhead MxTBR encoding
+//  - REMB (draft-alvestrand-rmcat-remb, PSFB PT 206 FMT 15)
+//  - Application-defined packets (PT 204, RFC 3550 §6.7), carrying:
+//      * SEMB  — sender estimated maximum bitrate (paper §4.2): uplink
+//        bandwidth reported in-band from client to accessing node, value
+//        encoded mantissa*2^exp following the REMB definition;
+//      * GTBR / GTBN — the paper's stream-orchestration TMMBR/TMMBN
+//        re-wrapped inside an APP packet to remove the ambiguity with
+//        congestion-control TMMBR (paper §4.3). One GTBR carries one entry
+//        per SSRC (per simulcast layer); mantissa==0 disables the layer.
+//  - Transport-wide feedback (RTPFB PT 205 FMT 15): per-packet receive
+//    timestamps for the GCC-style estimator. We use a simplified fixed-size
+//    per-packet encoding (received flag + 0.25 ms delta) rather than the
+//    draft's run-length chunks; the information content is identical.
+//
+// All packets serialize into RFC 3550 compound framing (4-byte headers,
+// 32-bit word lengths) and parse back via ParseCompound().
+#ifndef GSO_NET_RTCP_PACKETS_H_
+#define GSO_NET_RTCP_PACKETS_H_
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace gso::net {
+
+// --- RFC 5104 MxTBR encoding -------------------------------------------
+
+// Encodes a bitrate as (exponent, mantissa) with a 17-bit mantissa.
+// Returns the closest representable value of `mantissa * 2^exp`.
+struct MxTbr {
+  uint8_t exponent = 0;   // 6 bits
+  uint32_t mantissa = 0;  // 17 bits
+  uint16_t overhead = 0;  // 9 bits, per-packet overhead in bytes
+
+  static MxTbr FromBitrate(DataRate rate, uint16_t overhead = 0);
+  DataRate bitrate() const {
+    return DataRate::BitsPerSec(static_cast<int64_t>(mantissa) << exponent);
+  }
+};
+
+// --- Individual packet types --------------------------------------------
+
+struct ReportBlock {
+  Ssrc source_ssrc;
+  uint8_t fraction_lost = 0;   // loss since previous report, fixed point /256
+  uint32_t cumulative_lost = 0;
+  uint32_t extended_highest_sequence = 0;
+  uint32_t jitter = 0;         // RFC 3550 interarrival jitter, media clock units
+};
+
+struct SenderReport {
+  Ssrc sender_ssrc;
+  uint64_t ntp_time = 0;
+  uint32_t rtp_timestamp = 0;
+  uint32_t packet_count = 0;
+  uint32_t octet_count = 0;
+  std::vector<ReportBlock> report_blocks;
+};
+
+struct ReceiverReport {
+  Ssrc sender_ssrc;
+  std::vector<ReportBlock> report_blocks;
+};
+
+struct TmmbrEntry {
+  Ssrc ssrc;
+  MxTbr max_total_bitrate;
+};
+
+// RFC 5104 congestion-control TMMBR (kept distinct from the GSO variant).
+struct Tmmbr {
+  Ssrc sender_ssrc;
+  std::vector<TmmbrEntry> entries;
+};
+
+struct Tmmbn {
+  Ssrc sender_ssrc;
+  std::vector<TmmbrEntry> entries;
+};
+
+struct Remb {
+  Ssrc sender_ssrc;
+  DataRate bitrate;
+  std::vector<Ssrc> ssrcs;
+};
+
+// Sender Estimated Maximum Bitrate: the client's sender-side uplink BWE,
+// reported in-band in an APP(204) packet (paper §4.2).
+struct Semb {
+  Ssrc sender_ssrc;
+  DataRate bitrate;
+};
+
+// GSO stream-orchestration bitrate request: the controller's decision for
+// each of a publisher's simulcast layers, delivered by the accessing node.
+// mantissa==0 (bitrate zero) disables the layer (paper §4.3).
+struct GsoTmmbr {
+  Ssrc sender_ssrc;
+  uint32_t request_id = 0;  // echoed in the GTBN ack; drives retransmission
+  std::vector<TmmbrEntry> entries;
+};
+
+// Acknowledgement of a GsoTmmbr (maps TMMBN, paper §4.3 reliability).
+struct GsoTmmbn {
+  Ssrc sender_ssrc;
+  uint32_t request_id = 0;
+  std::vector<TmmbrEntry> entries;
+};
+
+// Per-transport receive feedback for the delay-based estimator.
+struct TransportFeedback {
+  struct PacketResult {
+    uint16_t sequence = 0;
+    bool received = false;
+    // Receive time offset from base_time in 0.25 ms units (valid if received).
+    uint32_t delta_250us = 0;
+  };
+  Ssrc sender_ssrc;
+  uint32_t base_time_ms = 0;  // receive clock of the first packet in the batch
+  std::vector<PacketResult> packets;
+};
+
+// Generic NACK (RFC 4585 §6.2.1, RTPFB FMT 1): retransmission request for
+// specific RTP sequence numbers of `media_ssrc`.
+struct Nack {
+  Ssrc sender_ssrc;
+  Ssrc media_ssrc;
+  std::vector<uint16_t> sequences;
+};
+
+// Picture Loss Indication (RFC 4585 §6.3.1, PSFB FMT 1): the decoder lost
+// sync and needs a keyframe on `media_ssrc`.
+struct Pli {
+  Ssrc sender_ssrc;
+  Ssrc media_ssrc;
+};
+
+// Generic APP packet for forward compatibility (unknown 4-char names).
+struct AppPacket {
+  Ssrc sender_ssrc;
+  uint8_t subtype = 0;
+  char name[4] = {0, 0, 0, 0};
+  std::vector<uint8_t> payload;
+};
+
+using RtcpMessage =
+    std::variant<SenderReport, ReceiverReport, Tmmbr, Tmmbn, Remb, Semb,
+                 GsoTmmbr, GsoTmmbn, TransportFeedback, Nack, Pli, AppPacket>;
+
+// --- Compound packet framing --------------------------------------------
+
+// Serializes messages back-to-back in RFC 3550 compound framing.
+std::vector<uint8_t> SerializeCompound(const std::vector<RtcpMessage>& messages);
+
+// Parses a compound packet; unknown or malformed sub-packets are skipped.
+std::vector<RtcpMessage> ParseCompound(const std::vector<uint8_t>& data);
+
+}  // namespace gso::net
+
+#endif  // GSO_NET_RTCP_PACKETS_H_

@@ -1,0 +1,48 @@
+// RTP packet (RFC 3550 §5.1) with the transport-wide sequence-number
+// header extension used by transport-wide congestion control.
+#ifndef GSO_NET_RTP_PACKET_H_
+#define GSO_NET_RTP_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace gso::net {
+
+// One-byte header-extension id we register for the transport-wide sequence
+// number (draft-holmer-rmcat-transport-wide-cc-extensions).
+inline constexpr uint8_t kTransportSequenceExtensionId = 5;
+
+struct RtpPacket {
+  // Fixed header fields.
+  bool marker = false;          // set on the last packet of a video frame
+  uint8_t payload_type = 96;
+  uint16_t sequence_number = 0;
+  uint32_t timestamp = 0;       // media clock (90 kHz video, 48 kHz audio)
+  Ssrc ssrc;
+
+  // Transport-wide sequence number carried as a header extension; spans all
+  // streams of one sender so the receiver can give per-transport feedback.
+  std::optional<uint16_t> transport_sequence;
+
+  // Payload is opaque to the network: we carry size, not media bytes, plus
+  // a small descriptor the simulated decoder needs.
+  uint32_t payload_size = 0;
+  uint32_t frame_id = 0;        // which encoded frame this packet belongs to
+  uint16_t packet_index = 0;    // position of this packet within the frame
+  uint16_t packets_in_frame = 1;
+  bool is_keyframe = false;
+
+  // Serialized wire size: 12-byte header (+8 when the extension is present)
+  // + payload.
+  size_t WireSize() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<RtpPacket> Parse(const std::vector<uint8_t>& data);
+};
+
+}  // namespace gso::net
+
+#endif  // GSO_NET_RTP_PACKET_H_

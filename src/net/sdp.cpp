@@ -1,0 +1,183 @@
+#include "net/sdp.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gso::net {
+namespace {
+
+// Splits `s` on `delim` without collapsing empty fields.
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::optional<int64_t> ParseInt(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::string ToString(VideoCodec codec) {
+  switch (codec) {
+    case VideoCodec::kH264:
+      return "H264";
+    case VideoCodec::kVp8:
+      return "VP8";
+    case VideoCodec::kVp9:
+      return "VP9";
+  }
+  return "?";
+}
+
+std::optional<VideoCodec> VideoCodecFromString(const std::string& s) {
+  if (s == "H264") return VideoCodec::kH264;
+  if (s == "VP8") return VideoCodec::kVp8;
+  if (s == "VP9") return VideoCodec::kVp9;
+  return std::nullopt;
+}
+
+std::string SessionDescription::Serialize() const {
+  std::ostringstream out;
+  out << "v=0\r\n";
+  out << "o=gso " << client.value() << " 0 IN IP4 0.0.0.0\r\n";
+  out << "s=" << session_name << "\r\n";
+  out << "t=0 0\r\n";
+  if (has_audio) {
+    out << "m=audio 9 UDP/TLS/RTP/SAVPF 111\r\n";
+    out << "a=rtpmap:111 opus/48000/2\r\n";
+  }
+  if (has_video) {
+    out << "m=video 9 UDP/TLS/RTP/SAVPF 96\r\n";
+    if (simulcast) {
+      out << "a=rtpmap:96 " << ToString(simulcast->codec) << "/90000\r\n";
+      out << "a=x-gso-simulcast-caps:" << simulcast->max_parallel_streams
+          << ";" << (simulcast->supports_fine_bitrate ? 1 : 0) << "\r\n";
+      for (const auto& layer : simulcast->layers) {
+        out << "a=x-gso-simulcast-info:" << layer.resolution.width << "x"
+            << layer.resolution.height << ";"
+            << layer.max_bitrate.bps() << ";" << layer.ssrc.value()
+            << "\r\n";
+      }
+    } else {
+      out << "a=rtpmap:96 H264/90000\r\n";
+    }
+  }
+  return out.str();
+}
+
+std::optional<SessionDescription> SessionDescription::Parse(
+    const std::string& text) {
+  SessionDescription desc;
+  desc.has_audio = false;
+  desc.has_video = false;
+  SimulcastInfo simulcast;
+  bool saw_simulcast_caps = false;
+  bool in_video_section = false;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.rfind("o=gso ", 0) == 0) {
+      const auto fields = Split(line.substr(6), ' ');
+      if (fields.empty()) return std::nullopt;
+      const auto id = ParseInt(fields[0]);
+      if (!id) return std::nullopt;
+      desc.client = ClientId(static_cast<uint32_t>(*id));
+    } else if (line.rfind("s=", 0) == 0) {
+      desc.session_name = line.substr(2);
+    } else if (line.rfind("m=audio", 0) == 0) {
+      desc.has_audio = true;
+      in_video_section = false;
+    } else if (line.rfind("m=video", 0) == 0) {
+      desc.has_video = true;
+      in_video_section = true;
+    } else if (in_video_section && line.rfind("a=rtpmap:96 ", 0) == 0) {
+      const auto rest = line.substr(12);
+      const auto slash = rest.find('/');
+      const auto codec = VideoCodecFromString(rest.substr(0, slash));
+      if (codec) simulcast.codec = *codec;
+    } else if (line.rfind("a=x-gso-simulcast-caps:", 0) == 0) {
+      const auto fields = Split(line.substr(23), ';');
+      if (fields.size() != 2) return std::nullopt;
+      const auto streams = ParseInt(fields[0]);
+      const auto fine = ParseInt(fields[1]);
+      if (!streams || !fine) return std::nullopt;
+      simulcast.max_parallel_streams = static_cast<int>(*streams);
+      simulcast.supports_fine_bitrate = *fine != 0;
+      saw_simulcast_caps = true;
+    } else if (line.rfind("a=x-gso-simulcast-info:", 0) == 0) {
+      const auto fields = Split(line.substr(23), ';');
+      if (fields.size() != 3) return std::nullopt;
+      const auto dims = Split(fields[0], 'x');
+      if (dims.size() != 2) return std::nullopt;
+      const auto w = ParseInt(dims[0]);
+      const auto h = ParseInt(dims[1]);
+      const auto bps = ParseInt(fields[1]);
+      const auto ssrc = ParseInt(fields[2]);
+      if (!w || !h || !bps || !ssrc) return std::nullopt;
+      SimulcastLayerInfo layer;
+      layer.resolution = Resolution{static_cast<int32_t>(*w),
+                                    static_cast<int32_t>(*h)};
+      layer.max_bitrate = DataRate::BitsPerSec(*bps);
+      layer.ssrc = Ssrc(static_cast<uint32_t>(*ssrc));
+      simulcast.layers.push_back(layer);
+    }
+  }
+
+  if (saw_simulcast_caps || !simulcast.layers.empty()) {
+    desc.simulcast = std::move(simulcast);
+  }
+  return desc;
+}
+
+NegotiationResult NegotiateOffer(const SessionDescription& offer,
+                                 int max_layers) {
+  NegotiationResult result;
+  if (!offer.has_video || !offer.simulcast) return result;
+  SimulcastInfo accepted = *offer.simulcast;
+  // Nonzero SSRCs must be unique within the offer — a duplicate means the
+  // client could not address layers individually via TMMBR. Zero is the
+  // "assign me one" placeholder and is exempt.
+  for (size_t i = 0; i < accepted.layers.size(); ++i) {
+    if (accepted.layers[i].ssrc == Ssrc(0)) continue;
+    for (size_t j = i + 1; j < accepted.layers.size(); ++j) {
+      if (accepted.layers[i].ssrc == accepted.layers[j].ssrc) return result;
+    }
+  }
+  if (static_cast<int>(accepted.layers.size()) > max_layers) {
+    // Keep the largest `max_layers` resolutions; drop from the bottom of
+    // the advertised list (clients list layers largest-first by convention,
+    // so we keep the prefix after sorting defensively).
+    std::sort(accepted.layers.begin(), accepted.layers.end(),
+              [](const SimulcastLayerInfo& a, const SimulcastLayerInfo& b) {
+                return b.resolution < a.resolution;
+              });
+    accepted.layers.resize(static_cast<size_t>(max_layers));
+  }
+  accepted.max_parallel_streams =
+      std::min(accepted.max_parallel_streams, max_layers);
+  result.accepted = true;
+  result.config = std::move(accepted);
+  return result;
+}
+
+}  // namespace gso::net

@@ -1,0 +1,86 @@
+// Minimal SDP offer/answer (RFC 4566 subset) extended with the paper's
+// custom `simulcastInfo` (§4.2): alongside the codec list, a publisher
+// advertises, per simulcast layer, the resolution, the maximum bitrate for
+// that resolution, and the SSRC assigned to the layer. The conference node
+// derives each client's codec-capability constraints from this negotiation.
+#ifndef GSO_NET_SDP_H_
+#define GSO_NET_SDP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/resolution.h"
+#include "common/units.h"
+
+namespace gso::net {
+
+enum class VideoCodec { kH264, kVp8, kVp9 };
+
+std::string ToString(VideoCodec codec);
+std::optional<VideoCodec> VideoCodecFromString(const std::string& s);
+
+// One advertised simulcast layer: a resolution, the hardest bitrate the
+// encoder can sustain at that resolution, and the SSRC the layer will use.
+struct SimulcastLayerInfo {
+  Resolution resolution;
+  DataRate max_bitrate;
+  Ssrc ssrc;
+
+  bool operator==(const SimulcastLayerInfo& o) const {
+    return resolution == o.resolution && max_bitrate == o.max_bitrate &&
+           ssrc == o.ssrc;
+  }
+};
+
+// The paper's simulcastInfo message, sent with the SDP offer.
+struct SimulcastInfo {
+  VideoCodec codec = VideoCodec::kH264;
+  int max_parallel_streams = 3;
+  // True when the device encoder supports arbitrary target bitrates inside
+  // a layer (the 15-level fine ladder); false restricts to the coarse set.
+  bool supports_fine_bitrate = true;
+  std::vector<SimulcastLayerInfo> layers;
+
+  bool operator==(const SimulcastInfo& o) const {
+    return codec == o.codec && max_parallel_streams == o.max_parallel_streams &&
+           supports_fine_bitrate == o.supports_fine_bitrate &&
+           layers == o.layers;
+  }
+};
+
+// An SDP session description for one participant joining a conference.
+struct SessionDescription {
+  std::string session_name = "gso";
+  ClientId client;
+  bool has_audio = true;
+  bool has_video = true;
+  std::optional<SimulcastInfo> simulcast;
+
+  // Renders the classic line-oriented SDP text, with simulcastInfo carried
+  // in `a=x-gso-simulcast-info` attribute lines.
+  std::string Serialize() const;
+  static std::optional<SessionDescription> Parse(const std::string& text);
+
+  bool operator==(const SessionDescription& o) const {
+    return session_name == o.session_name && client == o.client &&
+           has_audio == o.has_audio && has_video == o.has_video &&
+           simulcast == o.simulcast;
+  }
+};
+
+// Offer/answer exchange result: the accepted simulcast configuration.
+struct NegotiationResult {
+  bool accepted = false;
+  SimulcastInfo config;
+};
+
+// The conference node's side of SDP negotiation: validates the offer,
+// clamps the layer count to `max_layers`, and echoes the accepted config.
+NegotiationResult NegotiateOffer(const SessionDescription& offer,
+                                 int max_layers);
+
+}  // namespace gso::net
+
+#endif  // GSO_NET_SDP_H_

@@ -1,0 +1,57 @@
+// Conference-wide SSRC assignment.
+//
+// GSO assigns a distinct SSRC to every stream resolution of every client
+// (paper §4.2) so a TMMBR/GTBR entry can address one simulcast layer.
+// The allocator guarantees uniqueness within a conference and provides a
+// reverse lookup from SSRC to (client, layer index).
+#ifndef GSO_NET_SSRC_ALLOCATOR_H_
+#define GSO_NET_SSRC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+
+namespace gso::net {
+
+enum class MediaKind : uint8_t { kAudio = 0, kVideo = 1, kScreenShare = 2 };
+
+struct SsrcOwner {
+  ClientId client;
+  MediaKind kind = MediaKind::kVideo;
+  int layer_index = 0;  // index into the client's simulcast ladder
+
+  bool operator==(const SsrcOwner& o) const {
+    return client == o.client && kind == o.kind && layer_index == o.layer_index;
+  }
+};
+
+class SsrcAllocator {
+ public:
+  // Allocates the next free SSRC for the given owner. SSRCs are dense and
+  // deterministic so tests and logs are stable.
+  Ssrc Allocate(const SsrcOwner& owner) {
+    const Ssrc ssrc(next_++);
+    owners_.emplace(ssrc, owner);
+    return ssrc;
+  }
+
+  std::optional<SsrcOwner> Lookup(Ssrc ssrc) const {
+    const auto it = owners_.find(ssrc);
+    if (it == owners_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void Release(Ssrc ssrc) { owners_.erase(ssrc); }
+
+  size_t size() const { return owners_.size(); }
+
+ private:
+  uint32_t next_ = 1000;  // avoid 0: some stacks treat SSRC 0 as unset
+  std::unordered_map<Ssrc, SsrcOwner> owners_;
+};
+
+}  // namespace gso::net
+
+#endif  // GSO_NET_SSRC_ALLOCATOR_H_

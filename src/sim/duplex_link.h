@@ -1,0 +1,38 @@
+// A bidirectional network attachment: paired uplink and downlink Links.
+//
+// Models a client's access network (the entity the paper's B_u / B_d
+// constraints describe) or an inter-node backbone segment.
+#ifndef GSO_SIM_DUPLEX_LINK_H_
+#define GSO_SIM_DUPLEX_LINK_H_
+
+#include <string>
+
+#include "sim/link.h"
+
+namespace gso::sim {
+
+struct DuplexLinkConfig {
+  LinkConfig uplink;
+  LinkConfig downlink;
+};
+
+class DuplexLink {
+ public:
+  DuplexLink(EventLoop* loop, DuplexLinkConfig config, Rng* rng,
+             const std::string& name)
+      : uplink_(loop, config.uplink, rng->Fork(), name + ":up"),
+        downlink_(loop, config.downlink, rng->Fork(), name + ":down") {}
+
+  Link& uplink() { return uplink_; }
+  Link& downlink() { return downlink_; }
+  const Link& uplink() const { return uplink_; }
+  const Link& downlink() const { return downlink_; }
+
+ private:
+  Link uplink_;
+  Link downlink_;
+};
+
+}  // namespace gso::sim
+
+#endif  // GSO_SIM_DUPLEX_LINK_H_

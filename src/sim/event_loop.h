@@ -1,0 +1,88 @@
+// Discrete-event simulation core.
+//
+// EventLoop owns the simulated clock. Components schedule closures at
+// absolute or relative virtual times; RunUntil() drains events in timestamp
+// order (FIFO among equal timestamps). Nothing in the library reads wall
+// clock — a 105-day fleet simulation runs in seconds.
+#ifndef GSO_SIM_EVENT_LOOP_H_
+#define GSO_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace gso::sim {
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Timestamp Now() const { return now_; }
+
+  // Schedules `task` at absolute virtual time `when` (clamped to Now()).
+  void At(Timestamp when, Task task) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(task)});
+  }
+
+  // Schedules `task` `delay` after the current virtual time.
+  void After(TimeDelta delay, Task task) { At(now_ + delay, std::move(task)); }
+
+  // Schedules `task` every `period`, first firing at Now() + period, until
+  // the task returns false or the loop ends.
+  void Every(TimeDelta period, std::function<bool()> task) {
+    After(period, [this, period, task = std::move(task)]() mutable {
+      if (task()) Every(period, std::move(task));
+    });
+  }
+
+  // Runs events until the queue is empty or virtual time would pass `until`.
+  // Leaves the clock at `until` (or at the last event time if earlier events
+  // emptied the queue exactly at `until`).
+  void RunUntil(Timestamp until) {
+    while (!queue_.empty() && queue_.top().when <= until) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.when;
+      ev.task();
+    }
+    if (until.IsFinite() && until > now_) now_ = until;
+  }
+
+  // Runs for `duration` of virtual time from the current instant.
+  void RunFor(TimeDelta duration) { RunUntil(now_ + duration); }
+
+  // Drains every scheduled event regardless of timestamp.
+  void RunAll() { RunUntil(Timestamp::PlusInfinity()); }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Timestamp when;
+    uint64_t seq;  // breaks ties FIFO
+    Task task;
+
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  Timestamp now_ = Timestamp::Zero();
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace gso::sim
+
+#endif  // GSO_SIM_EVENT_LOOP_H_

@@ -1,0 +1,106 @@
+// Simulated network link.
+//
+// A Link models one direction of a network path: a droptail queue drained
+// at the link capacity, followed by propagation delay, random jitter, and
+// random loss (Bernoulli or Gilbert-Elliott bursty loss). Capacity and loss
+// can be changed at virtual runtime to script scenarios such as the paper's
+// Fig. 7 bandwidth steps and Table 2 slow-link matrix.
+#ifndef GSO_SIM_LINK_H_
+#define GSO_SIM_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/event_loop.h"
+
+namespace gso::sim {
+
+// A packet on the wire. `data` holds the serialized protocol bytes;
+// `wire_size` is what the link charges for it (payload + UDP/IP overhead).
+struct Packet {
+  std::vector<uint8_t> data;
+  DataSize wire_size;
+  Timestamp first_send_time;  // stamped by the original sender
+};
+
+struct LinkConfig {
+  DataRate capacity = DataRate::MegabitsPerSec(100);
+  TimeDelta propagation_delay = TimeDelta::Millis(20);
+  // Zero-mean jitter; each packet gets |N(0, stddev)| extra delay.
+  TimeDelta jitter_stddev = TimeDelta::Zero();
+  // Independent (Bernoulli) loss probability applied per packet.
+  double loss_rate = 0.0;
+  // Optional Gilbert-Elliott bursty loss. When enabled it replaces the
+  // Bernoulli model: the chain sits in Good (loss ~ 0) or Bad (loss high).
+  bool gilbert_elliott = false;
+  double ge_p_good_to_bad = 0.01;
+  double ge_p_bad_to_good = 0.3;
+  double ge_loss_in_bad = 0.7;
+  // Droptail bound expressed as maximum queueing delay.
+  TimeDelta max_queue_delay = TimeDelta::Millis(300);
+  // If false, delivery order is forced monotone even under jitter.
+  bool allow_reordering = true;
+};
+
+struct LinkStats {
+  int64_t packets_sent = 0;
+  int64_t packets_delivered = 0;
+  int64_t packets_dropped_queue = 0;
+  int64_t packets_dropped_loss = 0;
+  DataSize bytes_delivered;
+
+  double LossFraction() const {
+    return packets_sent > 0
+               ? static_cast<double>(packets_dropped_queue +
+                                     packets_dropped_loss) /
+                     static_cast<double>(packets_sent)
+               : 0.0;
+  }
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(const Packet&)>;
+
+  Link(EventLoop* loop, LinkConfig config, Rng rng, std::string name = "link");
+
+  // Installs the receiver; packets surviving the link arrive here.
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  // Enqueues a packet at the current virtual time.
+  void Send(Packet packet);
+
+  // Runtime reconfiguration for scripted scenarios.
+  void SetCapacity(DataRate capacity) { config_.capacity = capacity; }
+  void SetLossRate(double loss) { config_.loss_rate = loss; }
+  void SetJitter(TimeDelta stddev) { config_.jitter_stddev = stddev; }
+  void SetPropagationDelay(TimeDelta d) { config_.propagation_delay = d; }
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  // Instantaneous queue backlog delay if a packet were enqueued now.
+  TimeDelta CurrentQueueDelay() const;
+
+ private:
+  bool DrawLoss();
+
+  EventLoop* loop_;
+  LinkConfig config_;
+  Rng rng_;
+  std::string name_;
+  Sink sink_;
+  LinkStats stats_;
+  Timestamp busy_until_ = Timestamp::Zero();
+  Timestamp last_delivery_ = Timestamp::Zero();
+  bool ge_in_bad_state_ = false;
+};
+
+}  // namespace gso::sim
+
+#endif  // GSO_SIM_LINK_H_

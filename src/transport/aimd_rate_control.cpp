@@ -1,0 +1,100 @@
+#include "transport/aimd_rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gso::transport {
+
+void AimdRateControl::ChangeState(BandwidthUsage usage) {
+  switch (usage) {
+    case BandwidthUsage::kOverusing:
+      state_ = State::kDecrease;
+      break;
+    case BandwidthUsage::kUnderusing:
+      state_ = State::kHold;
+      break;
+    case BandwidthUsage::kNormal:
+      // Hold -> Increase; Decrease -> Hold (wait for queues to drain before
+      // probing back up); Increase stays.
+      if (state_ == State::kDecrease) {
+        state_ = State::kHold;
+      } else if (state_ == State::kHold) {
+        state_ = State::kIncrease;
+      }
+      break;
+  }
+}
+
+DataRate AimdRateControl::Update(BandwidthUsage usage,
+                                 DataRate acked_throughput, Timestamp now) {
+  ChangeState(usage);
+  if (last_change_ == Timestamp::Zero()) last_change_ = now;
+  const double dt_s =
+      std::clamp((now - last_change_).seconds(), 0.0, 1.0);
+
+  switch (state_) {
+    case State::kHold:
+      break;
+    case State::kDecrease: {
+      // At most one multiplicative decrease per back-off window: while the
+      // bottleneck queue drains, the detector can keep reporting overuse
+      // and acked throughput keeps falling; compounding 0.85x on those
+      // samples would spiral the estimate far below the link capacity.
+      if (last_decrease_ &&
+          now - *last_decrease_ < TimeDelta::Millis(300)) {
+        state_ = State::kHold;
+        break;
+      }
+      DataRate measured = acked_throughput;
+      if (measured.IsZero()) measured = current_rate_;
+      link_capacity_.Add(measured.kbps());
+      DataRate next = measured * kBeta;
+      // Floors: never below half the current rate in one step, and never
+      // below ~40% of the running link-capacity estimate (the link was
+      // recently proven to carry that much).
+      next = std::max(next, current_rate_ * 0.5);
+      if (link_capacity_.initialized()) {
+        next = std::max(next, DataRate::KilobitsPerSecF(
+                                  0.4 * link_capacity_.value()));
+      }
+      current_rate_ = Clamp(std::min(next, current_rate_));
+      last_decrease_ = now;
+      // A decrease consumes the event; hold until the detector re-triggers.
+      state_ = State::kHold;
+      break;
+    }
+    case State::kIncrease: {
+      const DataRate before_increase = current_rate_;
+      const bool near_capacity =
+          link_capacity_.initialized() &&
+          current_rate_.kbps() > 0.9 * link_capacity_.value();
+      if (near_capacity) {
+        // Additive: roughly one 1200-byte packet per 200 ms response time.
+        const double add_bps = 1200.0 * 8.0 / 0.2 * dt_s;
+        current_rate_ =
+            Clamp(current_rate_ + DataRate::BitsPerSec(
+                                      static_cast<int64_t>(add_bps)));
+      } else {
+        const double factor = std::pow(1.0 + kMultiplicativePerSecond, dt_s);
+        current_rate_ = Clamp(current_rate_ * factor);
+      }
+      // Do not run away from what the path demonstrably carries: increases
+      // stop at 1.5x the acked throughput (GCC). The cap never *reduces*
+      // the estimate — an application-limited sender (less media queued
+      // than the estimate allows) must not drag its own estimate down;
+      // only overuse and loss do that.
+      if (!acked_throughput.IsZero()) {
+        const DataRate cap =
+            acked_throughput * 1.5 + DataRate::KilobitsPerSec(10);
+        if (current_rate_ > cap) {
+          current_rate_ = Clamp(std::max(before_increase, cap));
+        }
+      }
+      break;
+    }
+  }
+  last_change_ = now;
+  return current_rate_;
+}
+
+}  // namespace gso::transport

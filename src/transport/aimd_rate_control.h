@@ -1,0 +1,72 @@
+// AIMD rate controller of the delay-based estimator (GCC §5.5).
+//
+// State machine Hold / Increase / Decrease driven by the overuse detector:
+//  - overusing  -> Decrease: rate = beta * measured throughput (beta 0.85),
+//    and remember the throughput as a link-capacity estimate;
+//  - underusing -> Hold (let queues drain);
+//  - normal     -> Increase: multiplicative (~8%/s) while far from the
+//    link-capacity estimate, additive (about one packet per response time)
+//    once near it.
+#ifndef GSO_TRANSPORT_AIMD_RATE_CONTROL_H_
+#define GSO_TRANSPORT_AIMD_RATE_CONTROL_H_
+
+#include <optional>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "transport/trendline_estimator.h"
+
+namespace gso::transport {
+
+class AimdRateControl {
+ public:
+  AimdRateControl(DataRate min_rate, DataRate max_rate, DataRate start_rate)
+      : min_rate_(min_rate),
+        max_rate_(max_rate),
+        current_rate_(start_rate),
+        link_capacity_(/*alpha=*/0.3) {}
+
+  // Feeds the detector state plus the acked throughput measured over the
+  // last feedback interval. Returns the updated target rate.
+  DataRate Update(BandwidthUsage usage, DataRate acked_throughput,
+                  Timestamp now);
+
+  DataRate target_rate() const { return current_rate_; }
+  void SetEstimate(DataRate rate, Timestamp now) {
+    current_rate_ = Clamp(rate);
+    last_change_ = now;
+  }
+
+  // True when the controller is in the decrease backoff window; the prober
+  // must not launch probes then.
+  bool InDecrease() const { return state_ == State::kDecrease; }
+  std::optional<Timestamp> last_decrease_time() const {
+    return last_decrease_;
+  }
+
+ private:
+  enum class State { kHold, kIncrease, kDecrease };
+
+  DataRate Clamp(DataRate rate) const {
+    if (rate < min_rate_) return min_rate_;
+    if (rate > max_rate_) return max_rate_;
+    return rate;
+  }
+
+  void ChangeState(BandwidthUsage usage);
+
+  static constexpr double kBeta = 0.85;
+  static constexpr double kMultiplicativePerSecond = 0.08;
+
+  DataRate min_rate_;
+  DataRate max_rate_;
+  DataRate current_rate_;
+  State state_ = State::kIncrease;
+  Timestamp last_change_ = Timestamp::Zero();
+  Ewma link_capacity_;
+  std::optional<Timestamp> last_decrease_;
+};
+
+}  // namespace gso::transport
+
+#endif  // GSO_TRANSPORT_AIMD_RATE_CONTROL_H_

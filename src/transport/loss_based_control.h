@@ -1,0 +1,75 @@
+// Loss-based rate controller (GCC §6).
+//
+// Operates on the fraction of packets reported lost per feedback interval:
+//   loss < 2%   -> gently increase (x1.05 per second)
+//   2% .. 10%   -> hold
+//   loss > 10%  -> rate *= (1 - 0.5 * loss)
+// The send-side estimate is min(delay_based, loss_based).
+#ifndef GSO_TRANSPORT_LOSS_BASED_CONTROL_H_
+#define GSO_TRANSPORT_LOSS_BASED_CONTROL_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace gso::transport {
+
+class LossBasedControl {
+ public:
+  LossBasedControl(DataRate min_rate, DataRate max_rate, DataRate start_rate)
+      : min_rate_(min_rate), max_rate_(max_rate), rate_(start_rate) {}
+
+  // `acked` is the measured delivered throughput: the link demonstrably
+  // carries that much, so a loss-driven decrease never goes below half of
+  // it (prevents grinding to the floor while a full queue drains).
+  DataRate Update(double loss_fraction, Timestamp now,
+                  DataRate acked = DataRate::Zero()) {
+    if (last_update_ == Timestamp::Zero()) last_update_ = now;
+    const double dt_s =
+        std::clamp((now - last_update_).seconds(), 0.0, 1.0);
+    last_update_ = now;
+
+    if (loss_fraction > 0.10) {
+      // At most one multiplicative decrease per 300 ms window, so a burst
+      // of per-feedback reports does not compound into a collapse.
+      if (!last_decrease_.IsFinite() ||
+          now - last_decrease_ > TimeDelta::Millis(300)) {
+        DataRate next = rate_ * (1.0 - 0.5 * loss_fraction);
+        if (!acked.IsZero()) next = std::max(next, acked * 0.5);
+        rate_ = std::min(rate_, next);
+        last_decrease_ = now;
+      }
+    } else if (loss_fraction < 0.02) {
+      // Suppress increases right after a loss episode so we do not oscillate
+      // against a lossy bottleneck.
+      if (!last_decrease_.IsFinite() ||
+          now - last_decrease_ > TimeDelta::Millis(300)) {
+        rate_ = rate_ * std::pow(1.05, dt_s);
+      }
+    }
+    rate_ = Clamp(rate_);
+    return rate_;
+  }
+
+  DataRate rate() const { return rate_; }
+  void SetEstimate(DataRate rate) { rate_ = Clamp(rate); }
+  Timestamp last_decrease_time() const { return last_decrease_; }
+
+ private:
+  DataRate Clamp(DataRate r) const {
+    if (r < min_rate_) return min_rate_;
+    if (r > max_rate_) return max_rate_;
+    return r;
+  }
+
+  DataRate min_rate_;
+  DataRate max_rate_;
+  DataRate rate_;
+  Timestamp last_update_ = Timestamp::Zero();
+  Timestamp last_decrease_ = Timestamp::PlusInfinity();
+};
+
+}  // namespace gso::transport
+
+#endif  // GSO_TRANSPORT_LOSS_BASED_CONTROL_H_

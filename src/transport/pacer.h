@@ -1,0 +1,97 @@
+// Paced packet sender with probe-cluster support.
+//
+// Media packets are queued and released at the pacing rate (a multiple of
+// the target rate so queues drain promptly). Probe clusters are short
+// bursts paced at a higher rate used to probe the bandwidth upper bound
+// (paper §7: GCC over-estimates under small streams, so GSO probes with
+// pacer-controlled bursts before trusting an estimate raise).
+#ifndef GSO_TRANSPORT_PACER_H_
+#define GSO_TRANSPORT_PACER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/units.h"
+#include "sim/event_loop.h"
+
+namespace gso::transport {
+
+class Pacer {
+ public:
+  // The callback actually transmits; it receives the probe cluster id for
+  // probe padding packets and nullopt for media.
+  using SendFn = std::function<void(std::optional<int> probe_cluster_id)>;
+
+  Pacer(sim::EventLoop* loop, DataRate initial_rate,
+        double pacing_factor = 2.5)
+      : loop_(loop), pacing_rate_(initial_rate * pacing_factor),
+        pacing_factor_(pacing_factor) {}
+
+  void SetTargetRate(DataRate rate) { pacing_rate_ = rate * pacing_factor_; }
+
+  // Enqueues one media packet of `size` for paced transmission.
+  void Enqueue(DataSize size, SendFn send) {
+    queue_.push_back(Item{size, std::move(send), std::nullopt});
+    MaybeSchedule();
+  }
+
+  // Queues `count` probe packets of `size` paced at `probe_rate`. Probe
+  // packets jump ahead of media so the burst shape is preserved.
+  void SendProbeCluster(int cluster_id, DataRate probe_rate, int count,
+                        DataSize size, SendFn send) {
+    for (int i = 0; i < count; ++i) {
+      probe_queue_.push_back(Item{size, send, cluster_id});
+    }
+    probe_rate_ = probe_rate;
+    MaybeSchedule();
+  }
+
+  size_t queue_size() const { return queue_.size() + probe_queue_.size(); }
+  TimeDelta QueueDelay() const {
+    DataSize backlog;
+    for (const auto& i : queue_) backlog += i.size;
+    return backlog / pacing_rate_;
+  }
+
+ private:
+  struct Item {
+    DataSize size;
+    SendFn send;
+    std::optional<int> probe_cluster_id;
+  };
+
+  void MaybeSchedule() {
+    if (scheduled_) return;
+    scheduled_ = true;
+    const Timestamp when = std::max(next_send_time_, loop_->Now());
+    loop_->At(when, [this] { Process(); });
+  }
+
+  void Process() {
+    scheduled_ = false;
+    if (queue_.empty() && probe_queue_.empty()) return;
+    const bool is_probe = !probe_queue_.empty();
+    auto& q = is_probe ? probe_queue_ : queue_;
+    Item item = std::move(q.front());
+    q.pop_front();
+    item.send(item.probe_cluster_id);
+    const DataRate rate = is_probe ? probe_rate_ : pacing_rate_;
+    next_send_time_ = loop_->Now() + item.size / rate;
+    if (!queue_.empty() || !probe_queue_.empty()) MaybeSchedule();
+  }
+
+  sim::EventLoop* loop_;
+  DataRate pacing_rate_;
+  double pacing_factor_;
+  DataRate probe_rate_ = DataRate::MegabitsPerSec(1);
+  std::deque<Item> queue_;
+  std::deque<Item> probe_queue_;
+  Timestamp next_send_time_ = Timestamp::Zero();
+  bool scheduled_ = false;
+};
+
+}  // namespace gso::transport
+
+#endif  // GSO_TRANSPORT_PACER_H_

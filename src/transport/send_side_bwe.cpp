@@ -1,0 +1,174 @@
+#include "transport/send_side_bwe.h"
+
+#include <algorithm>
+
+namespace gso::transport {
+
+SendSideBwe::SendSideBwe(BweConfig config)
+    : config_(config),
+      aimd_(config.min_rate, config.max_rate, config.start_rate),
+      loss_based_(config.min_rate, config.max_rate, config.start_rate),
+      smoothed_loss_(/*alpha=*/0.3),
+      acked_rate_(TimeDelta::Millis(750)),
+      target_rate_(config.start_rate) {
+  smoothed_loss_.Add(0.0);
+}
+
+void SendSideBwe::OnPacketSent(uint16_t transport_sequence,
+                               Timestamp send_time, DataSize size,
+                               std::optional<int> probe_cluster_id) {
+  history_.OnPacketSent(transport_sequence, send_time, size);
+  if (probe_cluster_id) {
+    seq_to_cluster_[transport_sequence] = *probe_cluster_id;
+  }
+}
+
+void SendSideBwe::OnFeedback(const net::TransportFeedback& feedback,
+                             Timestamp now) {
+  std::vector<PacketResult> results;
+  int received = 0;
+  int lost = 0;
+  for (const auto& p : feedback.packets) {
+    const Timestamp receive_time =
+        Timestamp::Millis(feedback.base_time_ms) +
+        TimeDelta::Micros(static_cast<int64_t>(p.delta_250us) * 250);
+    auto result = history_.Lookup(p.sequence, p.received, receive_time);
+    if (!result) continue;
+    if (result->received) {
+      ++received;
+      trendline_.Update(result->send_time, result->receive_time);
+      acked_rate_.Update(result->receive_time, result->size);
+      const TimeDelta owd = result->receive_time - result->send_time;
+      min_owd_ = std::min(min_owd_, owd);
+      owd_ewma_.Add(owd.ms_f());
+      const auto cluster_it = seq_to_cluster_.find(p.sequence);
+      if (cluster_it != seq_to_cluster_.end()) {
+        probe_arrivals_[result->sequence] = {result->receive_time,
+                                             result->size};
+        probe_clusters_[cluster_it->second].push_back(result->sequence);
+        seq_to_cluster_.erase(cluster_it);
+      }
+    } else {
+      ++lost;
+      seq_to_cluster_.erase(p.sequence);
+    }
+    results.push_back(*result);
+  }
+  if (results.empty()) return;
+
+  const int total = received + lost;
+  if (total > 0) {
+    smoothed_loss_.Add(static_cast<double>(lost) / total);
+  }
+
+  last_acked_throughput_ = acked_rate_.Rate(now);
+  BandwidthUsage usage = trendline_.State();
+  if (usage == BandwidthUsage::kOverusing) {
+    if (now < overuse_suppressed_until_) {
+      usage = BandwidthUsage::kNormal;  // probe wake; queue already gone
+    } else {
+      had_overuse_ = true;
+      last_overuse_ = now;
+    }
+  }
+  const DataRate delay_based =
+      aimd_.Update(usage, last_acked_throughput_, now);
+  // Loss-driven decreases apply only when the loss is plausibly
+  // congestive — i.e. the delay detector saw queues building recently.
+  // Random (wireless-style) loss without delay buildup is ridden out, the
+  // way production stacks absorb it with FEC and retransmission; reacting
+  // to it would starve the orchestrator for no reason (paper Fig. 8's
+  // 30%/50% loss rows).
+  const bool congestive =
+      StandingQueue() ||
+      (had_overuse_ && now - last_overuse_ < TimeDelta::Seconds(2));
+  const DataRate loss_based = loss_based_.Update(
+      congestive ? smoothed_loss_.value() : 0.0, now,
+      last_acked_throughput_);
+
+  target_rate_ = std::min(delay_based, loss_based);
+  // Track *significant* raises only: the steady AIMD trickle must not
+  // starve probing, which is the mechanism for big upward steps.
+  if (target_rate_ > last_raise_mark_ * 1.25) {
+    last_raise_mark_ = target_rate_;
+    last_estimate_raise_ = now;
+  } else if (target_rate_ < last_raise_mark_ * 0.8) {
+    last_raise_mark_ = target_rate_;  // follow big drops down
+  }
+
+  EvaluateProbes(results);
+}
+
+void SendSideBwe::EvaluateProbes(const std::vector<PacketResult>&) {
+  // A cluster is evaluable once >= 3 of its packets have arrived: estimate
+  // the delivered rate across the cluster's arrival span and, if the path
+  // demonstrably sustained more than the current target, raise the target
+  // to 85% of the probe rate (conservative, per the paper's lesson on
+  // controlling probe redundancy).
+  for (auto it = probe_clusters_.begin(); it != probe_clusters_.end();) {
+    auto& seqs = it->second;
+    if (seqs.size() < 3) {
+      ++it;
+      continue;
+    }
+    Timestamp first = Timestamp::PlusInfinity();
+    Timestamp last = Timestamp::Zero();
+    DataSize total;
+    DataSize last_size;
+    for (int64_t seq : seqs) {
+      const auto arr = probe_arrivals_.find(seq);
+      if (arr == probe_arrivals_.end()) continue;
+      first = std::min(first, arr->second.first);
+      if (arr->second.first > last) {
+        last = arr->second.first;
+        last_size = arr->second.second;
+      }
+      total += arr->second.second;
+      probe_arrivals_.erase(arr);
+    }
+    if (last > first) {
+      // Exclude the first packet's bytes from the span computation the same
+      // way packet-train dispersion estimators do.
+      const DataRate probe_rate = (total - last_size) / (last - first);
+      const DataRate capped = std::min(probe_rate * 0.85, config_.max_rate);
+      if (capped > target_rate_) {
+        target_rate_ = capped;
+        aimd_.SetEstimate(capped, last);
+        loss_based_.SetEstimate(capped);
+        last_estimate_raise_ = last;
+      }
+    }
+    it = probe_clusters_.erase(it);
+  }
+}
+
+bool SendSideBwe::WantsProbe(Timestamp now) const {
+  // Probing discipline (paper §7 + standard ALR probing):
+  //  - never while backing off or shortly after any decrease,
+  //  - never on a lossy path,
+  //  - only when application-limited (acked well below the estimate —
+  //    the path above current traffic is unproven, so a paced burst is
+  //    the only way to learn it),
+  //  - not once the estimate already dwarfs the demand (nothing to learn),
+  //  - at most one cluster per second.
+  if (aimd_.InDecrease()) return false;
+  const auto aimd_decrease = aimd_.last_decrease_time();
+  if (aimd_decrease && now - *aimd_decrease < TimeDelta::MillisF(1500)) {
+    return false;
+  }
+  const Timestamp loss_decrease = loss_based_.last_decrease_time();
+  if (loss_decrease.IsFinite() &&
+      now - loss_decrease < TimeDelta::MillisF(1500)) {
+    return false;
+  }
+  if (smoothed_loss_.value() > 0.08) return false;
+  // Stop probing once the estimate already dwarfs the demand — there is
+  // nothing left to learn and padding would only burn bandwidth.
+  const DataRate learn_ceiling = std::max(
+      last_acked_throughput_ * 4.0, DataRate::KilobitsPerSec(600));
+  if (target_rate_ > learn_ceiling) return false;
+  return now - last_probe_time_ > TimeDelta::Seconds(1) &&
+         now - last_estimate_raise_ > TimeDelta::MillisF(1500);
+}
+
+}  // namespace gso::transport

@@ -1,0 +1,50 @@
+// Tests for strongly typed identifiers.
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace gso {
+namespace {
+
+TEST(Ids, EqualityAndOrdering) {
+  EXPECT_EQ(ClientId(5), ClientId(5));
+  EXPECT_NE(ClientId(5), ClientId(6));
+  EXPECT_LT(ClientId(5), ClientId(6));
+  EXPECT_LT(Ssrc(1), Ssrc(2));
+}
+
+TEST(Ids, DefaultIsZero) {
+  EXPECT_EQ(ClientId().value(), 0u);
+  EXPECT_EQ(Ssrc().value(), 0u);
+  EXPECT_EQ(NodeId().value(), 0u);
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::unordered_set<ClientId> clients;
+  std::unordered_set<Ssrc> ssrcs;
+  for (uint32_t i = 0; i < 100; ++i) {
+    clients.insert(ClientId(i));
+    ssrcs.insert(Ssrc(i * 7));
+  }
+  EXPECT_EQ(clients.size(), 100u);
+  EXPECT_EQ(ssrcs.size(), 100u);
+  EXPECT_TRUE(clients.count(ClientId(42)));
+  EXPECT_FALSE(clients.count(ClientId(1000)));
+}
+
+TEST(Ids, ToStringFormats) {
+  EXPECT_EQ(ClientId(7).ToString(), "client:7");
+  EXPECT_EQ(Ssrc(1234).ToString(), "ssrc:1234");
+  EXPECT_EQ(NodeId(2).ToString(), "node:2");
+  EXPECT_EQ(ConferenceId(9).ToString(), "conf:9");
+}
+
+TEST(Ids, ConferenceIdIs64Bit) {
+  const ConferenceId big(0xFFFFFFFFFFFFull);
+  EXPECT_EQ(big.value(), 0xFFFFFFFFFFFFull);
+}
+
+}  // namespace
+}  // namespace gso

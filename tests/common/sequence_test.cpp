@@ -1,0 +1,69 @@
+// Tests for wrapping sequence-number arithmetic.
+#include "common/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace gso {
+namespace {
+
+TEST(SeqNewerThan, BasicOrdering) {
+  EXPECT_TRUE(SeqNewerThan(2, 1));
+  EXPECT_FALSE(SeqNewerThan(1, 2));
+  EXPECT_FALSE(SeqNewerThan(5, 5));
+}
+
+TEST(SeqNewerThan, AcrossWrap) {
+  EXPECT_TRUE(SeqNewerThan(0, 65535));
+  EXPECT_TRUE(SeqNewerThan(10, 65530));
+  EXPECT_FALSE(SeqNewerThan(65535, 0));
+}
+
+TEST(SequenceUnwrapper, MonotoneSequence) {
+  SequenceUnwrapper u;
+  EXPECT_EQ(u.Unwrap(10), 10);
+  EXPECT_EQ(u.Unwrap(11), 11);
+  EXPECT_EQ(u.Unwrap(1000), 1000);
+}
+
+TEST(SequenceUnwrapper, ForwardWrap) {
+  SequenceUnwrapper u;
+  EXPECT_EQ(u.Unwrap(65534), 65534);
+  EXPECT_EQ(u.Unwrap(65535), 65535);
+  EXPECT_EQ(u.Unwrap(0), 65536);
+  EXPECT_EQ(u.Unwrap(3), 65539);
+}
+
+TEST(SequenceUnwrapper, BackwardStepsWithinHalfRange) {
+  SequenceUnwrapper u;
+  EXPECT_EQ(u.Unwrap(100), 100);
+  EXPECT_EQ(u.Unwrap(95), 95);  // reordering maps below, not wraps
+  EXPECT_EQ(u.Unwrap(100), 100);
+}
+
+TEST(SequenceUnwrapper, ReorderAroundWrapPoint) {
+  SequenceUnwrapper u;
+  EXPECT_EQ(u.Unwrap(65535), 65535);
+  EXPECT_EQ(u.Unwrap(1), 65537);
+  EXPECT_EQ(u.Unwrap(0), 65536);  // late packet lands in between
+}
+
+TEST(SequenceUnwrapper, MultipleWraps) {
+  SequenceUnwrapper u;
+  int64_t expected = 0;
+  u.Unwrap(0);
+  for (int i = 0; i < 5 * 65536; i += 16384) {
+    expected = i;
+    EXPECT_EQ(u.Unwrap(static_cast<uint16_t>(i & 0xFFFF)), expected);
+  }
+}
+
+TEST(SequenceUnwrapper, LastTracksState) {
+  SequenceUnwrapper u;
+  EXPECT_FALSE(u.last().has_value());
+  u.Unwrap(7);
+  ASSERT_TRUE(u.last().has_value());
+  EXPECT_EQ(*u.last(), 7);
+}
+
+}  // namespace
+}  // namespace gso

@@ -1,0 +1,93 @@
+// Tests for the statistics helpers.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gso {
+namespace {
+
+TEST(RunningStats, MomentsAndExtremes) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfPointsMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 50; ++i) s.Add(i * i % 17);
+  const auto points = s.CdfPoints(11);
+  ASSERT_EQ(points.size(), 11u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  for (int i = 0; i < 100; ++i) e.Add(7.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.1);
+  e.Add(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+  e.Add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0 * 0.9);
+}
+
+TEST(WindowedRateEstimator, MeasuresSteadyRate) {
+  WindowedRateEstimator est(TimeDelta::Seconds(1));
+  // 100 bytes every 10 ms = 80 kbps.
+  Timestamp t = Timestamp::Zero();
+  for (int i = 0; i < 200; ++i) {
+    est.Update(t, DataSize::Bytes(100));
+    t += TimeDelta::Millis(10);
+  }
+  EXPECT_NEAR(est.Rate(t).kbps(), 80.0, 8.0);
+}
+
+TEST(WindowedRateEstimator, EvictsOldSamples) {
+  WindowedRateEstimator est(TimeDelta::Seconds(1));
+  est.Update(Timestamp::Zero(), DataSize::Bytes(100000));
+  // Long after the window, the burst no longer counts.
+  EXPECT_EQ(est.Rate(Timestamp::Seconds(10)).bps(), 0);
+}
+
+}  // namespace
+}  // namespace gso

@@ -1,0 +1,111 @@
+// Unit tests for the strong unit types.
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace gso {
+namespace {
+
+TEST(TimeDelta, FactoriesAndAccessors) {
+  EXPECT_EQ(TimeDelta::Millis(5).us(), 5000);
+  EXPECT_EQ(TimeDelta::Seconds(2).ms(), 2000);
+  EXPECT_DOUBLE_EQ(TimeDelta::Micros(1500).ms_f(), 1.5);
+  EXPECT_DOUBLE_EQ(TimeDelta::MillisF(0.25).us(), 250);
+  EXPECT_DOUBLE_EQ(TimeDelta::SecondsF(0.5).ms(), 500);
+}
+
+TEST(TimeDelta, Arithmetic) {
+  const TimeDelta a = TimeDelta::Millis(100);
+  const TimeDelta b = TimeDelta::Millis(40);
+  EXPECT_EQ((a + b).ms(), 140);
+  EXPECT_EQ((a - b).ms(), 60);
+  EXPECT_EQ((-b).ms(), -40);
+  EXPECT_EQ((a * 2.5).ms(), 250);
+  EXPECT_EQ((a / 4).ms(), 25);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(TimeDelta, Ordering) {
+  EXPECT_LT(TimeDelta::Millis(1), TimeDelta::Millis(2));
+  EXPECT_LE(TimeDelta::Millis(2), TimeDelta::Millis(2));
+  EXPECT_GT(TimeDelta::PlusInfinity(), TimeDelta::Seconds(1000000));
+  EXPECT_LT(TimeDelta::MinusInfinity(), TimeDelta::Zero());
+}
+
+TEST(TimeDelta, InfinityPredicates) {
+  EXPECT_FALSE(TimeDelta::PlusInfinity().IsFinite());
+  EXPECT_FALSE(TimeDelta::MinusInfinity().IsFinite());
+  EXPECT_TRUE(TimeDelta::Zero().IsFinite());
+  EXPECT_TRUE(TimeDelta::PlusInfinity().IsPlusInfinity());
+  EXPECT_TRUE(TimeDelta::Zero().IsZero());
+}
+
+TEST(Timestamp, ArithmeticWithDelta) {
+  const Timestamp t = Timestamp::Seconds(10);
+  EXPECT_EQ((t + TimeDelta::Millis(500)).ms(), 10500);
+  EXPECT_EQ((t - TimeDelta::Seconds(1)).seconds(), 9.0);
+  EXPECT_EQ((Timestamp::Seconds(12) - t).seconds(), 2.0);
+}
+
+TEST(DataSize, BasicsAndArithmetic) {
+  EXPECT_EQ(DataSize::KiloBytes(2).bytes(), 2000);
+  EXPECT_EQ(DataSize::Bytes(10).bits(), 80);
+  EXPECT_EQ((DataSize::Bytes(100) + DataSize::Bytes(20)).bytes(), 120);
+  EXPECT_EQ((DataSize::Bytes(100) - DataSize::Bytes(20)).bytes(), 80);
+  EXPECT_EQ((DataSize::Bytes(100) * 1.5).bytes(), 150);
+}
+
+TEST(DataRate, BasicsAndArithmetic) {
+  EXPECT_EQ(DataRate::KilobitsPerSec(600).bps(), 600'000);
+  EXPECT_DOUBLE_EQ(DataRate::MegabitsPerSecF(1.5).kbps(), 1500.0);
+  EXPECT_DOUBLE_EQ(DataRate::BitsPerSec(2'000'000).mbps(), 2.0);
+  EXPECT_EQ(
+      (DataRate::KilobitsPerSec(300) + DataRate::KilobitsPerSec(200)).kbps(),
+      500);
+  EXPECT_DOUBLE_EQ(
+      DataRate::MegabitsPerSec(3) / DataRate::MegabitsPerSec(2), 1.5);
+}
+
+TEST(Units, RateTimesTimeIsSize) {
+  // 1 Mbps for 1 second = 125000 bytes.
+  const DataSize size = DataRate::MegabitsPerSec(1) * TimeDelta::Seconds(1);
+  EXPECT_EQ(size.bytes(), 125'000);
+}
+
+TEST(Units, SizeOverRateIsTime) {
+  // 125000 bytes at 1 Mbps = 1 second.
+  const TimeDelta t = DataSize::Bytes(125'000) / DataRate::MegabitsPerSec(1);
+  EXPECT_EQ(t.us(), 1'000'000);
+  // Division by zero rate yields +inf, not UB.
+  EXPECT_TRUE((DataSize::Bytes(1) / DataRate::Zero()).IsPlusInfinity());
+}
+
+TEST(Units, SizeOverTimeIsRate) {
+  const DataRate r = DataSize::Bytes(125'000) / TimeDelta::Seconds(1);
+  EXPECT_EQ(r.bps(), 1'000'000);
+  EXPECT_FALSE((DataSize::Bytes(1) / TimeDelta::Zero()).IsFinite());
+}
+
+TEST(Units, ToStringFormats) {
+  EXPECT_EQ(TimeDelta::Millis(1500).ToString(), "1.500 s");
+  EXPECT_EQ(TimeDelta::Micros(2500).ToString(), "2.50 ms");
+  EXPECT_EQ(TimeDelta::Micros(900).ToString(), "900 us");
+  EXPECT_EQ(DataRate::MegabitsPerSecF(1.5).ToString(), "1.50 Mbps");
+  EXPECT_EQ(DataRate::KilobitsPerSec(600).ToString(), "600.0 kbps");
+  EXPECT_EQ(DataRate::PlusInfinity().ToString(), "+inf");
+  EXPECT_EQ(DataSize::Bytes(500).ToString(), "500 B");
+  EXPECT_EQ(DataSize::KiloBytes(2).ToString(), "2.00 KB");
+}
+
+TEST(Units, AccumulationIsExact) {
+  // Integral micro-unit storage: summing 1000 x 1 ms is exactly 1 s.
+  TimeDelta total;
+  for (int i = 0; i < 1000; ++i) total += TimeDelta::Millis(1);
+  EXPECT_EQ(total, TimeDelta::Seconds(1));
+  DataRate rate;
+  for (int i = 0; i < 1000; ++i) rate += DataRate::BitsPerSec(1000);
+  EXPECT_EQ(rate, DataRate::MegabitsPerSec(1));
+}
+
+}  // namespace
+}  // namespace gso

@@ -1,0 +1,90 @@
+// Tests for bandwidth-report conditioning (hysteresis + audio protection).
+#include "core/conditioner.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::core {
+namespace {
+
+TEST(Conditioner, SubtractsAudioProtection) {
+  BandwidthConditioner conditioner;
+  const DataRate budget =
+      conditioner.Condition(1, DataRate::MegabitsPerSec(1), 3);
+  EXPECT_EQ(budget, DataRate::KilobitsPerSec(1000 - 3 * 40));
+}
+
+TEST(Conditioner, FloorKeepsThumbnailAlive) {
+  BandwidthConditioner conditioner;
+  const DataRate budget =
+      conditioner.Condition(1, DataRate::KilobitsPerSec(60), 2);
+  EXPECT_EQ(budget, DataRate::KilobitsPerSec(120));
+}
+
+TEST(Conditioner, DowngradePassesThroughImmediately) {
+  BandwidthConditioner conditioner;
+  conditioner.Condition(1, DataRate::MegabitsPerSec(2), 0);
+  const DataRate budget =
+      conditioner.Condition(1, DataRate::MegabitsPerSec(1), 0);
+  EXPECT_EQ(budget, DataRate::MegabitsPerSec(1));
+}
+
+TEST(Conditioner, UpgradeHeldUntilConfidenceMargin) {
+  BandwidthConditioner conditioner;
+  conditioner.Condition(1, DataRate::MegabitsPerSec(2), 0);
+  conditioner.Condition(1, DataRate::MegabitsPerSec(1), 0);  // downgrade
+  // +10% rise: below the 15% margin, held at the granted value.
+  EXPECT_EQ(conditioner.Condition(1, DataRate::KilobitsPerSec(1100), 0),
+            DataRate::MegabitsPerSec(1));
+  // +20% rise: passes.
+  EXPECT_EQ(conditioner.Condition(1, DataRate::KilobitsPerSec(1200), 0),
+            DataRate::KilobitsPerSec(1200));
+}
+
+TEST(Conditioner, NoLatchWithoutPriorDowngrade) {
+  BandwidthConditioner conditioner;
+  conditioner.Condition(1, DataRate::MegabitsPerSec(1), 0);
+  // Climbing without any downgrade is never held back.
+  EXPECT_EQ(conditioner.Condition(1, DataRate::KilobitsPerSec(1050), 0),
+            DataRate::KilobitsPerSec(1050));
+}
+
+TEST(Conditioner, LatchClearsAfterAcceptedUpgrade) {
+  BandwidthConditioner conditioner;
+  conditioner.Condition(1, DataRate::MegabitsPerSec(2), 0);
+  conditioner.Condition(1, DataRate::MegabitsPerSec(1), 0);
+  conditioner.Condition(1, DataRate::MegabitsPerSecF(1.3), 0);  // accepted
+  // Small subsequent rises flow again.
+  EXPECT_EQ(conditioner.Condition(1, DataRate::MegabitsPerSecF(1.35), 0),
+            DataRate::MegabitsPerSecF(1.35));
+}
+
+TEST(Conditioner, KeysAreIndependent) {
+  BandwidthConditioner conditioner;
+  conditioner.Condition(1, DataRate::MegabitsPerSec(2), 0);
+  conditioner.Condition(1, DataRate::MegabitsPerSec(1), 0);  // key 1 latched
+  // Key 2 is unaffected by key 1's state.
+  EXPECT_EQ(conditioner.Condition(2, DataRate::MegabitsPerSec(5), 0),
+            DataRate::MegabitsPerSec(5));
+}
+
+TEST(Conditioner, HysteresisCanBeDisabled) {
+  ConditionerConfig config;
+  config.enable_hysteresis = false;
+  BandwidthConditioner conditioner(config);
+  conditioner.Condition(1, DataRate::MegabitsPerSec(2), 0);
+  conditioner.Condition(1, DataRate::MegabitsPerSec(1), 0);
+  EXPECT_EQ(conditioner.Condition(1, DataRate::KilobitsPerSec(1050), 0),
+            DataRate::KilobitsPerSec(1050));
+}
+
+TEST(Conditioner, ResetForgetsState) {
+  BandwidthConditioner conditioner;
+  conditioner.Condition(1, DataRate::MegabitsPerSec(2), 0);
+  conditioner.Condition(1, DataRate::MegabitsPerSec(1), 0);
+  conditioner.Reset(1);
+  EXPECT_EQ(conditioner.Condition(1, DataRate::KilobitsPerSec(1050), 0),
+            DataRate::KilobitsPerSec(1050));
+}
+
+}  // namespace
+}  // namespace gso::core

@@ -1,0 +1,162 @@
+// Unit and property tests for the Multiple-Choice Knapsack solvers.
+#include "core/mckp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gso::core {
+namespace {
+
+MckpClass MakeClass(std::vector<std::pair<int64_t, double>> items,
+                    bool mandatory = false) {
+  MckpClass cls;
+  cls.mandatory = mandatory;
+  for (auto [w, v] : items) cls.items.push_back(MckpItem{w, v});
+  return cls;
+}
+
+TEST(Mckp, EmptyInstance) {
+  DpMckpSolver dp;
+  const auto r = dp.Solve({}, 1'000'000);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.total_value, 0.0);
+  EXPECT_TRUE(r.choice.empty());
+}
+
+TEST(Mckp, SingleClassPicksBestFit) {
+  DpMckpSolver dp;
+  const auto r = dp.Solve(
+      {MakeClass({{1'500'000, 1200}, {1'000'000, 750}, {300'000, 300}})},
+      1'100'000);
+  ASSERT_EQ(r.choice.size(), 1u);
+  EXPECT_EQ(r.choice[0], 1);  // the 1 Mbps option
+  EXPECT_EQ(r.total_value, 750);
+}
+
+TEST(Mckp, SkipsClassWhenNothingFits) {
+  DpMckpSolver dp;
+  const auto r = dp.Solve({MakeClass({{2'000'000, 100}})}, 1'000'000);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.choice[0], -1);
+  EXPECT_EQ(r.total_value, 0.0);
+}
+
+TEST(Mckp, MandatoryClassInfeasibleWhenNothingFits) {
+  DpMckpSolver dp;
+  const auto r =
+      dp.Solve({MakeClass({{2'000'000, 100}}, /*mandatory=*/true)},
+               1'000'000);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Mckp, MandatoryClassForcedChoice) {
+  DpMckpSolver dp;
+  // Mandatory class must pick even though skipping would leave room for
+  // the optional class's bigger value.
+  const auto r = dp.Solve(
+      {MakeClass({{900'000, 10}}, /*mandatory=*/true),
+       MakeClass({{800'000, 500}, {100'000, 50}})},
+      1'000'000);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.choice[0], 0);
+  EXPECT_EQ(r.choice[1], 1);  // only the 100k item still fits
+  EXPECT_EQ(r.total_value, 60);
+}
+
+TEST(Mckp, ZeroCapacity) {
+  DpMckpSolver dp;
+  const auto r = dp.Solve({MakeClass({{100, 10}})}, 0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.choice[0], -1);
+  const auto r2 =
+      dp.Solve({MakeClass({{100, 10}}, /*mandatory=*/true)}, 0);
+  EXPECT_FALSE(r2.feasible);
+}
+
+TEST(Mckp, ExhaustiveMatchesKnownOptimum) {
+  ExhaustiveMckpSolver ex;
+  const auto r = ex.Solve(
+      {MakeClass({{800'000, 700}, {600'000, 530}, {100'000, 100}}),
+       MakeClass({{1'500'000, 1200}, {300'000, 300}})},
+      1'400'000);
+  EXPECT_TRUE(r.feasible);
+  // Optimum: 800k(700) + 300k(300) = 1000 at weight 1.1M.
+  EXPECT_EQ(r.total_value, 1000);
+  EXPECT_EQ(r.total_weight, 1'100'000);
+}
+
+TEST(Mckp, DpNeverExceedsCapacity_Property) {
+  Rng rng(42);
+  DpMckpSolver dp;
+  ExhaustiveMckpSolver ex;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<MckpClass> classes;
+    const int n_classes = static_cast<int>(rng.UniformInt(1, 4));
+    for (int k = 0; k < n_classes; ++k) {
+      MckpClass cls;
+      const int n_items = static_cast<int>(rng.UniformInt(1, 5));
+      for (int j = 0; j < n_items; ++j) {
+        cls.items.push_back(MckpItem{rng.UniformInt(50'000, 2'000'000),
+                                     rng.Uniform(10, 1000)});
+      }
+      classes.push_back(cls);
+    }
+    const int64_t capacity = rng.UniformInt(100'000, 4'000'000);
+    const auto r_dp = dp.Solve(classes, capacity);
+    const auto r_ex = ex.Solve(classes, capacity);
+    ASSERT_TRUE(r_dp.feasible);
+    EXPECT_LE(r_dp.total_weight, capacity) << "trial " << trial;
+    // DP is optimal up to value quantization; never better than exact.
+    EXPECT_LE(r_dp.total_value, r_ex.total_value + 1e-9) << "trial " << trial;
+    // Value-grid DP loses at most one quantum per class.
+    EXPECT_GE(r_dp.total_value,
+              r_ex.total_value - static_cast<double>(n_classes) * 1.0 - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Mckp, DpExactWhenValuesAlignToGrid) {
+  // When all values are integral (multiples of the 1.0 value quantum) the
+  // DP is exact.
+  Rng rng(7);
+  DpMckpSolver dp;
+  ExhaustiveMckpSolver ex;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<MckpClass> classes;
+    const int n_classes = static_cast<int>(rng.UniformInt(1, 4));
+    for (int k = 0; k < n_classes; ++k) {
+      MckpClass cls;
+      const int n_items = static_cast<int>(rng.UniformInt(1, 5));
+      for (int j = 0; j < n_items; ++j) {
+        cls.items.push_back(
+            MckpItem{rng.UniformInt(50'000, 2'000'000),
+                     static_cast<double>(rng.UniformInt(10, 1000))});
+      }
+      classes.push_back(cls);
+    }
+    const int64_t capacity = rng.UniformInt(100'000, 4'000'000);
+    const auto r_dp = dp.Solve(classes, capacity);
+    const auto r_ex = ex.Solve(classes, capacity);
+    EXPECT_NEAR(r_dp.total_value, r_ex.total_value, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Mckp, DpFindsKnifeEdgeFit) {
+  // Exact-capacity fits must be found (weights are never quantized).
+  DpMckpSolver dp;
+  const auto r = dp.Solve(
+      {MakeClass({{400'001, 360}}), MakeClass({{299'999, 300}})}, 700'000);
+  EXPECT_EQ(r.total_value, 660);
+  EXPECT_EQ(r.total_weight, 700'000);
+}
+
+TEST(Mckp, ExhaustiveCountsVisits) {
+  ExhaustiveMckpSolver ex;
+  ex.Solve({MakeClass({{1, 1}, {2, 2}}), MakeClass({{1, 1}})}, 100);
+  // (2 items + none) x (1 item + none) = 6 leaves.
+  EXPECT_EQ(ex.last_visit_count(), 6);
+}
+
+}  // namespace
+}  // namespace gso::core

@@ -1,0 +1,225 @@
+// Property-based sweeps over randomized orchestration problems: every
+// constraint must hold in every solution, convergence must respect the
+// iteration bound, and solving must be deterministic.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/mckp.h"
+#include "core/orchestrator.h"
+#include "core/types.h"
+
+namespace gso::core {
+namespace {
+
+struct SweepParams {
+  int clients;
+  int levels_per_resolution;
+  double slow_fraction;  // share of clients on tight budgets
+  const char* name;
+};
+
+OrchestrationProblem RandomProblem(const SweepParams& params, uint64_t seed) {
+  Rng rng(seed);
+  OrchestrationProblem problem;
+  const auto ladder = BuildLadder(
+      {{kResolution720p, DataRate::KilobitsPerSec(900),
+        DataRate::KilobitsPerSec(1800), params.levels_per_resolution},
+       {kResolution360p, DataRate::KilobitsPerSec(350),
+        DataRate::KilobitsPerSec(800), params.levels_per_resolution},
+       {kResolution180p, DataRate::KilobitsPerSec(80),
+        DataRate::KilobitsPerSec(300), params.levels_per_resolution}});
+  for (int i = 1; i <= params.clients; ++i) {
+    const ClientId id{static_cast<uint32_t>(i)};
+    const bool slow = rng.Bernoulli(params.slow_fraction);
+    ClientBudget budget;
+    budget.client = id;
+    budget.uplink = slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 700))
+                         : DataRate::KilobitsPerSec(rng.UniformInt(800, 8000));
+    budget.downlink =
+        slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 900))
+             : DataRate::KilobitsPerSec(rng.UniformInt(1000, 12000));
+    problem.budgets.push_back(budget);
+    problem.capabilities.push_back({{id, SourceKind::kCamera}, ladder});
+  }
+  // Random subscription graph: each client subscribes to a random subset.
+  const Resolution caps[] = {kResolution180p, kResolution360p,
+                             kResolution720p};
+  for (int s = 1; s <= params.clients; ++s) {
+    for (int p = 1; p <= params.clients; ++p) {
+      if (s == p || !rng.Bernoulli(0.7)) continue;
+      problem.subscriptions.push_back(
+          {ClientId{static_cast<uint32_t>(s)},
+           {ClientId{static_cast<uint32_t>(p)}, SourceKind::kCamera},
+           caps[rng.UniformInt(0, 2)],
+           rng.Bernoulli(0.1) ? 3.0 : 1.0,
+           0});
+    }
+  }
+  return problem;
+}
+
+class OrchestratorSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(OrchestratorSweep, AllConstraintsHoldOnRandomProblems) {
+  const auto params = GetParam();
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto problem = RandomProblem(params, seed);
+    const Solution solution = orchestrator.Solve(problem);
+    EXPECT_EQ(ValidateSolution(problem, solution), "")
+        << params.name << " seed " << seed;
+  }
+}
+
+TEST_P(OrchestratorSweep, ConvergesWithinIterationBound) {
+  const auto params = GetParam();
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto problem = RandomProblem(params, seed);
+    const Solution solution = orchestrator.Solve(problem);
+    // Bound (paper §4.1): iterations <= #publishers x #resolutions (+1
+    // final check). Our tighter implementation bound: one reduction per
+    // iteration, <= total resolutions across sources.
+    EXPECT_LE(solution.iterations, 3 * params.clients + 1)
+        << params.name << " seed " << seed;
+    EXPECT_GE(solution.iterations, 1);
+  }
+}
+
+TEST_P(OrchestratorSweep, SolvingIsDeterministic) {
+  const auto params = GetParam();
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  const auto problem = RandomProblem(params, 77);
+  const Solution a = orchestrator.Solve(problem);
+  const Solution b = orchestrator.Solve(problem);
+  EXPECT_EQ(a.total_qoe, b.total_qoe);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.publish.size(), b.publish.size());
+  auto ita = a.publish.begin();
+  auto itb = b.publish.begin();
+  for (; ita != a.publish.end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    ASSERT_EQ(ita->second.size(), itb->second.size());
+    for (size_t k = 0; k < ita->second.size(); ++k) {
+      EXPECT_EQ(ita->second[k].bitrate, itb->second[k].bitrate);
+      EXPECT_EQ(ita->second[k].receivers, itb->second[k].receivers);
+    }
+  }
+}
+
+TEST_P(OrchestratorSweep, EveryFeasibleSubscriberGetsSomething) {
+  // A subscriber whose downlink fits at least the cheapest option of some
+  // subscribed publisher must not come away empty-handed (the knapsack
+  // always has a positive-value feasible item).
+  const auto params = GetParam();
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto problem = RandomProblem(params, seed);
+    const Solution solution = orchestrator.Solve(problem);
+    std::map<ClientId, DataRate> uplinks;
+    for (const auto& b : problem.budgets) uplinks[b.client] = b.uplink;
+    for (const auto& budget : problem.budgets) {
+      if (budget.downlink < DataRate::KilobitsPerSec(80)) continue;
+      // Only count subscriptions to publishers that can feasibly publish
+      // at least their cheapest option (uplink above the ladder floor).
+      bool subscribes = false;
+      for (const auto& sub : problem.subscriptions) {
+        if (sub.subscriber == budget.client &&
+            uplinks[sub.source.client] >= DataRate::KilobitsPerSec(100)) {
+          subscribes = true;
+        }
+      }
+      if (!subscribes) continue;
+      bool receives = false;
+      for (const auto& [source, streams] : solution.publish) {
+        for (const auto& stream : streams) {
+          for (const auto& receiver : stream.receivers) {
+            if (receiver.subscriber == budget.client) receives = true;
+          }
+        }
+      }
+      EXPECT_TRUE(receives)
+          << params.name << " seed " << seed << " client "
+          << budget.client.ToString() << " downlink "
+          << budget.downlink.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OrchestratorSweep,
+    ::testing::Values(SweepParams{3, 3, 0.3, "small_coarse"},
+                      SweepParams{5, 5, 0.3, "mid_fine"},
+                      SweepParams{8, 5, 0.5, "large_halfslow"},
+                      SweepParams{12, 6, 0.2, "wide_fine"},
+                      SweepParams{6, 2, 0.8, "mostly_slow"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(OrchestratorEdge, AllZeroBudgets) {
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  OrchestrationProblem problem;
+  for (int i = 1; i <= 3; ++i) {
+    const ClientId id{static_cast<uint32_t>(i)};
+    problem.budgets.push_back({id, DataRate::Zero(), DataRate::Zero()});
+    problem.capabilities.push_back({{id, SourceKind::kCamera}, Table1Ladder()});
+    for (int j = 1; j <= 3; ++j) {
+      if (i == j) continue;
+      problem.subscriptions.push_back(
+          {id, {ClientId{static_cast<uint32_t>(j)}, SourceKind::kCamera},
+           kResolution720p, 1.0, 0});
+    }
+  }
+  const Solution solution = orchestrator.Solve(problem);
+  EXPECT_TRUE(solution.publish.empty());
+  EXPECT_EQ(ValidateSolution(problem, solution), "");
+}
+
+TEST(OrchestratorEdge, SubscriptionToMissingPublisherIgnored) {
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  OrchestrationProblem problem;
+  problem.budgets.push_back(
+      {ClientId(1), DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(5)});
+  problem.subscriptions.push_back(
+      {ClientId(1), {ClientId(99), SourceKind::kCamera}, kResolution720p,
+       1.0, 0});
+  const Solution solution = orchestrator.Solve(problem);
+  EXPECT_TRUE(solution.publish.empty());
+}
+
+TEST(OrchestratorEdge, HugeMeetingSolvesQuickly) {
+  // 10 publishers broadcasting to 300 subscribers with a fine ladder must
+  // complete (real-time claim); correctness checked via the validator.
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  OrchestrationProblem problem;
+  const auto ladder = FineLadder(6);
+  for (int i = 1; i <= 300; ++i) {
+    const ClientId id{static_cast<uint32_t>(i)};
+    problem.budgets.push_back(
+        {id, DataRate::KilobitsPerSec(1000),
+         DataRate::KilobitsPerSec(500 + (i * 37) % 5000)});
+    if (i <= 10) {
+      problem.capabilities.push_back({{id, SourceKind::kCamera}, ladder});
+    }
+  }
+  for (int s = 11; s <= 300; ++s) {
+    for (int p = 1; p <= 10; ++p) {
+      problem.subscriptions.push_back(
+          {ClientId{static_cast<uint32_t>(s)},
+           {ClientId{static_cast<uint32_t>(p)}, SourceKind::kCamera},
+           kResolution360p, 1.0, 0});
+    }
+  }
+  const Solution solution = orchestrator.Solve(problem);
+  EXPECT_EQ(ValidateSolution(problem, solution), "");
+  EXPECT_FALSE(solution.publish.empty());
+}
+
+}  // namespace
+}  // namespace gso::core

@@ -1,0 +1,99 @@
+// Tests for ladders and the QoE utility model.
+#include "core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::core {
+namespace {
+
+TEST(DefaultQoe, AnchoredAt300kbps) {
+  EXPECT_NEAR(DefaultQoe(DataRate::KilobitsPerSec(300)), 300.0, 1e-6);
+}
+
+TEST(DefaultQoe, StrictlyIncreasing) {
+  double previous = 0;
+  for (int kbps = 50; kbps <= 2000; kbps += 50) {
+    const double q = DefaultQoe(DataRate::KilobitsPerSec(kbps));
+    EXPECT_GT(q, previous);
+    previous = q;
+  }
+}
+
+TEST(DefaultQoe, SmallStreamProtection) {
+  // The paper (§4.4) requires utility/bitrate to fall with bitrate so
+  // small streams win when competing for the same bandwidth.
+  double previous_ratio = 1e18;
+  for (int kbps = 100; kbps <= 2000; kbps += 100) {
+    const double ratio = DefaultQoe(DataRate::KilobitsPerSec(kbps)) / kbps;
+    EXPECT_LT(ratio, previous_ratio) << kbps;
+    previous_ratio = ratio;
+  }
+}
+
+TEST(BuildLadder, LevelsAndBounds) {
+  const auto ladder = BuildLadder({{kResolution720p,
+                                    DataRate::KilobitsPerSec(900),
+                                    DataRate::KilobitsPerSec(1800), 5}});
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_EQ(ladder.front().bitrate, DataRate::KilobitsPerSec(900));
+  EXPECT_NEAR(ladder.back().bitrate.kbps(), 1800, 1);
+  for (const auto& option : ladder) {
+    EXPECT_EQ(option.resolution, kResolution720p);
+    EXPECT_GT(option.qoe, 0);
+  }
+  // Geometric spacing: adjacent ratios equal.
+  const double r0 = ladder[1].bitrate.kbps() / ladder[0].bitrate.kbps();
+  const double r1 = ladder[2].bitrate.kbps() / ladder[1].bitrate.kbps();
+  EXPECT_NEAR(r0, r1, 1e-3);
+}
+
+TEST(BuildLadder, SingleLevelUsesMax) {
+  const auto ladder = BuildLadder({{kResolution180p,
+                                    DataRate::KilobitsPerSec(100),
+                                    DataRate::KilobitsPerSec(300), 1}});
+  ASSERT_EQ(ladder.size(), 1u);
+  EXPECT_EQ(ladder[0].bitrate, DataRate::KilobitsPerSec(300));
+}
+
+TEST(Table1Ladder, MatchesPaperRows) {
+  const auto ladder = Table1Ladder();
+  ASSERT_EQ(ladder.size(), 9u);
+  EXPECT_EQ(ladder[0].bitrate, DataRate::MegabitsPerSecF(1.5));
+  EXPECT_EQ(ladder[0].qoe, 1200);
+  EXPECT_EQ(ladder[8].bitrate, DataRate::KilobitsPerSec(100));
+  EXPECT_EQ(ladder[8].qoe, 100);
+  int per_res[3] = {0, 0, 0};
+  for (const auto& option : ladder) {
+    if (option.resolution == kResolution720p) ++per_res[0];
+    if (option.resolution == kResolution360p) ++per_res[1];
+    if (option.resolution == kResolution180p) ++per_res[2];
+  }
+  EXPECT_EQ(per_res[0], 3);
+  EXPECT_EQ(per_res[1], 4);
+  EXPECT_EQ(per_res[2], 2);
+}
+
+TEST(FineLadder, FifteenLevelsTotal) {
+  EXPECT_EQ(FineLadder(5).size(), 15u);  // the paper's deployment scale
+}
+
+TEST(Resolution, OrderingByArea) {
+  EXPECT_LT(kResolution180p, kResolution360p);
+  EXPECT_LT(kResolution360p, kResolution720p);
+  EXPECT_LT(kResolution720p, kResolution1080p);
+  EXPECT_LE(kResolution720p, kResolution720p);
+  EXPECT_GT(kResolution720p, kResolution540p);
+}
+
+TEST(SourceId, OrderingAndEquality) {
+  const SourceId cam{ClientId(1), SourceKind::kCamera};
+  const SourceId screen{ClientId(1), SourceKind::kScreen};
+  const SourceId cam2{ClientId(2), SourceKind::kCamera};
+  EXPECT_EQ(cam, (SourceId{ClientId(1), SourceKind::kCamera}));
+  EXPECT_LT(cam, screen);
+  EXPECT_LT(cam, cam2);
+  EXPECT_EQ(cam.ToString(), "client:1/camera");
+}
+
+}  // namespace
+}  // namespace gso::core

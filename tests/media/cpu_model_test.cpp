@@ -1,0 +1,40 @@
+// Tests for the CPU cost meter used by the Fig. 9 reproduction.
+#include "media/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::media {
+namespace {
+
+TEST(CpuMeter, ZeroElapsedIsSafe) {
+  CpuMeter meter;
+  meter.AddPacketProcessed();
+  EXPECT_EQ(meter.Utilization(TimeDelta::Zero()), 0.0);
+}
+
+TEST(CpuMeter, UtilizationScalesWithWork) {
+  CpuMeter meter(/*capacity_units_per_second=*/10.0);
+  meter.AddEncodeCost(5.0);
+  EXPECT_DOUBLE_EQ(meter.Utilization(TimeDelta::Seconds(1)), 0.5);
+  EXPECT_DOUBLE_EQ(meter.Utilization(TimeDelta::Seconds(2)), 0.25);
+}
+
+TEST(CpuMeter, DecodeCostGrowsWithResolution) {
+  CpuMeter a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.AddDecodeFrame(kResolution720p);
+    b.AddDecodeFrame(kResolution180p);
+  }
+  EXPECT_GT(a.total_units(), 5 * b.total_units());
+}
+
+TEST(CpuMeter, ControlMessagesAreCheap) {
+  CpuMeter control, decode;
+  for (int i = 0; i < 100; ++i) control.AddControlMessage();
+  for (int i = 0; i < 100; ++i) decode.AddDecodeFrame(kResolution720p);
+  // An orchestration message costs far less than decoding a frame.
+  EXPECT_LT(control.total_units(), decode.total_units());
+}
+
+}  // namespace
+}  // namespace gso::media

@@ -1,0 +1,150 @@
+// Tests for the simulated simulcast encoder.
+#include "media/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/resolution.h"
+
+namespace gso::media {
+namespace {
+
+EncoderConfig ThreeLayerConfig() {
+  EncoderConfig config;
+  config.layers = {
+      {kResolution720p, DataRate::KilobitsPerSec(1800)},
+      {kResolution360p, DataRate::KilobitsPerSec(800)},
+      {kResolution180p, DataRate::KilobitsPerSec(300)},
+  };
+  config.framerate_fps = 25.0;
+  return config;
+}
+
+TEST(Encoder, DisabledLayersProduceNothing) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(1));
+  EXPECT_TRUE(encoder.EncodeTick(Timestamp::Zero()).empty());
+  EXPECT_EQ(encoder.TotalTargetRate(), DataRate::Zero());
+}
+
+TEST(Encoder, EnabledLayerEmitsOneFramePerTick) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(1));
+  encoder.SetLayerTargetBitrate(1, DataRate::KilobitsPerSec(600));
+  const auto frames = encoder.EncodeTick(Timestamp::Zero());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].layer_index, 1);
+  EXPECT_EQ(frames[0].resolution, kResolution360p);
+  EXPECT_TRUE(frames[0].is_keyframe);  // first frame of a layer
+}
+
+TEST(Encoder, OutputRateTracksTarget) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(2));
+  encoder.SetLayerTargetBitrate(0, DataRate::MegabitsPerSecF(1.5));
+  DataSize total;
+  const int frames = 250;  // 10 s at 25 fps
+  Timestamp now;
+  for (int i = 0; i < frames; ++i) {
+    for (const auto& frame : encoder.EncodeTick(now)) total += frame.size;
+    now += encoder.FrameInterval();
+  }
+  const DataRate rate = total / TimeDelta::Seconds(10);
+  EXPECT_NEAR(rate.kbps(), 1500, 90);  // within ~6%
+}
+
+TEST(Encoder, TargetClampedToLayerCeiling) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(3));
+  encoder.SetLayerTargetBitrate(2, DataRate::MegabitsPerSec(5));
+  EXPECT_EQ(encoder.layer_target(2), DataRate::KilobitsPerSec(300));
+}
+
+TEST(Encoder, KeyframesLargerAndPeriodic) {
+  auto config = ThreeLayerConfig();
+  config.keyframe_interval_frames = 10;
+  SimulatedEncoder encoder(config, Rng(4));
+  encoder.SetLayerTargetBitrate(1, DataRate::KilobitsPerSec(600));
+  std::vector<EncodedFrame> all;
+  Timestamp now;
+  for (int i = 0; i < 30; ++i) {
+    for (const auto& frame : encoder.EncodeTick(now)) all.push_back(frame);
+    now += encoder.FrameInterval();
+  }
+  ASSERT_EQ(all.size(), 30u);
+  EXPECT_TRUE(all[0].is_keyframe);
+  EXPECT_TRUE(all[10].is_keyframe);
+  EXPECT_TRUE(all[20].is_keyframe);
+  EXPECT_FALSE(all[5].is_keyframe);
+  // Keyframes are substantially larger than neighboring delta frames.
+  EXPECT_GT(all[10].size.bytes(), 2 * all[5].size.bytes());
+}
+
+TEST(Encoder, ReenableTriggersKeyframe) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(5));
+  encoder.SetLayerTargetBitrate(0, DataRate::MegabitsPerSec(1));
+  Timestamp now;
+  encoder.EncodeTick(now);  // keyframe consumed
+  now += encoder.FrameInterval();
+  EXPECT_FALSE(encoder.EncodeTick(now)[0].is_keyframe);
+  encoder.SetLayerTargetBitrate(0, DataRate::Zero());
+  now += encoder.FrameInterval();
+  EXPECT_TRUE(encoder.EncodeTick(now).empty());
+  encoder.SetLayerTargetBitrate(0, DataRate::MegabitsPerSec(1));
+  now += encoder.FrameInterval();
+  const auto frames = encoder.EncodeTick(now);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].is_keyframe);
+}
+
+TEST(Encoder, RequestKeyframeHonored) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(6));
+  encoder.SetLayerTargetBitrate(1, DataRate::KilobitsPerSec(600));
+  Timestamp now;
+  encoder.EncodeTick(now);
+  now += encoder.FrameInterval();
+  encoder.RequestKeyframe(1);
+  const auto frames = encoder.EncodeTick(now);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].is_keyframe);
+}
+
+TEST(Encoder, FrameIdsContiguousPerLayerAcrossDisable) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(7));
+  encoder.SetLayerTargetBitrate(0, DataRate::MegabitsPerSec(1));
+  encoder.SetLayerTargetBitrate(2, DataRate::KilobitsPerSec(200));
+  Timestamp now;
+  uint32_t last_id_l0 = 0;
+  for (int i = 0; i < 10; ++i) {
+    for (const auto& frame : encoder.EncodeTick(now)) {
+      if (frame.layer_index == 0) {
+        EXPECT_EQ(frame.frame_id, last_id_l0 + 1);
+        last_id_l0 = frame.frame_id;
+      }
+    }
+    now += encoder.FrameInterval();
+    if (i == 4) encoder.SetLayerTargetBitrate(2, DataRate::Zero());
+  }
+  EXPECT_EQ(last_id_l0, 10u);
+}
+
+TEST(Encoder, MultipleLayersInParallel) {
+  SimulatedEncoder encoder(ThreeLayerConfig(), Rng(8));
+  encoder.SetLayerTargetBitrate(0, DataRate::MegabitsPerSec(1));
+  encoder.SetLayerTargetBitrate(1, DataRate::KilobitsPerSec(500));
+  encoder.SetLayerTargetBitrate(2, DataRate::KilobitsPerSec(200));
+  EXPECT_EQ(encoder.EncodeTick(Timestamp::Zero()).size(), 3u);
+  EXPECT_EQ(encoder.TotalTargetRate(), DataRate::KilobitsPerSec(1700));
+}
+
+TEST(Encoder, EncodeCostGrowsWithResolutionAndRate) {
+  SimulatedEncoder high(ThreeLayerConfig(), Rng(9));
+  SimulatedEncoder low(ThreeLayerConfig(), Rng(9));
+  high.SetLayerTargetBitrate(0, DataRate::MegabitsPerSecF(1.8));
+  low.SetLayerTargetBitrate(2, DataRate::KilobitsPerSec(200));
+  Timestamp now;
+  for (int i = 0; i < 50; ++i) {
+    high.EncodeTick(now);
+    low.EncodeTick(now);
+    now += high.FrameInterval();
+  }
+  EXPECT_GT(high.total_encode_cost(), 3 * low.total_encode_cost());
+}
+
+}  // namespace
+}  // namespace gso::media

@@ -1,0 +1,163 @@
+// Tests for receive-side frame assembly, NACK generation and keyframe
+// resynchronization.
+#include "media/jitter_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::media {
+namespace {
+
+net::RtpPacket MakePacket(uint16_t seq, uint32_t frame_id,
+                          uint16_t packet_index, uint16_t packets_in_frame,
+                          bool keyframe = false) {
+  net::RtpPacket p;
+  p.ssrc = Ssrc(1);
+  p.sequence_number = seq;
+  p.frame_id = frame_id;
+  p.packet_index = packet_index;
+  p.packets_in_frame = packets_in_frame;
+  p.is_keyframe = keyframe;
+  p.payload_size = 1000;
+  p.marker = packet_index + 1 == packets_in_frame;
+  return p;
+}
+
+TEST(JitterBuffer, SinglePacketKeyframeDecodesImmediately) {
+  JitterBuffer buffer;
+  const auto decoded =
+      buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(10));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].frame_id, 1u);
+  EXPECT_TRUE(decoded[0].is_keyframe);
+}
+
+TEST(JitterBuffer, DeltaBeforeKeyframeWaits) {
+  JitterBuffer buffer;
+  EXPECT_TRUE(
+      buffer.Insert(MakePacket(0, 1, 0, 1, false), Timestamp::Millis(10))
+          .empty());
+  // Keyframe arrives as frame 2: decoder resyncs there.
+  const auto decoded =
+      buffer.Insert(MakePacket(1, 2, 0, 1, true), Timestamp::Millis(20));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].frame_id, 2u);
+}
+
+TEST(JitterBuffer, MultiPacketFrameNeedsAllFragments) {
+  JitterBuffer buffer;
+  EXPECT_TRUE(
+      buffer.Insert(MakePacket(0, 1, 0, 3, true), Timestamp::Millis(1))
+          .empty());
+  EXPECT_TRUE(
+      buffer.Insert(MakePacket(2, 1, 2, 3, true), Timestamp::Millis(2))
+          .empty());
+  const auto decoded =
+      buffer.Insert(MakePacket(1, 1, 1, 3, true), Timestamp::Millis(3));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].size, DataSize::Bytes(3000));
+}
+
+TEST(JitterBuffer, InOrderDeltaChainDecodes) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  for (uint32_t f = 2; f <= 5; ++f) {
+    const auto decoded = buffer.Insert(
+        MakePacket(static_cast<uint16_t>(f - 1), f, 0, 1),
+        Timestamp::Millis(f * 40));
+    ASSERT_EQ(decoded.size(), 1u) << f;
+    EXPECT_EQ(decoded[0].frame_id, f);
+  }
+  EXPECT_EQ(buffer.frames_decoded(), 5);
+}
+
+TEST(JitterBuffer, ReorderedFrameDecodesInOrder) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  // Frame 3 arrives before frame 2: held back.
+  EXPECT_TRUE(buffer.Insert(MakePacket(2, 3, 0, 1), Timestamp::Millis(2))
+                  .empty());
+  const auto decoded =
+      buffer.Insert(MakePacket(1, 2, 0, 1), Timestamp::Millis(3));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].frame_id, 2u);
+  EXPECT_EQ(decoded[1].frame_id, 3u);
+}
+
+TEST(JitterBuffer, MissingSequencesAreNacked) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  buffer.Insert(MakePacket(5, 3, 0, 1), Timestamp::Millis(50));
+  const auto nacks = buffer.CollectNacks(Timestamp::Millis(60));
+  EXPECT_EQ(nacks, (std::vector<uint16_t>{1, 2, 3, 4}));
+}
+
+TEST(JitterBuffer, NackRetryIntervalAndBudget) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  buffer.Insert(MakePacket(2, 2, 1, 2), Timestamp::Millis(10));
+  Timestamp now = Timestamp::Millis(20);
+  int times_nacked = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!buffer.CollectNacks(now).empty()) ++times_nacked;
+    now += TimeDelta::Millis(10);
+  }
+  // Retries every >= 50 ms, up to the attempt budget (6).
+  EXPECT_GE(times_nacked, 4);
+  EXPECT_LE(times_nacked, 6);
+}
+
+TEST(JitterBuffer, RepairedSequenceStopsNacking) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  buffer.Insert(MakePacket(2, 2, 1, 2), Timestamp::Millis(10));
+  EXPECT_FALSE(buffer.CollectNacks(Timestamp::Millis(20)).empty());
+  // Retransmission arrives: frame completes and NACKs stop.
+  const auto decoded =
+      buffer.Insert(MakePacket(1, 2, 0, 2), Timestamp::Millis(30));
+  EXPECT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(buffer.CollectNacks(Timestamp::Millis(100)).empty());
+}
+
+TEST(JitterBuffer, GiveUpOnOldGapAndResyncOnKeyframe) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  // Frame 2 lost entirely; frames 3..60 arrive (beyond the 50-frame
+  // reorder window) -> decoder gives up and waits for a keyframe.
+  uint16_t seq = 2;
+  for (uint32_t f = 3; f <= 60; ++f) {
+    buffer.Insert(MakePacket(seq++, f, 0, 1), Timestamp::Millis(f * 40));
+  }
+  EXPECT_EQ(buffer.frames_decoded(), 1);
+  EXPECT_TRUE(buffer.NeedsKeyframe(Timestamp::Seconds(10)));
+  // The stale gap is no longer NACKed.
+  EXPECT_TRUE(buffer.CollectNacks(Timestamp::Seconds(10)).empty());
+  // A keyframe resynchronizes.
+  const auto decoded = buffer.Insert(MakePacket(seq, 61, 0, 1, true),
+                                     Timestamp::Seconds(11));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].frame_id, 61u);
+  EXPECT_FALSE(buffer.NeedsKeyframe(Timestamp::Seconds(12)));
+}
+
+TEST(JitterBuffer, DuplicatePacketsHarmless) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 2, true), Timestamp::Millis(1));
+  buffer.Insert(MakePacket(0, 1, 0, 2, true), Timestamp::Millis(2));
+  const auto decoded =
+      buffer.Insert(MakePacket(1, 1, 1, 2, true), Timestamp::Millis(3));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].size, DataSize::Bytes(2000));  // not triple-counted
+}
+
+TEST(JitterBuffer, LateRetransmitOfDecodedFrameIgnored) {
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  buffer.Insert(MakePacket(1, 2, 0, 1), Timestamp::Millis(40));
+  EXPECT_TRUE(
+      buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(80))
+          .empty());
+  EXPECT_EQ(buffer.frames_decoded(), 2);
+}
+
+}  // namespace
+}  // namespace gso::media

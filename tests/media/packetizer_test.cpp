@@ -1,0 +1,78 @@
+// Tests for frame packetization.
+#include "media/packetizer.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::media {
+namespace {
+
+EncodedFrame MakeFrame(int64_t bytes, uint32_t frame_id = 1,
+                       bool keyframe = false) {
+  EncodedFrame frame;
+  frame.layer_index = 0;
+  frame.resolution = kResolution720p;
+  frame.frame_id = frame_id;
+  frame.size = DataSize::Bytes(bytes);
+  frame.is_keyframe = keyframe;
+  frame.capture_time = Timestamp::Millis(40);
+  return frame;
+}
+
+TEST(Packetizer, SmallFrameIsSinglePacketWithMarker) {
+  Packetizer packetizer;
+  const auto packets = packetizer.Packetize(Ssrc(5), MakeFrame(800));
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_TRUE(packets[0].marker);
+  EXPECT_EQ(packets[0].payload_size, 800u);
+  EXPECT_EQ(packets[0].packets_in_frame, 1);
+  EXPECT_EQ(packets[0].ssrc, Ssrc(5));
+}
+
+TEST(Packetizer, LargeFrameSplitsAtMtu) {
+  Packetizer packetizer;
+  const auto packets = packetizer.Packetize(Ssrc(5), MakeFrame(3000));
+  ASSERT_EQ(packets.size(), 3u);  // 1200 + 1200 + 600
+  EXPECT_EQ(packets[0].payload_size, 1200u);
+  EXPECT_EQ(packets[1].payload_size, 1200u);
+  EXPECT_EQ(packets[2].payload_size, 600u);
+  EXPECT_FALSE(packets[0].marker);
+  EXPECT_FALSE(packets[1].marker);
+  EXPECT_TRUE(packets[2].marker);
+  for (uint16_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(packets[i].packet_index, i);
+    EXPECT_EQ(packets[i].packets_in_frame, 3);
+  }
+}
+
+TEST(Packetizer, SequenceNumbersContinuousAcrossFrames) {
+  Packetizer packetizer;
+  const auto a = packetizer.Packetize(Ssrc(5), MakeFrame(2400, 1));
+  const auto b = packetizer.Packetize(Ssrc(5), MakeFrame(800, 2));
+  EXPECT_EQ(a[0].sequence_number, 0);
+  EXPECT_EQ(a[1].sequence_number, 1);
+  EXPECT_EQ(b[0].sequence_number, 2);
+}
+
+TEST(Packetizer, IndependentSequencePerSsrc) {
+  Packetizer packetizer;
+  packetizer.Packetize(Ssrc(5), MakeFrame(2400, 1));
+  const auto other = packetizer.Packetize(Ssrc(6), MakeFrame(800, 1));
+  EXPECT_EQ(other[0].sequence_number, 0);
+}
+
+TEST(Packetizer, KeyframeFlagPropagates) {
+  Packetizer packetizer;
+  const auto packets =
+      packetizer.Packetize(Ssrc(1), MakeFrame(2400, 7, /*keyframe=*/true));
+  for (const auto& p : packets) EXPECT_TRUE(p.is_keyframe);
+}
+
+TEST(Packetizer, TimestampFromCaptureTimeAt90kHz) {
+  Packetizer packetizer;
+  const auto packets = packetizer.Packetize(Ssrc(1), MakeFrame(100));
+  // 40 ms at 90 kHz = 3600 ticks.
+  EXPECT_EQ(packets[0].timestamp, 3600u);
+}
+
+}  // namespace
+}  // namespace gso::media

@@ -1,0 +1,77 @@
+// Property tests for the VMAF-proxy quality model: the orderings the
+// Fig. 8 comparison relies on must hold everywhere.
+#include "media/quality.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::media {
+namespace {
+
+class QualityMonotoneInBitrate
+    : public ::testing::TestWithParam<Resolution> {};
+
+TEST_P(QualityMonotoneInBitrate, HigherBitrateNeverScoresLower) {
+  const Resolution res = GetParam();
+  double previous = -1;
+  for (int kbps = 50; kbps <= 3000; kbps += 50) {
+    const double score =
+        VmafProxy::Score(res, DataRate::KilobitsPerSec(kbps), 25.0);
+    EXPECT_GE(score, previous) << res.ToString() << " @ " << kbps;
+    previous = score;
+  }
+}
+
+TEST_P(QualityMonotoneInBitrate, HigherFramerateNeverScoresLower) {
+  const Resolution res = GetParam();
+  double previous = -1;
+  for (int fps = 1; fps <= 30; ++fps) {
+    const double score =
+        VmafProxy::Score(res, DataRate::KilobitsPerSec(600), fps);
+    EXPECT_GE(score, previous);
+    previous = score;
+  }
+}
+
+TEST_P(QualityMonotoneInBitrate, BoundedZeroToHundred) {
+  const Resolution res = GetParam();
+  for (int kbps : {1, 100, 1000, 100000}) {
+    const double score =
+        VmafProxy::Score(res, DataRate::KilobitsPerSec(kbps), 25.0);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllResolutions, QualityMonotoneInBitrate,
+                         ::testing::Values(kResolution1080p, kResolution720p,
+                                           kResolution540p, kResolution360p,
+                                           kResolution180p, kResolution90p),
+                         [](const auto& info) {
+                           return info.param.ToString();
+                         });
+
+TEST(Quality, HigherResolutionWinsAtGenerousBitrate) {
+  // At a bitrate generous for both, the bigger picture scores higher.
+  const DataRate rate = DataRate::MegabitsPerSec(3);
+  EXPECT_GT(VmafProxy::Score(kResolution720p, rate, 25),
+            VmafProxy::Score(kResolution360p, rate, 25));
+  EXPECT_GT(VmafProxy::Score(kResolution360p, rate, 25),
+            VmafProxy::Score(kResolution180p, rate, 25));
+}
+
+TEST(Quality, ZeroInputsScoreZero) {
+  EXPECT_EQ(VmafProxy::Score(kResolution720p, DataRate::Zero(), 25), 0.0);
+  EXPECT_EQ(VmafProxy::Score(kResolution720p, DataRate::MegabitsPerSec(1), 0),
+            0.0);
+}
+
+TEST(Quality, UpscalingCapsLowResolutionCeiling) {
+  // Even with unlimited bitrate, a 180p stream viewed at 720p cannot reach
+  // the 720p ceiling.
+  const DataRate huge = DataRate::MegabitsPerSec(100);
+  EXPECT_LT(VmafProxy::Score(kResolution180p, huge, 25),
+            0.8 * VmafProxy::Score(kResolution720p, huge, 25));
+}
+
+}  // namespace
+}  // namespace gso::media

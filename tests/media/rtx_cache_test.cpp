@@ -1,0 +1,62 @@
+// Tests for the retransmission cache.
+#include "media/rtx_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::media {
+namespace {
+
+net::RtpPacket MakePacket(Ssrc ssrc, uint16_t seq) {
+  net::RtpPacket p;
+  p.ssrc = ssrc;
+  p.sequence_number = seq;
+  p.payload_size = 100;
+  return p;
+}
+
+TEST(RtxCache, StoresAndRetrieves) {
+  RtxCache cache;
+  cache.Put(MakePacket(Ssrc(1), 42));
+  const auto hit = cache.Get(Ssrc(1), 42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->sequence_number, 42);
+}
+
+TEST(RtxCache, MissOnUnknownSsrcOrSeq) {
+  RtxCache cache;
+  cache.Put(MakePacket(Ssrc(1), 42));
+  EXPECT_FALSE(cache.Get(Ssrc(2), 42).has_value());
+  EXPECT_FALSE(cache.Get(Ssrc(1), 43).has_value());
+}
+
+TEST(RtxCache, EvictsOldestWhenFull) {
+  RtxCache cache(/*max_packets_per_stream=*/4);
+  for (uint16_t i = 0; i < 8; ++i) cache.Put(MakePacket(Ssrc(1), i));
+  EXPECT_FALSE(cache.Get(Ssrc(1), 0).has_value());
+  EXPECT_FALSE(cache.Get(Ssrc(1), 3).has_value());
+  EXPECT_TRUE(cache.Get(Ssrc(1), 4).has_value());
+  EXPECT_TRUE(cache.Get(Ssrc(1), 7).has_value());
+}
+
+TEST(RtxCache, StreamsAreIndependent) {
+  RtxCache cache(/*max_packets_per_stream=*/2);
+  cache.Put(MakePacket(Ssrc(1), 1));
+  cache.Put(MakePacket(Ssrc(2), 1));
+  cache.Put(MakePacket(Ssrc(2), 2));
+  cache.Put(MakePacket(Ssrc(2), 3));
+  EXPECT_TRUE(cache.Get(Ssrc(1), 1).has_value());  // not evicted by Ssrc 2
+  EXPECT_FALSE(cache.Get(Ssrc(2), 1).has_value());
+}
+
+TEST(RtxCache, OverwriteSameSequenceKeepsLatest) {
+  RtxCache cache;
+  auto p = MakePacket(Ssrc(1), 9);
+  p.payload_size = 111;
+  cache.Put(p);
+  p.payload_size = 222;
+  cache.Put(p);
+  EXPECT_EQ(cache.Get(Ssrc(1), 9)->payload_size, 222u);
+}
+
+}  // namespace
+}  // namespace gso::media

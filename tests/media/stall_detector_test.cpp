@@ -1,0 +1,99 @@
+// Tests for the paper-defined stall metrics.
+#include "media/stall_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::media {
+namespace {
+
+TEST(VideoStall, SmoothPlaybackHasNoStall) {
+  VideoStallDetector detector;
+  // 25 fps for 10 seconds.
+  for (int i = 0; i < 250; ++i) {
+    detector.OnFrameRendered(Timestamp::Millis(i * 40));
+  }
+  detector.OnSessionEnd(Timestamp::Seconds(10));
+  EXPECT_DOUBLE_EQ(
+      detector.StallRate(Timestamp::Zero(), Timestamp::Seconds(10)), 0.0);
+  EXPECT_NEAR(
+      detector.AverageFramerate(Timestamp::Zero(), Timestamp::Seconds(10)),
+      25.0, 0.1);
+}
+
+TEST(VideoStall, GapOver200msMarksIntervals) {
+  VideoStallDetector detector;
+  detector.OnFrameRendered(Timestamp::Millis(100));
+  detector.OnFrameRendered(Timestamp::Millis(140));
+  // 500 ms freeze inside second 0.
+  detector.OnFrameRendered(Timestamp::Millis(640));
+  for (int i = 0; i < 110; ++i) {
+    detector.OnFrameRendered(Timestamp::Millis(680 + i * 40));
+  }
+  detector.OnSessionEnd(Timestamp::Seconds(5));
+  // Second 0 stalled; seconds 1..4 clean (playback runs to the end).
+  EXPECT_DOUBLE_EQ(
+      detector.StallRate(Timestamp::Zero(), Timestamp::Seconds(5)), 0.2);
+}
+
+TEST(VideoStall, ExactThresholdGapDoesNotStall) {
+  VideoStallDetector detector;
+  detector.OnFrameRendered(Timestamp::Millis(0));
+  detector.OnFrameRendered(Timestamp::Millis(200));  // not > 200 ms
+  detector.OnSessionEnd(Timestamp::Millis(400));
+  EXPECT_DOUBLE_EQ(
+      detector.StallRate(Timestamp::Zero(), Timestamp::Seconds(1)), 0.0);
+}
+
+TEST(VideoStall, TrailingFreezeCountsAtSessionEnd) {
+  VideoStallDetector detector;
+  detector.OnFrameRendered(Timestamp::Millis(100));
+  detector.OnSessionEnd(Timestamp::Seconds(4));  // frozen the whole time
+  EXPECT_DOUBLE_EQ(
+      detector.StallRate(Timestamp::Zero(), Timestamp::Seconds(4)), 1.0);
+}
+
+TEST(VideoStall, SpanCrossingIntervalsMarksAll) {
+  VideoStallDetector detector;
+  detector.OnFrameRendered(Timestamp::Millis(900));
+  detector.OnFrameRendered(Timestamp::Millis(2100));  // 1.2 s freeze
+  detector.OnSessionEnd(Timestamp::Seconds(3));
+  // Seconds 0, 1, 2 all touched by the frozen span.
+  EXPECT_DOUBLE_EQ(
+      detector.StallRate(Timestamp::Zero(), Timestamp::Seconds(3)), 1.0);
+}
+
+TEST(VideoStall, WindowedQueryIgnoresOutsideIntervals) {
+  VideoStallDetector detector;
+  detector.OnFrameRendered(Timestamp::Millis(100));
+  detector.OnFrameRendered(Timestamp::Millis(900));  // stall in second 0
+  for (int i = 0; i < 100; ++i) {
+    detector.OnFrameRendered(Timestamp::Millis(1000 + i * 40));
+  }
+  detector.OnSessionEnd(Timestamp::Seconds(5));
+  // Measuring from second 1 on, the startup stall is excluded.
+  EXPECT_DOUBLE_EQ(
+      detector.StallRate(Timestamp::Seconds(1), Timestamp::Seconds(5)), 0.0);
+}
+
+TEST(VoiceStall, CleanAudioHasNoStall) {
+  VoiceStallDetector detector;
+  for (int i = 0; i < 500; ++i) {
+    detector.OnPacketExpected(Timestamp::Millis(i * 20), true);
+  }
+  EXPECT_DOUBLE_EQ(detector.StallRate(), 0.0);
+}
+
+TEST(VoiceStall, IntervalOverTenPercentLossStalls) {
+  VoiceStallDetector detector;
+  // Second 0: 20% loss. Second 1: 4% loss.
+  for (int i = 0; i < 50; ++i) {
+    detector.OnPacketExpected(Timestamp::Millis(i * 20), i % 5 != 0);
+  }
+  for (int i = 50; i < 100; ++i) {
+    detector.OnPacketExpected(Timestamp::Millis(i * 20), i % 25 != 0);
+  }
+  EXPECT_DOUBLE_EQ(detector.StallRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace gso::media

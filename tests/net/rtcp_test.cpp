@@ -1,0 +1,262 @@
+// Tests for RTCP packet serialization: every message type round-trips
+// through compound framing; MxTBR mantissa/exponent encoding; NACK
+// PID/BLP packing; robustness against malformed input.
+#include "net/rtcp_packets.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace gso::net {
+namespace {
+
+template <typename T>
+const T* GetSingle(const std::vector<RtcpMessage>& messages) {
+  if (messages.size() != 1) return nullptr;
+  return std::get_if<T>(&messages[0]);
+}
+
+TEST(MxTbr, ExactForSmallValues) {
+  const auto v = MxTbr::FromBitrate(DataRate::BitsPerSec(100'000));
+  EXPECT_EQ(v.bitrate().bps(), 100'000);
+  EXPECT_EQ(v.exponent, 0);
+}
+
+TEST(MxTbr, LargeValuesRoundDownWithin2Exp) {
+  const int64_t big = 123'456'789;
+  const auto v = MxTbr::FromBitrate(DataRate::BitsPerSec(big));
+  EXPECT_LE(v.bitrate().bps(), big);
+  // Error bounded by 2^exp.
+  EXPECT_GT(v.bitrate().bps(), big - (1ll << v.exponent));
+  EXPECT_LT(v.mantissa, 1u << 17);
+}
+
+TEST(MxTbr, ZeroDisablesStream) {
+  const auto v = MxTbr::FromBitrate(DataRate::Zero());
+  EXPECT_EQ(v.mantissa, 0u);
+  EXPECT_EQ(v.bitrate().bps(), 0);
+}
+
+TEST(Rtcp, SenderReportRoundTrip) {
+  SenderReport sr;
+  sr.sender_ssrc = Ssrc(1234);
+  sr.ntp_time = 0x0123456789ABCDEFull;
+  sr.rtp_timestamp = 90'000;
+  sr.packet_count = 555;
+  sr.octet_count = 123'456;
+  sr.report_blocks.push_back(
+      {Ssrc(42), 128, 1000, 65'000, 77});
+  const auto parsed = ParseCompound(SerializeCompound({sr}));
+  const auto* out = GetSingle<SenderReport>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->sender_ssrc, sr.sender_ssrc);
+  EXPECT_EQ(out->ntp_time, sr.ntp_time);
+  EXPECT_EQ(out->rtp_timestamp, sr.rtp_timestamp);
+  EXPECT_EQ(out->packet_count, sr.packet_count);
+  EXPECT_EQ(out->octet_count, sr.octet_count);
+  ASSERT_EQ(out->report_blocks.size(), 1u);
+  EXPECT_EQ(out->report_blocks[0].source_ssrc, Ssrc(42));
+  EXPECT_EQ(out->report_blocks[0].fraction_lost, 128);
+  EXPECT_EQ(out->report_blocks[0].cumulative_lost, 1000u);
+  EXPECT_EQ(out->report_blocks[0].extended_highest_sequence, 65'000u);
+  EXPECT_EQ(out->report_blocks[0].jitter, 77u);
+}
+
+TEST(Rtcp, ReceiverReportRoundTrip) {
+  ReceiverReport rr;
+  rr.sender_ssrc = Ssrc(7);
+  rr.report_blocks.push_back({Ssrc(1), 10, 20, 30, 40});
+  rr.report_blocks.push_back({Ssrc(2), 50, 60, 70, 80});
+  const auto parsed = ParseCompound(SerializeCompound({rr}));
+  const auto* out = GetSingle<ReceiverReport>(parsed);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->report_blocks.size(), 2u);
+  EXPECT_EQ(out->report_blocks[1].source_ssrc, Ssrc(2));
+}
+
+TEST(Rtcp, TmmbrAndTmmbnRoundTrip) {
+  Tmmbr tmmbr;
+  tmmbr.sender_ssrc = Ssrc(9);
+  tmmbr.entries.push_back(
+      {Ssrc(100), MxTbr::FromBitrate(DataRate::KilobitsPerSec(600), 40)});
+  const auto parsed = ParseCompound(SerializeCompound({tmmbr}));
+  const auto* out = GetSingle<Tmmbr>(parsed);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->entries.size(), 1u);
+  EXPECT_EQ(out->entries[0].ssrc, Ssrc(100));
+  EXPECT_EQ(out->entries[0].max_total_bitrate.bitrate().bps(), 600'000);
+  EXPECT_EQ(out->entries[0].max_total_bitrate.overhead, 40);
+
+  Tmmbn tmmbn;
+  tmmbn.sender_ssrc = Ssrc(9);
+  tmmbn.entries = tmmbr.entries;
+  const auto parsed2 = ParseCompound(SerializeCompound({tmmbn}));
+  EXPECT_NE(GetSingle<Tmmbn>(parsed2), nullptr);
+}
+
+TEST(Rtcp, RembRoundTrip) {
+  Remb remb;
+  remb.sender_ssrc = Ssrc(3);
+  remb.bitrate = DataRate::KilobitsPerSec(2500);
+  remb.ssrcs = {Ssrc(10), Ssrc(11)};
+  const auto parsed = ParseCompound(SerializeCompound({remb}));
+  const auto* out = GetSingle<Remb>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->bitrate.bps(), 2'500'000);
+  ASSERT_EQ(out->ssrcs.size(), 2u);
+  EXPECT_EQ(out->ssrcs[1], Ssrc(11));
+}
+
+TEST(Rtcp, SembRoundTripPreservesBitrateApproximately) {
+  // SEMB uses the REMB 18-bit-mantissa encoding: exact below 2^18 bps,
+  // bounded relative error above.
+  for (int64_t bps : {50'000ll, 262'143ll, 1'000'000ll, 9'999'999ll,
+                      123'456'789ll}) {
+    Semb semb;
+    semb.sender_ssrc = Ssrc(1);
+    semb.bitrate = DataRate::BitsPerSec(bps);
+    const auto parsed = ParseCompound(SerializeCompound({semb}));
+    const auto* out = GetSingle<Semb>(parsed);
+    ASSERT_NE(out, nullptr) << bps;
+    EXPECT_LE(out->bitrate.bps(), bps);
+    EXPECT_GE(out->bitrate.bps(), bps - (bps >> 17)) << bps;
+  }
+}
+
+TEST(Rtcp, GsoTmmbrRoundTripWithDisabledLayer) {
+  GsoTmmbr gtbr;
+  gtbr.sender_ssrc = Ssrc(0xF0000001);
+  gtbr.request_id = 99;
+  gtbr.entries.push_back(
+      {Ssrc(1000), MxTbr::FromBitrate(DataRate::MegabitsPerSecF(1.4))});
+  gtbr.entries.push_back({Ssrc(1001), MxTbr::FromBitrate(DataRate::Zero())});
+  const auto parsed = ParseCompound(SerializeCompound({gtbr}));
+  const auto* out = GetSingle<GsoTmmbr>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->request_id, 99u);
+  ASSERT_EQ(out->entries.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(out->entries[0].max_total_bitrate.bitrate().bps()),
+              1.4e6, 16.0);
+  // Zero mantissa disables the layer (paper §4.3).
+  EXPECT_EQ(out->entries[1].max_total_bitrate.bitrate().bps(), 0);
+}
+
+TEST(Rtcp, GsoTmmbnEchoesRequestId) {
+  GsoTmmbn ack;
+  ack.sender_ssrc = Ssrc(5);
+  ack.request_id = 7;
+  const auto parsed = ParseCompound(SerializeCompound({ack}));
+  const auto* out = GetSingle<GsoTmmbn>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->request_id, 7u);
+}
+
+TEST(Rtcp, TransportFeedbackRoundTrip) {
+  TransportFeedback fb;
+  fb.sender_ssrc = Ssrc(2);
+  fb.base_time_ms = 123'456;
+  for (uint16_t i = 0; i < 20; ++i) {
+    fb.packets.push_back({i, i % 3 != 0, static_cast<uint32_t>(i) * 17});
+  }
+  const auto parsed = ParseCompound(SerializeCompound({fb}));
+  const auto* out = GetSingle<TransportFeedback>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->base_time_ms, fb.base_time_ms);
+  ASSERT_EQ(out->packets.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(out->packets[i].sequence, fb.packets[i].sequence);
+    EXPECT_EQ(out->packets[i].received, fb.packets[i].received);
+    if (fb.packets[i].received) {
+      EXPECT_EQ(out->packets[i].delta_250us, fb.packets[i].delta_250us);
+    }
+  }
+}
+
+TEST(Rtcp, NackPidBlpPacking) {
+  Nack nack;
+  nack.sender_ssrc = Ssrc(1);
+  nack.media_ssrc = Ssrc(2);
+  // 100 and 100+k (k<=16) pack into one FCI word; 200 needs another.
+  nack.sequences = {100, 101, 105, 116, 200};
+  const auto data = SerializeCompound({nack});
+  // header(4) + 2 ssrcs(8) + 2 FCI words(8) = 20 bytes.
+  EXPECT_EQ(data.size(), 20u);
+  const auto parsed = ParseCompound(data);
+  const auto* out = GetSingle<Nack>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->media_ssrc, Ssrc(2));
+  EXPECT_EQ(out->sequences,
+            (std::vector<uint16_t>{100, 101, 105, 116, 200}));
+}
+
+TEST(Rtcp, NackSequenceWrap) {
+  Nack nack;
+  nack.sender_ssrc = Ssrc(1);
+  nack.media_ssrc = Ssrc(2);
+  nack.sequences = {65535, 0, 3};
+  const auto parsed = ParseCompound(SerializeCompound({nack}));
+  const auto* out = GetSingle<Nack>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->sequences, (std::vector<uint16_t>{65535, 0, 3}));
+}
+
+TEST(Rtcp, PliRoundTrip) {
+  Pli pli{Ssrc(11), Ssrc(22)};
+  const auto parsed = ParseCompound(SerializeCompound({pli}));
+  const auto* out = GetSingle<Pli>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->sender_ssrc, Ssrc(11));
+  EXPECT_EQ(out->media_ssrc, Ssrc(22));
+}
+
+TEST(Rtcp, UnknownAppNamePreservedGenerically) {
+  AppPacket app;
+  app.sender_ssrc = Ssrc(4);
+  app.subtype = 3;
+  std::memcpy(app.name, "XYZW", 4);
+  app.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto parsed = ParseCompound(SerializeCompound({app}));
+  const auto* out = GetSingle<AppPacket>(parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(std::string(out->name, 4), "XYZW");
+  EXPECT_EQ(out->payload, app.payload);
+  EXPECT_EQ(out->subtype, 3);
+}
+
+TEST(Rtcp, CompoundPreservesOrderAndCount) {
+  std::vector<RtcpMessage> messages;
+  messages.push_back(Semb{Ssrc(1), DataRate::KilobitsPerSec(500)});
+  messages.push_back(Pli{Ssrc(2), Ssrc(3)});
+  Nack nack;
+  nack.sender_ssrc = Ssrc(4);
+  nack.media_ssrc = Ssrc(5);
+  nack.sequences = {9};
+  messages.push_back(nack);
+  const auto parsed = ParseCompound(SerializeCompound(messages));
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_NE(std::get_if<Semb>(&parsed[0]), nullptr);
+  EXPECT_NE(std::get_if<Pli>(&parsed[1]), nullptr);
+  EXPECT_NE(std::get_if<Nack>(&parsed[2]), nullptr);
+}
+
+TEST(Rtcp, ParseToleratesGarbage) {
+  EXPECT_TRUE(ParseCompound({}).empty());
+  EXPECT_TRUE(ParseCompound({0x00, 0x01, 0x02}).empty());
+  // Valid version but absurd length field: parser must stop cleanly.
+  std::vector<uint8_t> bogus = {0x80, 200, 0xFF, 0xFF};
+  EXPECT_TRUE(ParseCompound(bogus).empty());
+}
+
+TEST(Rtcp, TruncatedCompoundKeepsCompletePrefix) {
+  std::vector<RtcpMessage> messages;
+  messages.push_back(Semb{Ssrc(1), DataRate::KilobitsPerSec(500)});
+  messages.push_back(Pli{Ssrc(2), Ssrc(3)});
+  auto data = SerializeCompound(messages);
+  data.resize(data.size() - 4);  // cut into the PLI
+  const auto parsed = ParseCompound(data);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_NE(std::get_if<Semb>(&parsed[0]), nullptr);
+}
+
+}  // namespace
+}  // namespace gso::net

@@ -1,0 +1,126 @@
+// Tests for SDP + simulcastInfo negotiation.
+#include "net/sdp.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::net {
+namespace {
+
+SessionDescription SampleOffer() {
+  SessionDescription offer;
+  offer.client = ClientId(17);
+  offer.has_audio = true;
+  offer.has_video = true;
+  SimulcastInfo info;
+  info.codec = VideoCodec::kH264;
+  info.max_parallel_streams = 3;
+  info.supports_fine_bitrate = true;
+  info.layers = {
+      {kResolution720p, DataRate::KilobitsPerSec(1800), Ssrc(0)},
+      {kResolution360p, DataRate::KilobitsPerSec(800), Ssrc(0)},
+      {kResolution180p, DataRate::KilobitsPerSec(300), Ssrc(0)},
+  };
+  offer.simulcast = info;
+  return offer;
+}
+
+TEST(Sdp, SerializeParseRoundTrip) {
+  const auto offer = SampleOffer();
+  const auto parsed = SessionDescription::Parse(offer.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, offer);
+}
+
+TEST(Sdp, SerializedTextContainsExpectedLines) {
+  const auto text = SampleOffer().Serialize();
+  EXPECT_NE(text.find("v=0"), std::string::npos);
+  EXPECT_NE(text.find("m=audio"), std::string::npos);
+  EXPECT_NE(text.find("m=video"), std::string::npos);
+  EXPECT_NE(text.find("a=rtpmap:96 H264/90000"), std::string::npos);
+  EXPECT_NE(text.find("a=x-gso-simulcast-caps:3;1"), std::string::npos);
+  EXPECT_NE(text.find("a=x-gso-simulcast-info:1280x720;1800000;0"),
+            std::string::npos);
+}
+
+TEST(Sdp, AudioOnlyRoundTrip) {
+  SessionDescription offer;
+  offer.client = ClientId(5);
+  offer.has_audio = true;
+  offer.has_video = false;
+  const auto parsed = SessionDescription::Parse(offer.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->has_video);
+  EXPECT_FALSE(parsed->simulcast.has_value());
+}
+
+TEST(Sdp, CodecVariants) {
+  for (VideoCodec codec :
+       {VideoCodec::kH264, VideoCodec::kVp8, VideoCodec::kVp9}) {
+    auto offer = SampleOffer();
+    offer.simulcast->codec = codec;
+    const auto parsed = SessionDescription::Parse(offer.Serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->simulcast->codec, codec);
+  }
+}
+
+TEST(Sdp, ParseRejectsMalformedSimulcastInfo) {
+  auto text = SampleOffer().Serialize();
+  text += "a=x-gso-simulcast-info:borked\r\n";
+  EXPECT_FALSE(SessionDescription::Parse(text).has_value());
+}
+
+TEST(Sdp, ParseIgnoresUnknownAttributes) {
+  auto text = SampleOffer().Serialize();
+  text += "a=candidate:1 1 UDP 2122252543 192.0.2.1 54321 typ host\r\n";
+  const auto parsed = SessionDescription::Parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->simulcast->layers.size(), 3u);
+}
+
+TEST(Negotiation, AcceptsValidOffer) {
+  const auto result = NegotiateOffer(SampleOffer(), 3);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.config.layers.size(), 3u);
+}
+
+TEST(Negotiation, ClampsLayerCountKeepingLargest) {
+  const auto result = NegotiateOffer(SampleOffer(), 2);
+  ASSERT_TRUE(result.accepted);
+  ASSERT_EQ(result.config.layers.size(), 2u);
+  EXPECT_EQ(result.config.layers[0].resolution, kResolution720p);
+  EXPECT_EQ(result.config.layers[1].resolution, kResolution360p);
+  EXPECT_EQ(result.config.max_parallel_streams, 2);
+}
+
+TEST(Negotiation, RejectsVideolessOffer) {
+  SessionDescription offer;
+  offer.has_video = false;
+  EXPECT_FALSE(NegotiateOffer(offer, 3).accepted);
+}
+
+TEST(Negotiation, RejectsDuplicateNonzeroSsrcs) {
+  auto offer = SampleOffer();
+  offer.simulcast->layers[0].ssrc = Ssrc(500);
+  offer.simulcast->layers[1].ssrc = Ssrc(500);
+  EXPECT_FALSE(NegotiateOffer(offer, 3).accepted);
+}
+
+TEST(Negotiation, AllowsZeroPlaceholderSsrcs) {
+  // All-zero SSRCs mean "assign me one" and must not trip the duplicate
+  // check (regression test: the conference node assigns SSRCs).
+  EXPECT_TRUE(NegotiateOffer(SampleOffer(), 3).accepted);
+}
+
+TEST(VideoCodecStrings, RoundTrip) {
+  for (VideoCodec codec :
+       {VideoCodec::kH264, VideoCodec::kVp8, VideoCodec::kVp9}) {
+    const auto parsed = VideoCodecFromString(ToString(codec));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, codec);
+  }
+  EXPECT_FALSE(VideoCodecFromString("AV2").has_value());
+}
+
+}  // namespace
+}  // namespace gso::net

@@ -1,0 +1,57 @@
+// Tests for conference-wide SSRC assignment.
+#include "net/ssrc_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gso::net {
+namespace {
+
+TEST(SsrcAllocator, AllocationsAreUnique) {
+  SsrcAllocator allocator;
+  std::set<Ssrc> seen;
+  for (uint32_t client = 1; client <= 20; ++client) {
+    for (int layer = 0; layer < 3; ++layer) {
+      const Ssrc ssrc = allocator.Allocate(
+          {ClientId(client), MediaKind::kVideo, layer});
+      EXPECT_TRUE(seen.insert(ssrc).second);
+    }
+  }
+  EXPECT_EQ(allocator.size(), 60u);
+}
+
+TEST(SsrcAllocator, LookupReturnsOwner) {
+  SsrcAllocator allocator;
+  const Ssrc ssrc =
+      allocator.Allocate({ClientId(3), MediaKind::kScreenShare, 1});
+  const auto owner = allocator.Lookup(ssrc);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(owner->client, ClientId(3));
+  EXPECT_EQ(owner->kind, MediaKind::kScreenShare);
+  EXPECT_EQ(owner->layer_index, 1);
+}
+
+TEST(SsrcAllocator, LookupUnknownFails) {
+  SsrcAllocator allocator;
+  EXPECT_FALSE(allocator.Lookup(Ssrc(424242)).has_value());
+}
+
+TEST(SsrcAllocator, ReleaseRemovesMapping) {
+  SsrcAllocator allocator;
+  const Ssrc ssrc = allocator.Allocate({ClientId(1), MediaKind::kAudio, 0});
+  allocator.Release(ssrc);
+  EXPECT_FALSE(allocator.Lookup(ssrc).has_value());
+  EXPECT_EQ(allocator.size(), 0u);
+}
+
+TEST(SsrcAllocator, NeverAllocatesZero) {
+  SsrcAllocator allocator;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(allocator.Allocate({ClientId(1), MediaKind::kVideo, i}),
+              Ssrc(0));
+  }
+}
+
+}  // namespace
+}  // namespace gso::net

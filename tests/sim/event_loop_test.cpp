@@ -1,0 +1,109 @@
+// Tests for the discrete-event loop.
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gso::sim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimestampOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.At(Timestamp::Millis(30), [&] { order.push_back(3); });
+  loop.At(Timestamp::Millis(10), [&] { order.push_back(1); });
+  loop.At(Timestamp::Millis(20), [&] { order.push_back(2); });
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, TiesAreFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.At(Timestamp::Millis(5), [&, i] { order.push_back(i); });
+  }
+  loop.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  Timestamp seen;
+  loop.At(Timestamp::Millis(123), [&] { seen = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(seen, Timestamp::Millis(123));
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int fired = 0;
+  loop.At(Timestamp::Millis(10), [&] { ++fired; });
+  loop.At(Timestamp::Millis(30), [&] { ++fired; });
+  loop.RunUntil(Timestamp::Millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.Now(), Timestamp::Millis(20));
+  loop.RunUntil(Timestamp::Millis(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  loop.RunUntil(Timestamp::Millis(100));
+  bool fired = false;
+  loop.At(Timestamp::Millis(10), [&] {
+    fired = true;
+    EXPECT_EQ(loop.Now(), Timestamp::Millis(100));
+  });
+  loop.RunAll();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, AfterSchedulesRelative) {
+  EventLoop loop;
+  loop.RunUntil(Timestamp::Millis(50));
+  Timestamp seen;
+  loop.After(TimeDelta::Millis(25), [&] { seen = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(seen, Timestamp::Millis(75));
+}
+
+TEST(EventLoop, EveryRepeatsUntilFalse) {
+  EventLoop loop;
+  int count = 0;
+  loop.Every(TimeDelta::Millis(10), [&] { return ++count < 5; });
+  loop.RunUntil(Timestamp::Seconds(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventLoop, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.At(Timestamp::Millis(10), [&] {
+    order.push_back(1);
+    loop.At(Timestamp::Millis(15), [&] { order.push_back(2); });
+  });
+  loop.RunUntil(Timestamp::Millis(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, RunForAdvancesRelative) {
+  EventLoop loop;
+  loop.RunFor(TimeDelta::Millis(10));
+  loop.RunFor(TimeDelta::Millis(15));
+  EXPECT_EQ(loop.Now(), Timestamp::Millis(25));
+}
+
+TEST(EventLoop, PendingCountAndEmpty) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.empty());
+  loop.At(Timestamp::Millis(1), [] {});
+  loop.At(Timestamp::Millis(2), [] {});
+  EXPECT_EQ(loop.pending_events(), 2u);
+  loop.RunAll();
+  EXPECT_TRUE(loop.empty());
+}
+
+}  // namespace
+}  // namespace gso::sim

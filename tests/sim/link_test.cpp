@@ -1,0 +1,215 @@
+// Tests for the simulated link: serialization timing, loss models,
+// droptail queueing, jitter, and runtime reconfiguration.
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gso::sim {
+namespace {
+
+Packet MakePacket(int64_t bytes) {
+  Packet p;
+  p.wire_size = DataSize::Bytes(bytes);
+  return p;
+}
+
+TEST(Link, DeliversWithPropagationDelay) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(8);
+  config.propagation_delay = TimeDelta::Millis(25);
+  Link link(&loop, config, Rng(1));
+  Timestamp delivered;
+  link.SetSink([&](const Packet&) { delivered = loop.Now(); });
+  link.Send(MakePacket(1000));  // 1 ms serialization at 8 Mbps
+  loop.RunAll();
+  EXPECT_EQ(delivered, Timestamp::Millis(26));
+}
+
+TEST(Link, SerializationQueuesBackToBack) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(1);  // 8 ms per 1000 B
+  config.propagation_delay = TimeDelta::Zero();
+  Link link(&loop, config, Rng(1));
+  std::vector<Timestamp> deliveries;
+  link.SetSink([&](const Packet&) { deliveries.push_back(loop.Now()); });
+  for (int i = 0; i < 3; ++i) link.Send(MakePacket(1000));
+  loop.RunAll();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], Timestamp::Millis(8));
+  EXPECT_EQ(deliveries[1], Timestamp::Millis(16));
+  EXPECT_EQ(deliveries[2], Timestamp::Millis(24));
+}
+
+TEST(Link, ThroughputMatchesCapacity) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(2);
+  config.max_queue_delay = TimeDelta::Seconds(10);  // no drops
+  Link link(&loop, config, Rng(2));
+  DataSize delivered;
+  Timestamp last;
+  link.SetSink([&](const Packet& p) {
+    delivered += p.wire_size;
+    last = loop.Now();
+  });
+  // Offer 4 Mbps for 2 seconds; only ~2 Mbps can get through per second.
+  loop.Every(TimeDelta::Millis(2), [&] {
+    link.Send(MakePacket(1000));
+    return loop.Now() < Timestamp::Seconds(2);
+  });
+  loop.RunAll();
+  const double mbps = static_cast<double>(delivered.bits()) / last.seconds() / 1e6;
+  EXPECT_NEAR(mbps, 2.0, 0.05);
+}
+
+TEST(Link, DroptailDropsWhenQueueExceedsBound) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(1);
+  config.max_queue_delay = TimeDelta::Millis(50);
+  Link link(&loop, config, Rng(3));
+  link.SetSink([](const Packet&) {});
+  // Burst of 100 x 1000 B = 800 ms of serialization; only ~ first 58 ms
+  // worth is accepted.
+  for (int i = 0; i < 100; ++i) link.Send(MakePacket(1000));
+  loop.RunAll();
+  EXPECT_GT(link.stats().packets_dropped_queue, 80);
+  EXPECT_LT(link.stats().packets_delivered, 20);
+  EXPECT_EQ(link.stats().packets_sent, 100);
+}
+
+TEST(Link, BernoulliLossApproximatesRate) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(100);
+  config.loss_rate = 0.3;
+  Link link(&loop, config, Rng(4));
+  int delivered = 0;
+  link.SetSink([&](const Packet&) { ++delivered; });
+  const int n = 20000;
+  loop.Every(TimeDelta::Micros(50), [&] {
+    link.Send(MakePacket(100));
+    return link.stats().packets_sent < n;
+  });
+  loop.RunAll();
+  EXPECT_NEAR(link.stats().LossFraction(), 0.3, 0.02);
+}
+
+TEST(Link, GilbertElliottProducesBurstyLoss) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(100);
+  config.gilbert_elliott = true;
+  config.ge_p_good_to_bad = 0.02;
+  config.ge_p_bad_to_good = 0.2;
+  config.ge_loss_in_bad = 0.8;
+  Link link(&loop, config, Rng(5));
+  std::vector<bool> outcomes;
+  int sent_index = 0;
+  link.SetSink([&](const Packet&) {});
+  // Track loss runs via stats deltas.
+  int64_t last_lost = 0;
+  std::vector<int> loss_run_lengths;
+  int current_run = 0;
+  loop.Every(TimeDelta::Micros(100), [&] {
+    link.Send(MakePacket(100));
+    const int64_t lost = link.stats().packets_dropped_loss;
+    if (lost > last_lost) {
+      ++current_run;
+    } else if (current_run > 0) {
+      loss_run_lengths.push_back(current_run);
+      current_run = 0;
+    }
+    last_lost = lost;
+    ++sent_index;
+    return sent_index < 50000;
+  });
+  loop.RunAll();
+  // Overall loss ~ steady-state: p_bad = 0.02/(0.02+0.2) = 0.0909 x 0.8.
+  EXPECT_NEAR(link.stats().LossFraction(), 0.0909 * 0.8, 0.02);
+  // Bursts exist: some runs exceed 2 consecutive losses.
+  int long_runs = 0;
+  for (int run : loss_run_lengths) {
+    if (run >= 3) ++long_runs;
+  }
+  EXPECT_GT(long_runs, 5);
+}
+
+TEST(Link, JitterSpreadsDeliveries) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(100);
+  config.propagation_delay = TimeDelta::Millis(10);
+  config.jitter_stddev = TimeDelta::Millis(20);
+  Link link(&loop, config, Rng(6));
+  std::vector<Timestamp> deliveries;
+  link.SetSink([&](const Packet&) { deliveries.push_back(loop.Now()); });
+  for (int i = 0; i < 500; ++i) {
+    loop.At(Timestamp::Millis(i), [&] { link.Send(MakePacket(100)); });
+  }
+  loop.RunAll();
+  ASSERT_GT(deliveries.size(), 400u);
+  // With |N(0, 20ms)| extra delay, mean extra ~ 16 ms; check spread exists.
+  double max_extra = 0;
+  for (size_t i = 0; i < deliveries.size(); ++i) {
+    max_extra = std::max(max_extra, deliveries[i].seconds());
+  }
+  EXPECT_GT(max_extra, 0.5);  // deliveries extend beyond the send window
+}
+
+TEST(Link, NoReorderingWhenDisabled) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(100);
+  config.jitter_stddev = TimeDelta::Millis(30);
+  config.allow_reordering = false;
+  Link link(&loop, config, Rng(7));
+  Timestamp last = Timestamp::Zero();
+  bool monotone = true;
+  link.SetSink([&](const Packet&) {
+    if (loop.Now() < last) monotone = false;
+    last = loop.Now();
+  });
+  for (int i = 0; i < 1000; ++i) {
+    loop.At(Timestamp::Millis(i), [&] { link.Send(MakePacket(100)); });
+  }
+  loop.RunAll();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(Link, RuntimeCapacityChangeTakesEffect) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(1);
+  config.propagation_delay = TimeDelta::Zero();
+  Link link(&loop, config, Rng(8));
+  std::vector<Timestamp> deliveries;
+  link.SetSink([&](const Packet&) { deliveries.push_back(loop.Now()); });
+  link.Send(MakePacket(1000));  // 8 ms at 1 Mbps
+  loop.RunAll();
+  link.SetCapacity(DataRate::MegabitsPerSec(8));
+  link.Send(MakePacket(1000));  // 1 ms at 8 Mbps
+  loop.RunAll();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[1] - deliveries[0], TimeDelta::Millis(1));
+}
+
+TEST(Link, PayloadBytesSurviveTransit) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{}, Rng(9));
+  std::vector<uint8_t> received;
+  link.SetSink([&](const Packet& p) { received = p.data; });
+  Packet p;
+  p.data = {1, 2, 3, 4, 5};
+  p.wire_size = DataSize::Bytes(100);
+  link.Send(p);
+  loop.RunAll();
+  EXPECT_EQ(received, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace gso::sim

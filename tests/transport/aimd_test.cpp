@@ -1,0 +1,110 @@
+// Tests for the AIMD rate controller.
+#include "transport/aimd_rate_control.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::transport {
+namespace {
+
+AimdRateControl Make(DataRate start = DataRate::KilobitsPerSec(300)) {
+  return AimdRateControl(DataRate::KilobitsPerSec(30),
+                         DataRate::MegabitsPerSec(20), start);
+}
+
+TEST(Aimd, IncreasesUnderNormalUsage) {
+  auto aimd = Make();
+  Timestamp now = Timestamp::Zero();
+  DataRate rate = aimd.target_rate();
+  for (int i = 0; i < 20; ++i) {
+    now += TimeDelta::Millis(100);
+    rate = aimd.Update(BandwidthUsage::kNormal,
+                       DataRate::KilobitsPerSec(400), now);
+  }
+  EXPECT_GT(rate, DataRate::KilobitsPerSec(300));
+}
+
+TEST(Aimd, OveruseDecreasesTowardAckedThroughput) {
+  // Acked close to current: the 0.85x target applies directly.
+  auto aimd = Make(DataRate::MegabitsPerSec(1));
+  const DataRate rate =
+      aimd.Update(BandwidthUsage::kOverusing, DataRate::KilobitsPerSec(900),
+                  Timestamp::Millis(10));
+  EXPECT_NEAR(rate.kbps(), 0.85 * 900, 1.0);
+}
+
+TEST(Aimd, OveruseDecreaseFloorsAtHalfWhenAckedFarBelow) {
+  // Acked far below current: a single step cuts at most 50%.
+  auto aimd = Make(DataRate::MegabitsPerSec(2));
+  const DataRate rate =
+      aimd.Update(BandwidthUsage::kOverusing, DataRate::MegabitsPerSec(1),
+                  Timestamp::Millis(10));
+  EXPECT_NEAR(rate.kbps(), 1000, 1.0);
+}
+
+TEST(Aimd, DecreaseRateLimited) {
+  // Back-to-back overuse within 300 ms decreases only once.
+  auto aimd = Make(DataRate::MegabitsPerSec(2));
+  Timestamp now = Timestamp::Millis(10);
+  const DataRate first = aimd.Update(BandwidthUsage::kOverusing,
+                                     DataRate::MegabitsPerSec(1), now);
+  now += TimeDelta::Millis(100);
+  const DataRate second = aimd.Update(BandwidthUsage::kOverusing,
+                                      DataRate::KilobitsPerSec(500), now);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Aimd, DecreaseFloorsAtHalfCurrent) {
+  auto aimd = Make(DataRate::MegabitsPerSec(2));
+  const DataRate rate =
+      aimd.Update(BandwidthUsage::kOverusing, DataRate::KilobitsPerSec(50),
+                  Timestamp::Millis(10));
+  // 0.85 * 50k would be 42.5k, but one step never cuts below 50%.
+  EXPECT_GE(rate, DataRate::MegabitsPerSec(1));
+}
+
+TEST(Aimd, UnderuseHoldsRate) {
+  auto aimd = Make(DataRate::MegabitsPerSec(1));
+  Timestamp now = Timestamp::Millis(10);
+  DataRate rate = aimd.target_rate();
+  for (int i = 0; i < 10; ++i) {
+    now += TimeDelta::Millis(100);
+    rate = aimd.Update(BandwidthUsage::kUnderusing,
+                       DataRate::KilobitsPerSec(900), now);
+  }
+  EXPECT_EQ(rate, DataRate::MegabitsPerSec(1));
+}
+
+TEST(Aimd, AckedCapDoesNotReduceApplicationLimitedSender) {
+  // Estimate far above acked throughput (application limited): the 1.5x
+  // acked cap must stop growth but never pull the estimate down.
+  auto aimd = Make(DataRate::MegabitsPerSec(5));
+  Timestamp now = Timestamp::Millis(10);
+  DataRate rate = aimd.target_rate();
+  for (int i = 0; i < 30; ++i) {
+    now += TimeDelta::Millis(100);
+    rate = aimd.Update(BandwidthUsage::kNormal,
+                       DataRate::KilobitsPerSec(100), now);
+  }
+  EXPECT_GE(rate, DataRate::MegabitsPerSec(5));
+}
+
+TEST(Aimd, SetEstimateOverrides) {
+  auto aimd = Make();
+  aimd.SetEstimate(DataRate::MegabitsPerSec(3), Timestamp::Millis(50));
+  EXPECT_EQ(aimd.target_rate(), DataRate::MegabitsPerSec(3));
+  // Clamped to configured bounds.
+  aimd.SetEstimate(DataRate::MegabitsPerSec(100), Timestamp::Millis(60));
+  EXPECT_EQ(aimd.target_rate(), DataRate::MegabitsPerSec(20));
+}
+
+TEST(Aimd, LastDecreaseTimeTracked) {
+  auto aimd = Make(DataRate::MegabitsPerSec(2));
+  EXPECT_FALSE(aimd.last_decrease_time().has_value());
+  aimd.Update(BandwidthUsage::kOverusing, DataRate::MegabitsPerSec(1),
+              Timestamp::Millis(70));
+  ASSERT_TRUE(aimd.last_decrease_time().has_value());
+  EXPECT_EQ(*aimd.last_decrease_time(), Timestamp::Millis(70));
+}
+
+}  // namespace
+}  // namespace gso::transport

@@ -1,0 +1,90 @@
+// Tests for receiver-side transport feedback generation.
+#include "transport/feedback_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::transport {
+namespace {
+
+TEST(FeedbackBuilder, EmptyHasNothing) {
+  FeedbackBuilder builder;
+  EXPECT_FALSE(builder.HasData());
+  EXPECT_FALSE(builder.Build(Ssrc(1)).has_value());
+}
+
+TEST(FeedbackBuilder, ReportsContiguousArrivals) {
+  FeedbackBuilder builder;
+  for (uint16_t i = 0; i < 5; ++i) {
+    builder.OnPacketArrived(i, Timestamp::Millis(100 + i * 10));
+  }
+  const auto fb = builder.Build(Ssrc(9));
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_EQ(fb->sender_ssrc, Ssrc(9));
+  EXPECT_EQ(fb->base_time_ms, 100u);
+  ASSERT_EQ(fb->packets.size(), 5u);
+  for (uint16_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fb->packets[i].received);
+    EXPECT_EQ(fb->packets[i].delta_250us, static_cast<uint32_t>(i) * 40);
+  }
+}
+
+TEST(FeedbackBuilder, GapsReportedAsLost) {
+  FeedbackBuilder builder;
+  builder.OnPacketArrived(10, Timestamp::Millis(100));
+  builder.OnPacketArrived(13, Timestamp::Millis(130));
+  const auto fb = builder.Build(Ssrc(1));
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_EQ(fb->packets.size(), 4u);
+  EXPECT_TRUE(fb->packets[0].received);
+  EXPECT_FALSE(fb->packets[1].received);
+  EXPECT_FALSE(fb->packets[2].received);
+  EXPECT_TRUE(fb->packets[3].received);
+}
+
+TEST(FeedbackBuilder, SecondBuildCoversOnlyNewRange) {
+  FeedbackBuilder builder;
+  builder.OnPacketArrived(0, Timestamp::Millis(10));
+  builder.OnPacketArrived(1, Timestamp::Millis(20));
+  ASSERT_TRUE(builder.Build(Ssrc(1)).has_value());
+  EXPECT_FALSE(builder.HasData());
+  builder.OnPacketArrived(2, Timestamp::Millis(30));
+  const auto fb = builder.Build(Ssrc(1));
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_EQ(fb->packets.size(), 1u);
+  EXPECT_EQ(fb->packets[0].sequence, 2);
+}
+
+TEST(FeedbackBuilder, LateGapFilledInNextReport) {
+  FeedbackBuilder builder;
+  builder.OnPacketArrived(0, Timestamp::Millis(10));
+  builder.OnPacketArrived(2, Timestamp::Millis(30));
+  auto fb = builder.Build(Ssrc(1));  // reports 1 as lost
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_FALSE(fb->packets[1].received);
+  // Packet 1 arrives late (reordered) together with 3: the next report
+  // range starts after the previous, so 1 is not re-reported, but 3 is.
+  builder.OnPacketArrived(1, Timestamp::Millis(35));
+  builder.OnPacketArrived(3, Timestamp::Millis(40));
+  fb = builder.Build(Ssrc(1));
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_EQ(fb->packets.size(), 1u);
+  EXPECT_EQ(fb->packets[0].sequence, 3);
+  EXPECT_TRUE(fb->packets[0].received);
+}
+
+TEST(FeedbackBuilder, HandlesSequenceWrap) {
+  FeedbackBuilder builder;
+  builder.OnPacketArrived(65534, Timestamp::Millis(10));
+  builder.OnPacketArrived(65535, Timestamp::Millis(20));
+  builder.OnPacketArrived(0, Timestamp::Millis(30));
+  builder.OnPacketArrived(1, Timestamp::Millis(40));
+  const auto fb = builder.Build(Ssrc(1));
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_EQ(fb->packets.size(), 4u);
+  EXPECT_EQ(fb->packets[0].sequence, 65534);
+  EXPECT_EQ(fb->packets[2].sequence, 0);
+  for (const auto& p : fb->packets) EXPECT_TRUE(p.received);
+}
+
+}  // namespace
+}  // namespace gso::transport

@@ -1,0 +1,78 @@
+// Tests for the loss-based rate controller.
+#include "transport/loss_based_control.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::transport {
+namespace {
+
+LossBasedControl Make(DataRate start = DataRate::MegabitsPerSec(1)) {
+  return LossBasedControl(DataRate::KilobitsPerSec(30),
+                          DataRate::MegabitsPerSec(20), start);
+}
+
+TEST(LossBased, LowLossIncreases) {
+  auto ctl = Make();
+  Timestamp now = Timestamp::Zero();
+  DataRate rate = ctl.rate();
+  for (int i = 0; i < 20; ++i) {
+    now += TimeDelta::Millis(500);
+    rate = ctl.Update(0.01, now);
+  }
+  EXPECT_GT(rate, DataRate::MegabitsPerSec(1));
+}
+
+TEST(LossBased, MidLossHolds) {
+  auto ctl = Make();
+  Timestamp now = Timestamp::Zero();
+  for (int i = 0; i < 20; ++i) {
+    now += TimeDelta::Millis(500);
+    ctl.Update(0.05, now);
+  }
+  EXPECT_EQ(ctl.rate(), DataRate::MegabitsPerSec(1));
+}
+
+TEST(LossBased, HighLossDecreases) {
+  auto ctl = Make();
+  const DataRate rate = ctl.Update(0.2, Timestamp::Millis(400));
+  EXPECT_NEAR(rate.kbps(), 1000 * (1 - 0.5 * 0.2), 1.0);
+}
+
+TEST(LossBased, DecreaseRateLimitedTo300msWindows) {
+  auto ctl = Make();
+  ctl.Update(0.2, Timestamp::Millis(400));
+  const DataRate after_first = ctl.rate();
+  ctl.Update(0.2, Timestamp::Millis(500));  // within the window
+  EXPECT_EQ(ctl.rate(), after_first);
+  ctl.Update(0.2, Timestamp::Millis(800));  // next window
+  EXPECT_LT(ctl.rate(), after_first);
+}
+
+TEST(LossBased, DecreaseFloorsAtHalfAcked) {
+  auto ctl = Make(DataRate::MegabitsPerSec(10));
+  // 60% loss would multiply by 0.7, but acked proves 8 Mbps delivered.
+  const DataRate rate = ctl.Update(0.6, Timestamp::Millis(400),
+                                   DataRate::MegabitsPerSec(8));
+  EXPECT_GE(rate, DataRate::MegabitsPerSec(4));
+}
+
+TEST(LossBased, NoIncreaseRightAfterDecrease) {
+  auto ctl = Make();
+  ctl.Update(0.3, Timestamp::Millis(400));
+  const DataRate low = ctl.rate();
+  ctl.Update(0.0, Timestamp::Millis(500));  // within 300 ms of the cut
+  EXPECT_EQ(ctl.rate(), low);
+}
+
+TEST(LossBased, ClampsToBounds) {
+  auto ctl = Make(DataRate::KilobitsPerSec(40));
+  Timestamp now = Timestamp::Millis(400);
+  for (int i = 0; i < 50; ++i) {
+    ctl.Update(0.9, now);
+    now += TimeDelta::Millis(400);
+  }
+  EXPECT_EQ(ctl.rate(), DataRate::KilobitsPerSec(30));  // min bound
+}
+
+}  // namespace
+}  // namespace gso::transport

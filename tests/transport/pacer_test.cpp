@@ -1,0 +1,87 @@
+// Tests for the paced sender.
+#include "transport/pacer.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::transport {
+namespace {
+
+TEST(Pacer, SpacesPacketsAtPacingRate) {
+  sim::EventLoop loop;
+  // 100 kbps target * 2.5 factor = 250 kbps pacing; 1250 B = 40 ms apart.
+  Pacer pacer(&loop, DataRate::KilobitsPerSec(100));
+  std::vector<Timestamp> sends;
+  for (int i = 0; i < 4; ++i) {
+    pacer.Enqueue(DataSize::Bytes(1250),
+                  [&](std::optional<int>) { sends.push_back(loop.Now()); });
+  }
+  loop.RunAll();
+  ASSERT_EQ(sends.size(), 4u);
+  for (size_t i = 1; i < sends.size(); ++i) {
+    EXPECT_EQ(sends[i] - sends[i - 1], TimeDelta::Millis(40)) << i;
+  }
+}
+
+TEST(Pacer, FirstPacketGoesImmediately) {
+  sim::EventLoop loop;
+  Pacer pacer(&loop, DataRate::KilobitsPerSec(100));
+  Timestamp sent = Timestamp::PlusInfinity();
+  pacer.Enqueue(DataSize::Bytes(1000),
+                [&](std::optional<int>) { sent = loop.Now(); });
+  loop.RunAll();
+  EXPECT_EQ(sent, Timestamp::Zero());
+}
+
+TEST(Pacer, RateChangeAffectsSubsequentSpacing) {
+  sim::EventLoop loop;
+  Pacer pacer(&loop, DataRate::KilobitsPerSec(100));
+  std::vector<Timestamp> sends;
+  auto record = [&](std::optional<int>) { sends.push_back(loop.Now()); };
+  pacer.Enqueue(DataSize::Bytes(1250), record);
+  pacer.Enqueue(DataSize::Bytes(1250), record);
+  loop.RunAll();
+  pacer.SetTargetRate(DataRate::KilobitsPerSec(200));  // halves the spacing
+  pacer.Enqueue(DataSize::Bytes(1250), record);
+  pacer.Enqueue(DataSize::Bytes(1250), record);
+  loop.RunAll();
+  ASSERT_EQ(sends.size(), 4u);
+  EXPECT_EQ(sends[1] - sends[0], TimeDelta::Millis(40));
+  EXPECT_EQ(sends[3] - sends[2], TimeDelta::Millis(20));
+}
+
+TEST(Pacer, ProbeClusterJumpsQueueAndCarriesId) {
+  sim::EventLoop loop;
+  Pacer pacer(&loop, DataRate::KilobitsPerSec(50));
+  std::vector<std::optional<int>> markers;
+  auto media = [&](std::optional<int> probe) { markers.push_back(probe); };
+  for (int i = 0; i < 3; ++i) pacer.Enqueue(DataSize::Bytes(1250), media);
+  pacer.SendProbeCluster(7, DataRate::MegabitsPerSec(1), 2,
+                         DataSize::Bytes(500), media);
+  loop.RunAll();
+  ASSERT_EQ(markers.size(), 5u);
+  int probes_seen = 0;
+  for (size_t i = 0; i < markers.size(); ++i) {
+    if (markers[i].has_value()) {
+      EXPECT_EQ(*markers[i], 7);
+      ++probes_seen;
+      EXPECT_LT(i, 3u);  // probes overtook most of the media queue
+    }
+  }
+  EXPECT_EQ(probes_seen, 2);
+}
+
+TEST(Pacer, QueueDelayReflectsBacklog) {
+  sim::EventLoop loop;
+  Pacer pacer(&loop, DataRate::KilobitsPerSec(100));  // 250 kbps pacing
+  for (int i = 0; i < 10; ++i) {
+    pacer.Enqueue(DataSize::Bytes(1250), [](std::optional<int>) {});
+  }
+  // 10 x 1250 B = 100 kbit at 250 kbps = 400 ms of backlog.
+  EXPECT_NEAR(pacer.QueueDelay().ms_f(), 400.0, 1.0);
+  EXPECT_EQ(pacer.queue_size(), 10u);
+  loop.RunAll();
+  EXPECT_EQ(pacer.queue_size(), 0u);
+}
+
+}  // namespace
+}  // namespace gso::transport

@@ -1,0 +1,87 @@
+// Tests for the delay-gradient overuse detector.
+#include "transport/trendline_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace gso::transport {
+namespace {
+
+TEST(Trendline, ConstantDelayIsNormal) {
+  TrendlineEstimator estimator;
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp send = Timestamp::Millis(i * 20);
+    estimator.Update(send, send + TimeDelta::Millis(30));
+  }
+  EXPECT_EQ(estimator.State(), BandwidthUsage::kNormal);
+}
+
+TEST(Trendline, GrowingQueueTriggersOveruse) {
+  TrendlineEstimator estimator;
+  // Delay grows 2 ms per packet: a filling queue.
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp send = Timestamp::Millis(i * 20);
+    estimator.Update(send, send + TimeDelta::Millis(30 + 2 * i));
+  }
+  EXPECT_EQ(estimator.State(), BandwidthUsage::kOverusing);
+}
+
+TEST(Trendline, DrainingQueueTriggersUnderuse) {
+  TrendlineEstimator estimator;
+  // Prime with a standing queue, then drain it.
+  int delay = 200;
+  for (int i = 0; i < 50; ++i) {
+    const Timestamp send = Timestamp::Millis(i * 20);
+    estimator.Update(send, send + TimeDelta::Millis(delay));
+  }
+  for (int i = 50; i < 80; ++i) {
+    delay -= 5;  // still decaying when we sample the state
+    const Timestamp send = Timestamp::Millis(i * 20);
+    estimator.Update(send, send + TimeDelta::Millis(delay));
+  }
+  EXPECT_EQ(estimator.State(), BandwidthUsage::kUnderusing);
+}
+
+TEST(Trendline, SmallJitterDoesNotTrigger) {
+  TrendlineEstimator estimator;
+  // +-1 ms alternating jitter around a constant base.
+  for (int i = 0; i < 200; ++i) {
+    const Timestamp send = Timestamp::Millis(i * 20);
+    estimator.Update(send,
+                     send + TimeDelta::Millis(30 + (i % 2 == 0 ? 1 : -1)));
+  }
+  EXPECT_EQ(estimator.State(), BandwidthUsage::kNormal);
+}
+
+TEST(Trendline, RecoversToNormalAfterOveruse) {
+  TrendlineEstimator estimator;
+  for (int i = 0; i < 60; ++i) {
+    const Timestamp send = Timestamp::Millis(i * 20);
+    estimator.Update(send, send + TimeDelta::Millis(30 + 3 * i));
+  }
+  ASSERT_EQ(estimator.State(), BandwidthUsage::kOverusing);
+  // Constant delay again (queue stabilized after the sender backed off and
+  // the level settled).
+  for (int i = 60; i < 200; ++i) {
+    const Timestamp send = Timestamp::Millis(i * 20);
+    estimator.Update(send, send + TimeDelta::Millis(40));
+  }
+  EXPECT_NE(estimator.State(), BandwidthUsage::kOverusing);
+}
+
+TEST(Trendline, ReorderedArrivalIsSkippedSafely) {
+  TrendlineEstimator estimator;
+  Timestamp send = Timestamp::Millis(0);
+  estimator.Update(send, send + TimeDelta::Millis(30));
+  // Arrival earlier than the previous arrival (reorder): must not crash or
+  // poison the state.
+  estimator.Update(send + TimeDelta::Millis(20),
+                   send + TimeDelta::Millis(10));
+  for (int i = 2; i < 60; ++i) {
+    const Timestamp s = Timestamp::Millis(i * 20);
+    estimator.Update(s, s + TimeDelta::Millis(30));
+  }
+  EXPECT_EQ(estimator.State(), BandwidthUsage::kNormal);
+}
+
+}  // namespace
+}  // namespace gso::transport
