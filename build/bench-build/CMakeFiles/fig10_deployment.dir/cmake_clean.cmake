@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_deployment"
+  "../bench/fig10_deployment.pdb"
+  "CMakeFiles/fig10_deployment.dir/fig10_deployment.cpp.o"
+  "CMakeFiles/fig10_deployment.dir/fig10_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

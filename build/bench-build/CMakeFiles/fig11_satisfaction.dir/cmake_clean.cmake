@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_satisfaction"
+  "../bench/fig11_satisfaction.pdb"
+  "CMakeFiles/fig11_satisfaction.dir/fig11_satisfaction.cpp.o"
+  "CMakeFiles/fig11_satisfaction.dir/fig11_satisfaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

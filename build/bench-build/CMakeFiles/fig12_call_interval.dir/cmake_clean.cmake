@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_call_interval"
+  "../bench/fig12_call_interval.pdb"
+  "CMakeFiles/fig12_call_interval.dir/fig12_call_interval.cpp.o"
+  "CMakeFiles/fig12_call_interval.dir/fig12_call_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_call_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_scaling_participants"
+  "../bench/fig6a_scaling_participants.pdb"
+  "CMakeFiles/fig6a_scaling_participants.dir/fig6a_scaling_participants.cpp.o"
+  "CMakeFiles/fig6a_scaling_participants.dir/fig6a_scaling_participants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_scaling_participants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_scaling_bitrates"
+  "../bench/fig6b_scaling_bitrates.pdb"
+  "CMakeFiles/fig6b_scaling_bitrates.dir/fig6b_scaling_bitrates.cpp.o"
+  "CMakeFiles/fig6b_scaling_bitrates.dir/fig6b_scaling_bitrates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_scaling_bitrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

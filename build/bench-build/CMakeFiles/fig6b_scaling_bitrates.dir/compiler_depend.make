@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6b_scaling_bitrates.
+# This may be replaced when dependencies are built.

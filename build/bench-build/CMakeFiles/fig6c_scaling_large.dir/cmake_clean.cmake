@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_scaling_large"
+  "../bench/fig6c_scaling_large.pdb"
+  "CMakeFiles/fig6c_scaling_large.dir/fig6c_scaling_large.cpp.o"
+  "CMakeFiles/fig6c_scaling_large.dir/fig6c_scaling_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_scaling_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

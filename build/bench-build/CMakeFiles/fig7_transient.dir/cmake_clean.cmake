@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_transient"
+  "../bench/fig7_transient.pdb"
+  "CMakeFiles/fig7_transient.dir/fig7_transient.cpp.o"
+  "CMakeFiles/fig7_transient.dir/fig7_transient.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_slowlink"
+  "../bench/fig8_slowlink.pdb"
+  "CMakeFiles/fig8_slowlink.dir/fig8_slowlink.cpp.o"
+  "CMakeFiles/fig8_slowlink.dir/fig8_slowlink.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_slowlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

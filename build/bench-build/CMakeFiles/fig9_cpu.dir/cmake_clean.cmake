@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_cpu"
+  "../bench/fig9_cpu.pdb"
+  "CMakeFiles/fig9_cpu.dir/fig9_cpu.cpp.o"
+  "CMakeFiles/fig9_cpu.dir/fig9_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_cases.cpp" "bench-build/CMakeFiles/table1_cases.dir/table1_cases.cpp.o" "gcc" "bench-build/CMakeFiles/table1_cases.dir/table1_cases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conference/CMakeFiles/gso_conference.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gso_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/gso_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gso_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gso_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

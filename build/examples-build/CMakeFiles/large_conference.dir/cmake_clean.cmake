@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/large_conference"
+  "../examples/large_conference.pdb"
+  "CMakeFiles/large_conference.dir/large_conference.cpp.o"
+  "CMakeFiles/large_conference.dir/large_conference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

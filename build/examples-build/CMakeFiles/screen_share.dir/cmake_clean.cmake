@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/screen_share"
+  "../examples/screen_share.pdb"
+  "CMakeFiles/screen_share.dir/screen_share.cpp.o"
+  "CMakeFiles/screen_share.dir/screen_share.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screen_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/slow_link"
+  "../examples/slow_link.pdb"
+  "CMakeFiles/slow_link.dir/slow_link.cpp.o"
+  "CMakeFiles/slow_link.dir/slow_link.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slow_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_baseline.dir/template_policy.cpp.o"
+  "CMakeFiles/gso_baseline.dir/template_policy.cpp.o.d"
+  "libgso_baseline.a"
+  "libgso_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgso_baseline.a"
+)

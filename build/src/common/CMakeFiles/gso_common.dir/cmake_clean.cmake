@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_common.dir/logging.cpp.o"
+  "CMakeFiles/gso_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gso_common.dir/units.cpp.o"
+  "CMakeFiles/gso_common.dir/units.cpp.o.d"
+  "libgso_common.a"
+  "libgso_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

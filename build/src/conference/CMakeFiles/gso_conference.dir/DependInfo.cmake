@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conference/accessing_node.cpp" "src/conference/CMakeFiles/gso_conference.dir/accessing_node.cpp.o" "gcc" "src/conference/CMakeFiles/gso_conference.dir/accessing_node.cpp.o.d"
+  "/root/repo/src/conference/client.cpp" "src/conference/CMakeFiles/gso_conference.dir/client.cpp.o" "gcc" "src/conference/CMakeFiles/gso_conference.dir/client.cpp.o.d"
+  "/root/repo/src/conference/conference.cpp" "src/conference/CMakeFiles/gso_conference.dir/conference.cpp.o" "gcc" "src/conference/CMakeFiles/gso_conference.dir/conference.cpp.o.d"
+  "/root/repo/src/conference/conference_node.cpp" "src/conference/CMakeFiles/gso_conference.dir/conference_node.cpp.o" "gcc" "src/conference/CMakeFiles/gso_conference.dir/conference_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gso_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gso_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/gso_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gso_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

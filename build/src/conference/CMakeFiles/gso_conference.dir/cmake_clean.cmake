@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_conference.dir/accessing_node.cpp.o"
+  "CMakeFiles/gso_conference.dir/accessing_node.cpp.o.d"
+  "CMakeFiles/gso_conference.dir/client.cpp.o"
+  "CMakeFiles/gso_conference.dir/client.cpp.o.d"
+  "CMakeFiles/gso_conference.dir/conference.cpp.o"
+  "CMakeFiles/gso_conference.dir/conference.cpp.o.d"
+  "CMakeFiles/gso_conference.dir/conference_node.cpp.o"
+  "CMakeFiles/gso_conference.dir/conference_node.cpp.o.d"
+  "libgso_conference.a"
+  "libgso_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

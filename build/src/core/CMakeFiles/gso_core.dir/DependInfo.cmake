@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mckp.cpp" "src/core/CMakeFiles/gso_core.dir/mckp.cpp.o" "gcc" "src/core/CMakeFiles/gso_core.dir/mckp.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "src/core/CMakeFiles/gso_core.dir/orchestrator.cpp.o" "gcc" "src/core/CMakeFiles/gso_core.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/gso_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/gso_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

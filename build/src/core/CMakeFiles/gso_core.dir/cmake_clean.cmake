@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_core.dir/mckp.cpp.o"
+  "CMakeFiles/gso_core.dir/mckp.cpp.o.d"
+  "CMakeFiles/gso_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/gso_core.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/gso_core.dir/types.cpp.o"
+  "CMakeFiles/gso_core.dir/types.cpp.o.d"
+  "libgso_core.a"
+  "libgso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

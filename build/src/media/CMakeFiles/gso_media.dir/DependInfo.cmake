@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/encoder.cpp" "src/media/CMakeFiles/gso_media.dir/encoder.cpp.o" "gcc" "src/media/CMakeFiles/gso_media.dir/encoder.cpp.o.d"
+  "/root/repo/src/media/jitter_buffer.cpp" "src/media/CMakeFiles/gso_media.dir/jitter_buffer.cpp.o" "gcc" "src/media/CMakeFiles/gso_media.dir/jitter_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gso_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_media.dir/encoder.cpp.o"
+  "CMakeFiles/gso_media.dir/encoder.cpp.o.d"
+  "CMakeFiles/gso_media.dir/jitter_buffer.cpp.o"
+  "CMakeFiles/gso_media.dir/jitter_buffer.cpp.o.d"
+  "libgso_media.a"
+  "libgso_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gso_media.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/rtcp_packets.cpp" "src/net/CMakeFiles/gso_net.dir/rtcp_packets.cpp.o" "gcc" "src/net/CMakeFiles/gso_net.dir/rtcp_packets.cpp.o.d"
+  "/root/repo/src/net/rtp_packet.cpp" "src/net/CMakeFiles/gso_net.dir/rtp_packet.cpp.o" "gcc" "src/net/CMakeFiles/gso_net.dir/rtp_packet.cpp.o.d"
+  "/root/repo/src/net/sdp.cpp" "src/net/CMakeFiles/gso_net.dir/sdp.cpp.o" "gcc" "src/net/CMakeFiles/gso_net.dir/sdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

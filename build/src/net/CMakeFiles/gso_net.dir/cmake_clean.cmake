@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_net.dir/rtcp_packets.cpp.o"
+  "CMakeFiles/gso_net.dir/rtcp_packets.cpp.o.d"
+  "CMakeFiles/gso_net.dir/rtp_packet.cpp.o"
+  "CMakeFiles/gso_net.dir/rtp_packet.cpp.o.d"
+  "CMakeFiles/gso_net.dir/sdp.cpp.o"
+  "CMakeFiles/gso_net.dir/sdp.cpp.o.d"
+  "libgso_net.a"
+  "libgso_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_sim.dir/link.cpp.o"
+  "CMakeFiles/gso_sim.dir/link.cpp.o.d"
+  "libgso_sim.a"
+  "libgso_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

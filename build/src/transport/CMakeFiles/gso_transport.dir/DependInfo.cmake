@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/aimd_rate_control.cpp" "src/transport/CMakeFiles/gso_transport.dir/aimd_rate_control.cpp.o" "gcc" "src/transport/CMakeFiles/gso_transport.dir/aimd_rate_control.cpp.o.d"
+  "/root/repo/src/transport/send_side_bwe.cpp" "src/transport/CMakeFiles/gso_transport.dir/send_side_bwe.cpp.o" "gcc" "src/transport/CMakeFiles/gso_transport.dir/send_side_bwe.cpp.o.d"
+  "/root/repo/src/transport/trendline_estimator.cpp" "src/transport/CMakeFiles/gso_transport.dir/trendline_estimator.cpp.o" "gcc" "src/transport/CMakeFiles/gso_transport.dir/trendline_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gso_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gso_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

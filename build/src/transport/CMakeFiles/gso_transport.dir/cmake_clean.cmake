@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gso_transport.dir/aimd_rate_control.cpp.o"
+  "CMakeFiles/gso_transport.dir/aimd_rate_control.cpp.o.d"
+  "CMakeFiles/gso_transport.dir/send_side_bwe.cpp.o"
+  "CMakeFiles/gso_transport.dir/send_side_bwe.cpp.o.d"
+  "CMakeFiles/gso_transport.dir/trendline_estimator.cpp.o"
+  "CMakeFiles/gso_transport.dir/trendline_estimator.cpp.o.d"
+  "libgso_transport.a"
+  "libgso_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gso_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

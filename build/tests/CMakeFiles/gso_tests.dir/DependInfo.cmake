@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/template_policy_test.cpp" "tests/CMakeFiles/gso_tests.dir/baseline/template_policy_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/baseline/template_policy_test.cpp.o.d"
+  "/root/repo/tests/common/ids_test.cpp" "tests/CMakeFiles/gso_tests.dir/common/ids_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/common/ids_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/gso_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/sequence_test.cpp" "tests/CMakeFiles/gso_tests.dir/common/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/common/sequence_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/gso_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/units_test.cpp" "tests/CMakeFiles/gso_tests.dir/common/units_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/common/units_test.cpp.o.d"
+  "/root/repo/tests/conference/client_test.cpp" "tests/CMakeFiles/gso_tests.dir/conference/client_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/conference/client_test.cpp.o.d"
+  "/root/repo/tests/conference/control_plane_test.cpp" "tests/CMakeFiles/gso_tests.dir/conference/control_plane_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/conference/control_plane_test.cpp.o.d"
+  "/root/repo/tests/conference/directory_test.cpp" "tests/CMakeFiles/gso_tests.dir/conference/directory_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/conference/directory_test.cpp.o.d"
+  "/root/repo/tests/conference/integration_test.cpp" "tests/CMakeFiles/gso_tests.dir/conference/integration_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/conference/integration_test.cpp.o.d"
+  "/root/repo/tests/conference/multinode_test.cpp" "tests/CMakeFiles/gso_tests.dir/conference/multinode_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/conference/multinode_test.cpp.o.d"
+  "/root/repo/tests/core/conditioner_test.cpp" "tests/CMakeFiles/gso_tests.dir/core/conditioner_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/core/conditioner_test.cpp.o.d"
+  "/root/repo/tests/core/mckp_test.cpp" "tests/CMakeFiles/gso_tests.dir/core/mckp_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/core/mckp_test.cpp.o.d"
+  "/root/repo/tests/core/orchestrator_property_test.cpp" "tests/CMakeFiles/gso_tests.dir/core/orchestrator_property_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/core/orchestrator_property_test.cpp.o.d"
+  "/root/repo/tests/core/orchestrator_test.cpp" "tests/CMakeFiles/gso_tests.dir/core/orchestrator_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/core/orchestrator_test.cpp.o.d"
+  "/root/repo/tests/core/types_test.cpp" "tests/CMakeFiles/gso_tests.dir/core/types_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/core/types_test.cpp.o.d"
+  "/root/repo/tests/media/cpu_model_test.cpp" "tests/CMakeFiles/gso_tests.dir/media/cpu_model_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/media/cpu_model_test.cpp.o.d"
+  "/root/repo/tests/media/encoder_test.cpp" "tests/CMakeFiles/gso_tests.dir/media/encoder_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/media/encoder_test.cpp.o.d"
+  "/root/repo/tests/media/jitter_buffer_test.cpp" "tests/CMakeFiles/gso_tests.dir/media/jitter_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/media/jitter_buffer_test.cpp.o.d"
+  "/root/repo/tests/media/packetizer_test.cpp" "tests/CMakeFiles/gso_tests.dir/media/packetizer_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/media/packetizer_test.cpp.o.d"
+  "/root/repo/tests/media/quality_test.cpp" "tests/CMakeFiles/gso_tests.dir/media/quality_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/media/quality_test.cpp.o.d"
+  "/root/repo/tests/media/rtx_cache_test.cpp" "tests/CMakeFiles/gso_tests.dir/media/rtx_cache_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/media/rtx_cache_test.cpp.o.d"
+  "/root/repo/tests/media/stall_detector_test.cpp" "tests/CMakeFiles/gso_tests.dir/media/stall_detector_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/media/stall_detector_test.cpp.o.d"
+  "/root/repo/tests/net/byte_io_test.cpp" "tests/CMakeFiles/gso_tests.dir/net/byte_io_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/net/byte_io_test.cpp.o.d"
+  "/root/repo/tests/net/rtcp_test.cpp" "tests/CMakeFiles/gso_tests.dir/net/rtcp_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/net/rtcp_test.cpp.o.d"
+  "/root/repo/tests/net/rtp_packet_test.cpp" "tests/CMakeFiles/gso_tests.dir/net/rtp_packet_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/net/rtp_packet_test.cpp.o.d"
+  "/root/repo/tests/net/sdp_test.cpp" "tests/CMakeFiles/gso_tests.dir/net/sdp_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/net/sdp_test.cpp.o.d"
+  "/root/repo/tests/net/ssrc_allocator_test.cpp" "tests/CMakeFiles/gso_tests.dir/net/ssrc_allocator_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/net/ssrc_allocator_test.cpp.o.d"
+  "/root/repo/tests/sim/event_loop_test.cpp" "tests/CMakeFiles/gso_tests.dir/sim/event_loop_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/sim/event_loop_test.cpp.o.d"
+  "/root/repo/tests/sim/link_test.cpp" "tests/CMakeFiles/gso_tests.dir/sim/link_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/sim/link_test.cpp.o.d"
+  "/root/repo/tests/transport/aimd_test.cpp" "tests/CMakeFiles/gso_tests.dir/transport/aimd_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/transport/aimd_test.cpp.o.d"
+  "/root/repo/tests/transport/bwe_test.cpp" "tests/CMakeFiles/gso_tests.dir/transport/bwe_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/transport/bwe_test.cpp.o.d"
+  "/root/repo/tests/transport/feedback_builder_test.cpp" "tests/CMakeFiles/gso_tests.dir/transport/feedback_builder_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/transport/feedback_builder_test.cpp.o.d"
+  "/root/repo/tests/transport/loss_based_test.cpp" "tests/CMakeFiles/gso_tests.dir/transport/loss_based_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/transport/loss_based_test.cpp.o.d"
+  "/root/repo/tests/transport/pacer_test.cpp" "tests/CMakeFiles/gso_tests.dir/transport/pacer_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/transport/pacer_test.cpp.o.d"
+  "/root/repo/tests/transport/packet_history_test.cpp" "tests/CMakeFiles/gso_tests.dir/transport/packet_history_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/transport/packet_history_test.cpp.o.d"
+  "/root/repo/tests/transport/trendline_test.cpp" "tests/CMakeFiles/gso_tests.dir/transport/trendline_test.cpp.o" "gcc" "tests/CMakeFiles/gso_tests.dir/transport/trendline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conference/CMakeFiles/gso_conference.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gso_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/gso_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gso_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gso_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
