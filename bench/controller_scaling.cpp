@@ -1,0 +1,158 @@
+// Controller scaling benchmark with a machine-readable trajectory output.
+//
+// Times full Orchestrator::Solve calls (ns/solve) on the canonical shapes
+// the ROADMAP tracks — symmetric meshes of 8/16/32/64 participants and the
+// 10x200 webinar — and writes the results as JSON so successive PRs can
+// record a perf trajectory (see BENCH_controller.json at the repo root).
+//
+// Usage: controller_scaling [--out=FILE] [--min-time=SECONDS] [--label=NAME]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/support.h"
+#include "core/mckp.h"
+#include "core/orchestrator.h"
+
+namespace {
+
+using namespace gso;
+using namespace gso::core;
+
+struct Shape {
+  std::string name;
+  OrchestrationProblem problem;
+};
+
+struct Row {
+  std::string shape;
+  int threads = 1;
+  double ns_per_solve = 0.0;
+  int solves = 0;
+  double total_qoe = 0.0;  // sanity: must not change across optimizations
+  int iterations = 0;
+};
+
+// Repeats whole solves until `min_seconds` of wall time, three batches, and
+// keeps the fastest batch (per-solve average) to damp scheduler noise.
+template <typename SolveFn>
+Row TimeShape(const std::string& name, int threads, double min_seconds,
+              SolveFn&& solve) {
+  Row row;
+  row.shape = name;
+  row.threads = threads;
+  {
+    const Solution s = solve();  // warm-up, and record invariants
+    row.total_qoe = s.total_qoe;
+    row.iterations = s.iterations;
+  }
+  double best = 1e300;
+  for (int batch = 0; batch < 3; ++batch) {
+    int solves = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    while (elapsed < min_seconds) {
+      const Solution s = solve();
+      if (s.iterations == 0) std::abort();  // keep the call alive
+      ++solves;
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    }
+    const double per_solve = elapsed / solves * 1e9;
+    if (per_solve < best) {
+      best = per_solve;
+      row.solves = solves;
+    }
+  }
+  row.ns_per_solve = best;
+  return row;
+}
+
+void AppendRow(std::string* json, const Row& row, bool first) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s    {\"shape\": \"%s\", \"threads\": %d, "
+                "\"ns_per_solve\": %.0f, \"solves\": %d, "
+                "\"total_qoe\": %.6f, \"iterations\": %d}",
+                first ? "" : ",\n", row.shape.c_str(), row.threads,
+                row.ns_per_solve, row.solves, row.total_qoe, row.iterations);
+  *json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_controller.json";
+  std::string label = "current";
+  double min_seconds = 0.3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(8);
+    } else if (arg.rfind("--min-time=", 0) == 0) {
+      char* end = nullptr;
+      min_seconds = std::strtod(arg.c_str() + 11, &end);
+      if (end == arg.c_str() + 11 || *end != '\0' || min_seconds < 0) {
+        std::fprintf(stderr, "invalid --min-time value: %s\n",
+                     arg.c_str() + 11);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: controller_scaling [--out=FILE] "
+                   "[--min-time=SECONDS] [--label=NAME]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Shape> shapes;
+  for (int n : {8, 16, 32, 64}) {
+    shapes.push_back({"mesh_" + std::to_string(n),
+                      gso::bench::MeshProblem(n, n, 5, 42)});
+  }
+  shapes.push_back(
+      {"webinar_10x200", gso::bench::MeshProblem(10, 200, 6, 43)});
+
+  std::vector<Row> rows;
+  for (const auto& shape : shapes) {
+    for (int threads : {1, 4}) {
+#if defined(GSO_ORCHESTRATOR_HAS_OPTIONS)
+      DpMckpSolver solver;
+      OrchestratorOptions options;
+      options.step1_threads = threads;
+      Orchestrator orchestrator(&solver, options);
+#else
+      if (threads != 1) continue;  // seed API: single-threaded only
+      DpMckpSolver solver;
+      Orchestrator orchestrator(&solver);
+#endif
+      rows.push_back(TimeShape(shape.name, threads, min_seconds,
+                               [&] { return orchestrator.Solve(shape.problem); }));
+      std::printf("%-16s threads=%d  %10.0f ns/solve  (%d solves, qoe %.1f)\n",
+                  rows.back().shape.c_str(), threads, rows.back().ns_per_solve,
+                  rows.back().solves, rows.back().total_qoe);
+    }
+  }
+
+  std::string json = "{\n  \"label\": \"" + label + "\",\n  \"unit\": \"ns/solve\",\n  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) AppendRow(&json, rows[i], i == 0);
+  json += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// A small fixed-size worker pool with a blocking parallel-for.
+//
+// Built for the controller's Step-1 fan-out: the per-subscriber knapsacks
+// share no mutable state, so they can be solved concurrently as long as
+// results land in deterministic slots. ParallelFor hands out indices
+// through an atomic counter (dynamic load balancing — subscriber solve
+// costs vary widely) and passes each call a stable worker id in
+// [0, parallelism()) so callers can keep per-worker scratch (e.g. one
+// MckpWorkspace per worker). The calling thread participates as worker 0,
+// so a pool with parallelism 1 spawns no threads at all and adds no
+// synchronization to the serial path.
+//
+// Each ParallelFor owns its job state behind a shared_ptr: a worker that
+// wakes late only ever touches the job it was dispatched for, where every
+// index is already claimed — it can never steal indices from a later job.
+#ifndef GSO_COMMON_THREAD_POOL_H_
+#define GSO_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gso {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int parallelism)
+      : parallelism_(parallelism < 1 ? 1 : parallelism) {
+    workers_.reserve(static_cast<size_t>(parallelism_ - 1));
+    for (int w = 1; w < parallelism_; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  int parallelism() const { return parallelism_; }
+
+  // Invokes fn(index, worker) for every index in [0, count), spreading
+  // indices across workers; blocks until all calls returned. `worker` is in
+  // [0, parallelism()). Not reentrant: one ParallelFor at a time.
+  void ParallelFor(int count, std::function<void(int, int)> fn) {
+    if (count <= 0) return;
+    if (parallelism_ == 1 || count == 1) {
+      for (int i = 0; i < count; ++i) fn(i, 0);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = std::move(fn);
+    job->count = count;
+    job->remaining.store(count, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    Drain(*job, 0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    job_.reset();
+  }
+
+ private:
+  struct Job {
+    std::function<void(int, int)> fn;
+    int count = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> remaining{0};
+  };
+
+  void Drain(Job& job, int worker) {
+    int index;
+    while ((index = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           job.count) {
+      job.fn(index, worker);
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last index done: wake the caller (lock orders with its wait).
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop(int worker) {
+    uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        job = job_;
+      }
+      if (job != nullptr) Drain(*job, worker);
+    }
+  }
+
+  const int parallelism_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  uint64_t epoch_ = 0;
+  std::shared_ptr<Job> job_;
+};
+
+}  // namespace gso
+
+#endif  // GSO_COMMON_THREAD_POOL_H_

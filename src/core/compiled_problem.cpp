@@ -1,0 +1,118 @@
+#include "core/compiled_problem.h"
+
+#include <algorithm>
+
+namespace gso::core {
+
+CompiledProblem CompiledProblem::Compile(const OrchestrationProblem& problem) {
+  CompiledProblem compiled;
+
+  // Intern every client id that can appear in a lookup. Indices ascend
+  // with ClientId, so index iteration == std::map iteration.
+  {
+    std::vector<ClientId> ids;
+    ids.reserve(problem.budgets.size() + problem.capabilities.size() +
+                2 * problem.subscriptions.size());
+    for (const auto& b : problem.budgets) ids.push_back(b.client);
+    for (const auto& c : problem.capabilities) ids.push_back(c.source.client);
+    for (const auto& s : problem.subscriptions) {
+      ids.push_back(s.subscriber);
+      ids.push_back(s.source.client);
+    }
+    compiled.clients_.Build(std::move(ids));
+  }
+
+  // Budgets by dense client index; later entries overwrite earlier ones,
+  // matching map assignment in the reference.
+  const size_t n_clients = static_cast<size_t>(compiled.clients_.size());
+  compiled.uplink_.assign(n_clients, DataRate::PlusInfinity());
+  compiled.downlink_.assign(n_clients, DataRate::PlusInfinity());
+  for (const auto& b : problem.budgets) {
+    const int idx = compiled.clients_.IndexOf(b.client);
+    compiled.uplink_[static_cast<size_t>(idx)] = b.uplink;
+    compiled.downlink_[static_cast<size_t>(idx)] = b.downlink;
+  }
+
+  // Sources ascending by SourceId; duplicate capabilities overwrite
+  // (last-wins, as map assignment would).
+  DenseInterner<SourceId> source_index;
+  {
+    std::vector<SourceId> ids;
+    ids.reserve(problem.capabilities.size());
+    for (const auto& c : problem.capabilities) ids.push_back(c.source);
+    source_index.Build(std::move(ids));
+  }
+  compiled.sources_.resize(static_cast<size_t>(source_index.size()));
+  for (const auto& cap : problem.capabilities) {
+    const int idx = source_index.IndexOf(cap.source);
+    auto& source = compiled.sources_[static_cast<size_t>(idx)];
+    source.id = cap.source;
+    source.owner = compiled.clients_.IndexOf(cap.source.client);
+    source.ladder = cap.options;
+  }
+  int slot_offset = 0;
+  for (auto& source : compiled.sources_) {
+    // Deterministic option order: descending resolution then descending
+    // bitrate (identical comparator to the reference sort).
+    std::sort(source.ladder.begin(), source.ladder.end(),
+              [](const StreamOption& a, const StreamOption& b) {
+                if (!(a.resolution == b.resolution))
+                  return b.resolution < a.resolution;
+                return b.bitrate < a.bitrate;
+              });
+    source.resolutions.clear();
+    for (const auto& option : source.ladder) {
+      source.resolutions.push_back(option.resolution);
+    }
+    std::sort(source.resolutions.begin(), source.resolutions.end());
+    source.resolutions.erase(
+        std::unique(source.resolutions.begin(), source.resolutions.end()),
+        source.resolutions.end());
+    source.slot_offset = slot_offset;
+    slot_offset += static_cast<int>(source.resolutions.size());
+  }
+  compiled.total_merge_slots_ = slot_offset;
+
+  // Group subscriptions per subscriber, dropping invalid edges (self-
+  // subscriptions and edges to unknown sources), preserving problem order
+  // within each subscriber.
+  std::vector<std::vector<CompiledSubscription>> buckets(n_clients);
+  for (const auto& sub : problem.subscriptions) {
+    if (sub.subscriber == sub.source.client) continue;  // N_i excludes i
+    const int source = source_index.IndexOf(sub.source);
+    if (source < 0) continue;  // unknown source
+    const int subscriber = compiled.clients_.IndexOf(sub.subscriber);
+    buckets[static_cast<size_t>(subscriber)].push_back(CompiledSubscription{
+        source, sub.max_resolution, sub.priority, sub.slot, &sub});
+  }
+  compiled.subscription_offset_.push_back(0);
+  for (size_t c = 0; c < n_clients; ++c) {
+    if (buckets[c].empty()) continue;
+    compiled.subscriber_ids_.push_back(compiled.clients_.id(static_cast<int>(c)));
+    compiled.subscriber_client_.push_back(static_cast<int>(c));
+    for (auto& edge : buckets[c]) {
+      compiled.subscriptions_.push_back(edge);
+    }
+    compiled.subscription_offset_.push_back(compiled.subscriptions_.size());
+  }
+
+  // Reverse index: which subscribers watch each source (ascending).
+  compiled.watchers_.assign(compiled.sources_.size(), {});
+  for (size_t sub = 0; sub < compiled.subscriber_ids_.size(); ++sub) {
+    int last_source = -1;
+    std::vector<int> seen;
+    for (size_t e = compiled.subscription_offset_[sub];
+         e < compiled.subscription_offset_[sub + 1]; ++e) {
+      const int source = compiled.subscriptions_[e].source;
+      if (source == last_source) continue;
+      last_source = source;
+      if (std::find(seen.begin(), seen.end(), source) != seen.end()) continue;
+      seen.push_back(source);
+      compiled.watchers_[static_cast<size_t>(source)].push_back(
+          static_cast<int>(sub));
+    }
+  }
+  return compiled;
+}
+
+}  // namespace gso::core

@@ -9,23 +9,31 @@ namespace gso::core {
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr int64_t kInfWeight = std::numeric_limits<int64_t>::max() / 2;
 
 }  // namespace
 
 MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
                                int64_t capacity) const {
-  constexpr int64_t kInfWeight = std::numeric_limits<int64_t>::max() / 2;
+  MckpWorkspace workspace;
+  return Solve(classes, capacity, &workspace);
+}
 
+MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
+                               int64_t capacity,
+                               MckpWorkspace* ws) const {
   MckpResult result;
   result.choice.assign(classes.size(), -1);
   if (classes.empty()) return result;
 
   // Value grid: each item's value is floored to multiples of `quantum`.
   double value_sum = 0.0;
+  size_t total_items = 0;
   for (const auto& cls : classes) {
     double best = 0.0;
     for (const auto& item : cls.items) best = std::max(best, item.value);
     value_sum += best;
+    total_items += cls.items.size();
   }
   double quantum = value_quantum_;
   if (value_sum / quantum > static_cast<double>(max_cells_)) {
@@ -33,49 +41,141 @@ MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
   }
   const int64_t cells =
       std::max<int64_t>(1, static_cast<int64_t>(value_sum / quantum));
+  const size_t width = static_cast<size_t>(cells) + 1;
 
-  // dp[v]: minimum weight achieving quantized value exactly v.
-  std::vector<int64_t> dp(static_cast<size_t>(cells) + 1, kInfWeight);
+  // Acquire grow-only scratch. dp[v]: minimum weight achieving quantized
+  // value exactly v; `next` double-buffers the per-class pass; choices row
+  // k holds the item picked in class k on the best path through each state.
+  auto& dp = ws->dp;
+  auto& next = ws->next;
+  if (dp.size() < width) dp.resize(width);
+  if (next.size() < width) next.resize(width);
+  std::fill(dp.begin(), dp.begin() + static_cast<ptrdiff_t>(width),
+            kInfWeight);
+  std::fill(next.begin(), next.begin() + static_cast<ptrdiff_t>(width),
+            kInfWeight);
   dp[0] = 0;
-  // choices[k][v]: item picked in class k on the best path through state v.
-  std::vector<std::vector<int16_t>> choices(
-      classes.size(),
-      std::vector<int16_t>(static_cast<size_t>(cells) + 1, -1));
+  if (ws->choices.size() < classes.size() * width) {
+    ws->choices.resize(classes.size() * width);
+  }
 
-  std::vector<int64_t> next(dp.size());
+  // Quantize every item value exactly once. The forward pass and the
+  // backtrack both read this table, so an item can never shift grid cells
+  // between the two phases.
+  if (ws->vq.size() < total_items) ws->vq.resize(total_items);
+  ws->vq_offset.assign(classes.size() + 1, 0);
+  if (ws->keep.size() < total_items) ws->keep.resize(total_items);
+  {
+    size_t offset = 0;
+    for (size_t k = 0; k < classes.size(); ++k) {
+      ws->vq_offset[k] = offset;
+      for (const auto& item : classes[k].items) {
+        ws->vq[offset++] = static_cast<int64_t>(item.value / quantum);
+      }
+    }
+    ws->vq_offset[classes.size()] = offset;
+  }
+
+  // reach: highest value cell with a finite dp entry (-1 while none).
+  // wm_*: high-water marks — every cell above them is kInfWeight, so stale
+  // buffer contents beyond the current pass are never observed.
+  int64_t reach = 0;
+  int64_t wm_dp = 0;
+  int64_t wm_next = -1;
+
   for (size_t k = 0; k < classes.size(); ++k) {
     const auto& cls = classes[k];
     GSO_CHECK(cls.items.size() <
               static_cast<size_t>(std::numeric_limits<int16_t>::max()));
+    const int64_t* vq = ws->vq.data() + ws->vq_offset[k];
+    uint8_t* keep = ws->keep.data() + ws->vq_offset[k];
+
+    // Dominance pruning. Eligible items sorted by (value desc, weight asc,
+    // index asc) survive only while strictly lighter than everything that
+    // sorts before them: the survivors form the staircase of per-value
+    // minimum weights. A pruned item can never be the DP's recorded
+    // first-minimum choice at any state on the backtracked optimal path,
+    // so the solve result is identical to the unpruned instance.
+    auto& order = ws->order;
+    order.clear();
+    for (size_t j = 0; j < cls.items.size(); ++j) {
+      const auto& item = cls.items[j];
+      keep[j] = 0;
+      if (item.weight < 0 || item.weight > capacity || item.value < 0) {
+        continue;  // same eligibility filter as the DP loop below
+      }
+      order.push_back(static_cast<int16_t>(j));
+    }
+    std::sort(order.begin(), order.end(), [&](int16_t a, int16_t b) {
+      if (vq[a] != vq[b]) return vq[a] > vq[b];
+      const int64_t wa = cls.items[static_cast<size_t>(a)].weight;
+      const int64_t wb = cls.items[static_cast<size_t>(b)].weight;
+      if (wa != wb) return wa < wb;
+      return a < b;
+    });
+    int64_t min_weight = std::numeric_limits<int64_t>::max();
+    int64_t max_vq = 0;
+    for (const int16_t j : order) {
+      const int64_t w = cls.items[static_cast<size_t>(j)].weight;
+      if (w < min_weight) {
+        keep[j] = 1;
+        min_weight = w;
+        max_vq = std::max(max_vq, vq[j]);
+      }
+    }
+
+    // This pass can only populate cells up to reach + max_vq.
+    const int64_t row_end = std::min(cells, reach + max_vq);
     // Start from the skip branch (or unreachable when the class is
     // mandatory: every state must then include an item of this class).
     if (cls.mandatory) {
-      std::fill(next.begin(), next.end(), kInfWeight);
+      std::fill(next.begin(),
+                next.begin() + static_cast<ptrdiff_t>(
+                                   std::max(row_end, wm_next) + 1),
+                kInfWeight);
     } else {
-      next = dp;
-    }
-    for (size_t j = 0; j < cls.items.size(); ++j) {
-      const auto& item = cls.items[j];
-      if (item.weight < 0 || item.weight > capacity || item.value < 0) {
-        continue;
+      std::copy(dp.begin(), dp.begin() + static_cast<ptrdiff_t>(row_end + 1),
+                next.begin());
+      if (wm_next > row_end) {
+        std::fill(next.begin() + static_cast<ptrdiff_t>(row_end + 1),
+                  next.begin() + static_cast<ptrdiff_t>(wm_next + 1),
+                  kInfWeight);
       }
-      const int64_t vq = static_cast<int64_t>(item.value / quantum);
-      for (int64_t v = cells; v >= vq; --v) {
-        const int64_t base = dp[static_cast<size_t>(v - vq)];
+    }
+    wm_next = row_end;
+    int16_t* row = ws->choices.data() + k * width;
+    std::fill(row, row + row_end + 1, static_cast<int16_t>(-1));
+
+    int64_t reach_new = cls.mandatory ? -1 : reach;
+    for (size_t j = 0; j < cls.items.size(); ++j) {
+      if (!keep[j]) continue;
+      const int64_t weight = cls.items[j].weight;
+      const int64_t item_vq = vq[j];
+      for (int64_t v = row_end; v >= item_vq; --v) {
+        const int64_t base = dp[static_cast<size_t>(v - item_vq)];
         if (base >= kInfWeight) continue;
-        const int64_t cand = base + item.weight;
+        const int64_t cand = base + weight;
         if (cand <= capacity && cand < next[static_cast<size_t>(v)]) {
           next[static_cast<size_t>(v)] = cand;
-          choices[k][static_cast<size_t>(v)] = static_cast<int16_t>(j);
+          row[v] = static_cast<int16_t>(j);
+          if (v > reach_new) reach_new = v;
         }
       }
     }
     dp.swap(next);
+    std::swap(wm_dp, wm_next);
+    reach = reach_new;
+    if (reach < 0) {
+      // A mandatory class admits no feasible item: every later pass would
+      // stay unreachable, so the reference loop also ends up infeasible.
+      result.feasible = false;
+      return result;
+    }
   }
 
   // Best achievable quantized value within capacity.
   int64_t best_v = -1;
-  for (int64_t v = cells; v >= 0; --v) {
+  for (int64_t v = reach; v >= 0; --v) {
     if (dp[static_cast<size_t>(v)] <= capacity) {
       best_v = v;
       break;
@@ -89,13 +189,13 @@ MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
   // Backtrack through the per-class choice tables.
   int64_t v = best_v;
   for (size_t k = classes.size(); k-- > 0;) {
-    const int16_t j = choices[k][static_cast<size_t>(v)];
+    const int16_t j = ws->choices[k * width + static_cast<size_t>(v)];
     result.choice[k] = j;
     if (j >= 0) {
       const auto& item = classes[k].items[static_cast<size_t>(j)];
       result.total_value += item.value;
       result.total_weight += item.weight;
-      v -= static_cast<int64_t>(item.value / quantum);
+      v -= ws->vq[ws->vq_offset[k] + static_cast<size_t>(j)];
       GSO_CHECK_GE(v, 0);
     }
   }

@@ -9,6 +9,7 @@
 #ifndef GSO_CORE_MCKP_H_
 #define GSO_CORE_MCKP_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -34,11 +35,34 @@ struct MckpResult {
   bool feasible = true;  // false iff a mandatory class cannot be satisfied
 };
 
+// Grow-only scratch buffers for DpMckpSolver. The controller solves one
+// MCKP per subscriber per iteration; owning the tables across solves (one
+// workspace per orchestrator, or per worker thread when Step 1 runs in
+// parallel) removes every per-solve heap allocation from the hot path.
+// A workspace may be reused freely across solvers, capacities and problem
+// shapes; buffers only ever grow.
+struct MckpWorkspace {
+  std::vector<int64_t> dp;        // dp[v]: min weight at quantized value v
+  std::vector<int64_t> next;      // double buffer for the class pass
+  std::vector<int16_t> choices;   // per class: item on the best path, row-major
+  std::vector<int64_t> vq;        // per item: precomputed quantized value
+  std::vector<std::size_t> vq_offset;  // per class: offset of its items in vq
+  std::vector<int16_t> order;     // dominance-pruning sort scratch
+  std::vector<uint8_t> keep;      // dominance-pruning survivor flags
+};
+
 class MckpSolver {
  public:
   virtual ~MckpSolver() = default;
   virtual MckpResult Solve(const std::vector<MckpClass>& classes,
                            int64_t capacity) const = 0;
+  // Workspace-aware entry point; solvers that keep no scratch (e.g. the
+  // exhaustive baseline) ignore the workspace.
+  virtual MckpResult Solve(const std::vector<MckpClass>& classes,
+                           int64_t capacity, MckpWorkspace* workspace) const {
+    (void)workspace;
+    return Solve(classes, capacity);
+  }
 };
 
 // Pseudo-polynomial DP over the *value* dimension: dp[v] = minimum weight
@@ -49,6 +73,15 @@ class MckpSolver {
 // table size grows linearly with the number of classes (publishers), which
 // reproduces the paper's reported scaling: linear in subscribers and
 // bitrate levels, quadratic in publishers (Fig. 6c).
+//
+// Before the DP, each class is reduced by dominance pruning: an item is
+// dropped when another item of the class weighs no more and achieves at
+// least the same quantized value (ties resolved toward the earlier item,
+// matching the DP's first-minimum tie-break). Pruned items can never
+// appear in the returned solution, so the result — choice vector included —
+// is identical to solving the unpruned instance; the DP inner loops just
+// run over strictly fewer items. Each class pass is further bounded by the
+// highest reachable value so far, which skips provably unreachable cells.
 class DpMckpSolver : public MckpSolver {
  public:
   explicit DpMckpSolver(double value_quantum = 1.0,
@@ -57,6 +90,8 @@ class DpMckpSolver : public MckpSolver {
 
   MckpResult Solve(const std::vector<MckpClass>& classes,
                    int64_t capacity) const override;
+  MckpResult Solve(const std::vector<MckpClass>& classes, int64_t capacity,
+                   MckpWorkspace* workspace) const override;
 
  private:
   double value_quantum_;
@@ -68,6 +103,7 @@ class DpMckpSolver : public MckpSolver {
 // prod_k (|items_k| + 1).
 class ExhaustiveMckpSolver : public MckpSolver {
  public:
+  using MckpSolver::Solve;
   MckpResult Solve(const std::vector<MckpClass>& classes,
                    int64_t capacity) const override;
 

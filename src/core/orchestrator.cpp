@@ -3,24 +3,41 @@
 #include <algorithm>
 #include <limits>
 #include <map>
-#include <optional>
 #include <set>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace gso::core {
 namespace {
 
-// Step-1 result for one subscription: the chosen option.
-struct Request {
-  const Subscription* subscription = nullptr;
+// Step-1 result for one subscription edge: the chosen option. The option is
+// copied (not indexed) because requests are cached across iterations while
+// Reduction shrinks the active ladders underneath them.
+struct Step1Request {
+  const CompiledSubscription* edge = nullptr;
   StreamOption option;
 };
 
-struct SubscriberKey {
-  ClientId client;
-  bool operator<(const SubscriberKey& o) const { return client < o.client; }
+// One (source, resolution) merge slot: the minimum requested bitrate and
+// the receivers that asked for this resolution.
+struct MergeSlot {
+  bool used = false;
+  DataRate bitrate;
+  double qoe = 0.0;
+  std::vector<PublishedStream::Receiver> receivers;
+};
+
+// Per-worker Step-1 scratch: each thread builds its knapsack instance and
+// solves it in its own buffers, so the parallel fan-out shares nothing
+// mutable and every buffer is reused across solves.
+struct Step1Scratch {
+  std::vector<MckpClass> classes;
+  std::vector<std::vector<int>> class_options;  // indices into active[source]
+  MckpWorkspace mckp;
 };
 
 DataRate BudgetOr(const std::map<ClientId, ClientBudget>& budgets,
@@ -32,139 +49,216 @@ DataRate BudgetOr(const std::map<ClientId, ClientBudget>& budgets,
 
 }  // namespace
 
+// Grow-only scratch reused across Solve calls: after warm-up the control
+// loop performs no per-iteration heap allocation beyond vector growth.
+struct Orchestrator::Workspace {
+  // Active feasible stream sets per source, shrunk by Reduction steps.
+  std::vector<std::vector<StreamOption>> active;
+  // Step-1 cache: requests per subscriber, recomputed only when dirty.
+  std::vector<std::vector<Step1Request>> requests;
+  std::vector<uint8_t> dirty;   // per subscriber
+  std::vector<int> dirty_list;  // dirty subscribers, ascending
+  std::vector<MergeSlot> merged;
+  // Per client: published (source, merge slot) pairs this iteration.
+  std::vector<std::vector<std::pair<int, int>>> per_publisher;
+  std::vector<int> used_publishers;  // clients with >= 1 stream, ascending
+  std::vector<Step1Scratch> scratch;  // one per worker
+  // Step-3 repair knapsack scratch (serial; violations are rare).
+  std::vector<MckpClass> fix_classes;
+  std::vector<std::vector<StreamOption>> fix_class_options;
+  MckpWorkspace fix_mckp;
+};
+
+Orchestrator::Orchestrator(const MckpSolver* step1_solver,
+                           OrchestratorOptions options)
+    : step1_solver_(step1_solver),
+      options_(options),
+      ws_(std::make_unique<Workspace>()) {
+  if (options_.step1_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.step1_threads);
+  }
+  ws_->scratch.resize(
+      static_cast<size_t>(pool_ != nullptr ? pool_->parallelism() : 1));
+}
+
+Orchestrator::~Orchestrator() = default;
+
 Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
+  const CompiledProblem compiled = CompiledProblem::Compile(problem);
+  return Solve(compiled);
+}
+
+void Orchestrator::SolveSubscriber(const CompiledProblem& compiled,
+                                   int subscriber, int worker) const {
+  Workspace& ws = *ws_;
+  Step1Scratch& scratch = ws.scratch[static_cast<size_t>(worker)];
+  const CompiledSubscription* edges = compiled.subscriptions_begin(subscriber);
+  const size_t n = static_cast<size_t>(compiled.subscription_count(subscriber));
+
+  scratch.classes.resize(n);
+  if (scratch.class_options.size() < n) scratch.class_options.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const CompiledSubscription& edge = edges[k];
+    MckpClass& cls = scratch.classes[k];
+    cls.items.clear();
+    cls.mandatory = false;
+    auto& opts = scratch.class_options[k];
+    opts.clear();
+    const auto& active = ws.active[static_cast<size_t>(edge.source)];
+    for (size_t i = 0; i < active.size(); ++i) {
+      const StreamOption& option = active[i];
+      if (option.resolution <= edge.max_resolution) {
+        cls.items.push_back(
+            MckpItem{option.bitrate.bps(), option.qoe * edge.priority});
+        opts.push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  const DataRate downlink = compiled.subscriber_downlink(subscriber);
+  const int64_t capacity = downlink.IsFinite()
+                               ? downlink.bps()
+                               : std::numeric_limits<int64_t>::max() / 4;
+  const MckpResult result =
+      step1_solver_->Solve(scratch.classes, capacity, &scratch.mckp);
+
+  auto& requests = ws.requests[static_cast<size_t>(subscriber)];
+  requests.clear();
+  for (size_t k = 0; k < n; ++k) {
+    if (result.choice[k] < 0) continue;
+    const int option_index =
+        scratch.class_options[k][static_cast<size_t>(result.choice[k])];
+    requests.push_back(Step1Request{
+        &edges[k], ws.active[static_cast<size_t>(edges[k].source)]
+                            [static_cast<size_t>(option_index)]});
+  }
+}
+
+Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
   stats_ = OrchestratorStats{};
+  Workspace& ws = *ws_;
+  const auto& sources = compiled.sources();
+  const int num_sources = compiled.num_sources();
+  const int num_subscribers = compiled.num_subscribers();
 
-  std::map<ClientId, ClientBudget> budgets;
-  for (const auto& b : problem.budgets) budgets[b.client] = b;
-
-  // Active feasible stream sets, shrunk by Reduction steps.
-  std::map<SourceId, std::vector<StreamOption>> active;
-  for (const auto& cap : problem.capabilities) {
-    auto options = cap.options;
-    // Deterministic order: descending resolution then descending bitrate.
-    std::sort(options.begin(), options.end(),
-              [](const StreamOption& a, const StreamOption& b) {
-                if (!(a.resolution == b.resolution))
-                  return b.resolution < a.resolution;
-                return b.bitrate < a.bitrate;
-              });
-    active[cap.source] = std::move(options);
+  ws.active.resize(static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    ws.active[static_cast<size_t>(s)] = sources[static_cast<size_t>(s)].ladder;
   }
+  ws.requests.resize(static_cast<size_t>(num_subscribers));
+  for (auto& requests : ws.requests) requests.clear();
+  ws.dirty.assign(static_cast<size_t>(num_subscribers), 1);
+  ws.merged.resize(static_cast<size_t>(compiled.total_merge_slots()));
+  ws.per_publisher.resize(static_cast<size_t>(compiled.num_clients()));
+  for (auto& streams : ws.per_publisher) streams.clear();
+  ws.used_publishers.clear();
 
-  // Group subscriptions per subscriber, dropping invalid edges.
-  std::map<ClientId, std::vector<const Subscription*>> per_subscriber;
-  for (const auto& sub : problem.subscriptions) {
-    if (sub.subscriber == sub.source.client) continue;  // N_i excludes i
-    if (!active.count(sub.source)) continue;            // unknown source
-    per_subscriber[sub.subscriber].push_back(&sub);
-  }
-
-  // Count distinct resolutions for the iteration bound.
-  size_t total_resolutions = 0;
-  for (const auto& [_, options] : active) {
-    std::set<Resolution, std::less<>> seen;
-    for (const auto& o : options) seen.insert(o.resolution);
-    total_resolutions += seen.size();
-  }
-  const int max_iterations = static_cast<int>(total_resolutions) + 1;
-
-  // Step-1 cache: recompute a subscriber only when a source it subscribes
-  // to was reduced.
-  std::map<ClientId, std::vector<Request>> step1_cache;
-  std::set<ClientId> dirty;
-  for (const auto& [client, _] : per_subscriber) dirty.insert(client);
+  // Each resolution can be removed at most once; one extra pass terminates.
+  const int max_iterations = compiled.total_merge_slots() + 1;
 
   Solution solution;
   for (int iteration = 1; iteration <= max_iterations; ++iteration) {
     stats_.iterations = iteration;
 
     // ---- Step 1: per-subscriber Multiple-Choice Knapsack ----
-    for (const ClientId& subscriber : dirty) {
-      const auto& subs = per_subscriber[subscriber];
-      std::vector<MckpClass> classes;
-      std::vector<std::vector<StreamOption>> class_options;
-      classes.reserve(subs.size());
-      for (const Subscription* sub : subs) {
-        MckpClass cls;
-        std::vector<StreamOption> opts;
-        for (const auto& option : active[sub->source]) {
-          if (option.resolution <= sub->max_resolution) {
-            cls.items.push_back(
-                MckpItem{option.bitrate.bps(), option.qoe * sub->priority});
-            opts.push_back(option);
-          }
-        }
-        classes.push_back(std::move(cls));
-        class_options.push_back(std::move(opts));
-      }
-      const DataRate downlink = BudgetOr(budgets, subscriber, false);
-      const int64_t capacity = downlink.IsFinite()
-                                   ? downlink.bps()
-                                   : std::numeric_limits<int64_t>::max() / 4;
-      const MckpResult result = step1_solver_->Solve(classes, capacity);
-      ++stats_.knapsack_solves;
-
-      std::vector<Request> requests;
-      for (size_t k = 0; k < subs.size(); ++k) {
-        if (result.choice[k] < 0) continue;
-        Request req;
-        req.subscription = subs[k];
-        req.option = class_options[k][static_cast<size_t>(result.choice[k])];
-        requests.push_back(req);
-      }
-      step1_cache[subscriber] = std::move(requests);
+    // Dirty subscribers are independent: each solve reads only the active
+    // ladders (immutable within an iteration) and writes its own request
+    // slot, so the fan-out is deterministic at any thread count.
+    ws.dirty_list.clear();
+    for (int sub = 0; sub < num_subscribers; ++sub) {
+      if (ws.dirty[static_cast<size_t>(sub)]) ws.dirty_list.push_back(sub);
     }
-    dirty.clear();
+    const int num_dirty = static_cast<int>(ws.dirty_list.size());
+    if (pool_ != nullptr && num_dirty > 1) {
+      pool_->ParallelFor(num_dirty, [&](int i, int worker) {
+        SolveSubscriber(compiled, ws.dirty_list[static_cast<size_t>(i)],
+                        worker);
+      });
+    } else {
+      for (int i = 0; i < num_dirty; ++i) {
+        SolveSubscriber(compiled, ws.dirty_list[static_cast<size_t>(i)], 0);
+      }
+    }
+    stats_.knapsack_solves += num_dirty;
+    std::fill(ws.dirty.begin(), ws.dirty.end(), static_cast<uint8_t>(0));
 
     // ---- Step 2: per-source merge by resolution ----
-    // merged[source][resolution] -> (min bitrate, receivers)
-    std::map<SourceId, std::map<Resolution, PublishedStream, std::less<>>>
-        merged;
-    for (const auto& [subscriber, requests] : step1_cache) {
-      for (const auto& req : requests) {
-        auto& stream = merged[req.subscription->source][req.option.resolution];
-        if (stream.receivers.empty() || req.option.bitrate < stream.bitrate) {
-          stream.resolution = req.option.resolution;
-          stream.bitrate = req.option.bitrate;
-          stream.qoe = req.option.qoe;
+    for (auto& slot : ws.merged) {
+      slot.used = false;
+      slot.receivers.clear();
+    }
+    for (int sub = 0; sub < num_subscribers; ++sub) {
+      const ClientId subscriber = compiled.subscriber_id(sub);
+      for (const auto& req : ws.requests[static_cast<size_t>(sub)]) {
+        const CompiledSource& source =
+            sources[static_cast<size_t>(req.edge->source)];
+        const size_t slot_index = static_cast<size_t>(
+            source.slot_offset + source.SlotOf(req.option.resolution));
+        MergeSlot& slot = ws.merged[slot_index];
+        if (!slot.used || req.option.bitrate < slot.bitrate) {
+          slot.bitrate = req.option.bitrate;
+          slot.qoe = req.option.qoe;
         }
-        stream.receivers.push_back(
-            PublishedStream::Receiver{subscriber, req.subscription->slot});
+        slot.used = true;
+        slot.receivers.push_back(
+            PublishedStream::Receiver{subscriber, req.edge->slot});
       }
     }
 
     // ---- Step 3: per-publisher uplink check / fix / reduction ----
-    // Collect per-client published streams (across the client's sources).
-    std::map<ClientId, std::vector<std::pair<SourceId, PublishedStream*>>>
-        per_publisher;
-    for (auto& [source, by_res] : merged) {
-      for (auto& [res, stream] : by_res) {
-        per_publisher[source.client].emplace_back(source, &stream);
+    // Sources ascend by (client, kind), so walking them in index order
+    // discovers publishers in ascending client order with each publisher's
+    // streams in (source, resolution) order — the reference map order.
+    for (const int client : ws.used_publishers) {
+      ws.per_publisher[static_cast<size_t>(client)].clear();
+    }
+    ws.used_publishers.clear();
+    for (int s = 0; s < num_sources; ++s) {
+      const CompiledSource& source = sources[static_cast<size_t>(s)];
+      for (size_t r = 0; r < source.resolutions.size(); ++r) {
+        const int slot_index = source.slot_offset + static_cast<int>(r);
+        if (!ws.merged[static_cast<size_t>(slot_index)].used) continue;
+        auto& streams = ws.per_publisher[static_cast<size_t>(source.owner)];
+        if (streams.empty()) ws.used_publishers.push_back(source.owner);
+        streams.emplace_back(s, slot_index);
       }
     }
 
-    std::optional<ClientId> reduce_client;
-    for (auto& [client, streams] : per_publisher) {
-      const DataRate uplink = BudgetOr(budgets, client, true);
+    int reduce_client = -1;
+    for (const int client : ws.used_publishers) {
+      const DataRate uplink = compiled.uplink(client);
       if (!uplink.IsFinite()) continue;
+      const auto& streams = ws.per_publisher[static_cast<size_t>(client)];
       DataRate published;
-      for (const auto& [_, stream] : streams) published += stream->bitrate;
+      for (const auto& [s, slot_index] : streams) {
+        published += ws.merged[static_cast<size_t>(slot_index)].bitrate;
+      }
       if (published <= uplink) continue;  // Eq. (14) holds
 
       // Eq. (17): fixable iff the per-resolution minimum bitrates fit.
       DataRate floor_total;
       bool floor_ok = true;
-      std::vector<MckpClass> classes;
-      std::vector<std::vector<StreamOption>> class_options;
-      for (const auto& [source, stream] : streams) {
-        MckpClass cls;
+      ws.fix_classes.resize(streams.size());
+      if (ws.fix_class_options.size() < streams.size()) {
+        ws.fix_class_options.resize(streams.size());
+      }
+      for (size_t k = 0; k < streams.size(); ++k) {
+        const auto& [s, slot_index] = streams[k];
+        const CompiledSource& source = sources[static_cast<size_t>(s)];
+        const MergeSlot& stream =
+            ws.merged[static_cast<size_t>(slot_index)];
+        const Resolution resolution =
+            source.resolutions[static_cast<size_t>(slot_index -
+                                                   source.slot_offset)];
+        MckpClass& cls = ws.fix_classes[k];
+        cls.items.clear();
         cls.mandatory = true;
-        std::vector<StreamOption> opts;
+        auto& opts = ws.fix_class_options[k];
+        opts.clear();
         DataRate cheapest = DataRate::PlusInfinity();
-        for (const auto& option : active[source]) {
-          if (!(option.resolution == stream->resolution)) continue;
-          if (option.bitrate > stream->bitrate) continue;  // Eq. (16)
+        for (const auto& option : ws.active[static_cast<size_t>(s)]) {
+          if (!(option.resolution == resolution)) continue;
+          if (option.bitrate > stream.bitrate) continue;  // Eq. (16)
           cls.items.push_back(MckpItem{option.bitrate.bps(), option.qoe});
           opts.push_back(option);
           cheapest = std::min(cheapest, option.bitrate);
@@ -174,22 +268,23 @@ Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
           break;
         }
         floor_total += cheapest;
-        classes.push_back(std::move(cls));
-        class_options.push_back(std::move(opts));
       }
 
       if (floor_ok && floor_total <= uplink) {
         // Fix by the small mandatory knapsack over B_u (Eq. 15-16).
-        const MckpResult fix = fix_solver_.Solve(classes, uplink.bps());
+        const MckpResult fix =
+            fix_solver_.Solve(ws.fix_classes, uplink.bps(), &ws.fix_mckp);
         ++stats_.knapsack_solves;
         if (fix.feasible) {
           ++stats_.uplink_fixes;
           for (size_t k = 0; k < streams.size(); ++k) {
             GSO_CHECK_GE(fix.choice[k], 0);
             const StreamOption& replacement =
-                class_options[k][static_cast<size_t>(fix.choice[k])];
-            streams[k].second->bitrate = replacement.bitrate;
-            streams[k].second->qoe = replacement.qoe;
+                ws.fix_class_options[k][static_cast<size_t>(fix.choice[k])];
+            MergeSlot& slot =
+                ws.merged[static_cast<size_t>(streams[k].second)];
+            slot.bitrate = replacement.bitrate;
+            slot.qoe = replacement.qoe;
           }
           continue;
         }
@@ -200,25 +295,39 @@ Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
       break;
     }
 
-    if (!reduce_client) {
+    if (reduce_client < 0) {
       // Every constraint satisfied: assemble the final solution.
-      for (auto& [source, by_res] : merged) {
-        for (auto& [res, stream] : by_res) {
+      for (int s = 0; s < num_sources; ++s) {
+        const CompiledSource& source = sources[static_cast<size_t>(s)];
+        std::vector<PublishedStream>* publish = nullptr;
+        for (size_t r = 0; r < source.resolutions.size(); ++r) {
+          MergeSlot& slot =
+              ws.merged[static_cast<size_t>(source.slot_offset) + r];
+          if (!slot.used) continue;
+          PublishedStream stream;
+          stream.resolution = source.resolutions[r];
+          stream.bitrate = slot.bitrate;
+          stream.qoe = slot.qoe;
+          stream.receivers = slot.receivers;
           std::sort(stream.receivers.begin(), stream.receivers.end());
-          solution.publish[source].push_back(stream);
+          if (publish == nullptr) publish = &solution.publish[source.id];
+          publish->push_back(std::move(stream));
         }
       }
-      for (const auto& [subscriber, requests] : step1_cache) {
-        for (const auto& req : requests) {
-          solution.step1_qoe += req.option.qoe * req.subscription->priority;
-          const auto& streams = merged[req.subscription->source];
-          const auto it = streams.find(req.option.resolution);
-          GSO_CHECK(it != streams.end());
-          solution
-              .per_subscriber[{subscriber, req.subscription->slot}]
-                             [req.subscription->source] =
-              Solution::Assigned{it->second.resolution, it->second.bitrate};
-          solution.total_qoe += it->second.qoe * req.subscription->priority;
+      for (int sub = 0; sub < num_subscribers; ++sub) {
+        const ClientId subscriber = compiled.subscriber_id(sub);
+        for (const auto& req : ws.requests[static_cast<size_t>(sub)]) {
+          solution.step1_qoe += req.option.qoe * req.edge->priority;
+          const CompiledSource& source =
+              sources[static_cast<size_t>(req.edge->source)];
+          const int r = source.SlotOf(req.option.resolution);
+          GSO_CHECK_GE(r, 0);
+          const MergeSlot& slot = ws.merged[static_cast<size_t>(
+              source.slot_offset + r)];
+          GSO_CHECK(slot.used);
+          solution.per_subscriber[{subscriber, req.edge->slot}][source.id] =
+              Solution::Assigned{req.option.resolution, slot.bitrate};
+          solution.total_qoe += slot.qoe * req.edge->priority;
         }
       }
       solution.iterations = iteration;
@@ -229,26 +338,27 @@ Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
     // the offending client and invalidate affected subscribers.
     ++stats_.reductions;
     Resolution highest{0, 0};
-    SourceId victim_source;
-    for (const auto& [source, stream] : per_publisher[*reduce_client]) {
-      if (highest < stream->resolution || highest.PixelCount() == 0) {
-        highest = stream->resolution;
-        victim_source = source;
+    int victim = -1;
+    for (const auto& [s, slot_index] :
+         ws.per_publisher[static_cast<size_t>(reduce_client)]) {
+      const CompiledSource& source = sources[static_cast<size_t>(s)];
+      const Resolution resolution =
+          source.resolutions[static_cast<size_t>(slot_index -
+                                                 source.slot_offset)];
+      if (highest < resolution || highest.PixelCount() == 0) {
+        highest = resolution;
+        victim = s;
       }
     }
-    auto& options = active[victim_source];
+    GSO_CHECK_GE(victim, 0);
+    auto& options = ws.active[static_cast<size_t>(victim)];
     options.erase(std::remove_if(options.begin(), options.end(),
                                  [&](const StreamOption& o) {
                                    return o.resolution == highest;
                                  }),
                   options.end());
-    for (const auto& [subscriber, subs] : per_subscriber) {
-      for (const Subscription* sub : subs) {
-        if (sub->source == victim_source) {
-          dirty.insert(subscriber);
-          break;
-        }
-      }
+    for (const int sub : compiled.watchers(victim)) {
+      ws.dirty[static_cast<size_t>(sub)] = 1;
     }
   }
 
@@ -265,6 +375,11 @@ std::string ValidateSolution(const OrchestrationProblem& problem,
   for (const auto& b : problem.budgets) budgets[b.client] = b;
   std::map<SourceId, const SourceCapability*> caps;
   for (const auto& c : problem.capabilities) caps[c.source] = &c;
+  // (subscriber, source, slot) -> first matching edge in problem order.
+  std::map<std::tuple<ClientId, SourceId, int>, const Subscription*> edges;
+  for (const auto& sub : problem.subscriptions) {
+    edges.emplace(std::make_tuple(sub.subscriber, sub.source, sub.slot), &sub);
+  }
 
   // Codec capability: at most one bitrate per resolution per source, and
   // every published stream must exist in the source's ladder.
@@ -321,14 +436,9 @@ std::string ValidateSolution(const OrchestrationProblem& problem,
       for (const auto& receiver : stream.receivers) {
         downlink_used[receiver.subscriber] += stream.bitrate;
         // Find the subscription edge this receiver corresponds to.
-        const Subscription* edge = nullptr;
-        for (const auto& sub : problem.subscriptions) {
-          if (sub.subscriber == receiver.subscriber && sub.source == source &&
-              sub.slot == receiver.slot) {
-            edge = &sub;
-            break;
-          }
-        }
+        const auto it = edges.find(
+            std::make_tuple(receiver.subscriber, source, receiver.slot));
+        const Subscription* edge = it == edges.end() ? nullptr : it->second;
         if (edge == nullptr) {
           err << receiver.subscriber.ToString() << " receives from "
               << source.ToString() << " without a subscription";

@@ -16,13 +16,29 @@
 //
 // Convergence: each iteration either terminates or strictly shrinks one
 // source's feasible set, so iterations <= #sources x #resolutions.
+//
+// The solve runs on a dense-index compiled form of the problem (see
+// core/compiled_problem.h): ids are interned once per solve and the hot
+// loop touches only flat vectors, reusable MCKP workspaces and bitmaps.
+// Step-1 knapsacks are independent per subscriber and can optionally run
+// on a thread pool; results are bit-identical at any thread count.
 #ifndef GSO_CORE_ORCHESTRATOR_H_
 #define GSO_CORE_ORCHESTRATOR_H_
 
 #include <memory>
+#include <string>
 
+#include "core/compiled_problem.h"
 #include "core/mckp.h"
 #include "core/types.h"
+
+// Feature-test macro for code that must also build against the pre-options
+// orchestrator API (e.g. the scaling bench comparing seed checkouts).
+#define GSO_ORCHESTRATOR_HAS_OPTIONS 1
+
+namespace gso {
+class ThreadPool;
+}  // namespace gso
 
 namespace gso::core {
 
@@ -33,22 +49,46 @@ struct OrchestratorStats {
   int uplink_fixes = 0;
 };
 
+struct OrchestratorOptions {
+  // Number of threads solving the Step-1 per-subscriber knapsacks. 1 keeps
+  // the solve fully serial (no pool, no synchronization); >1 spins up a
+  // pool owned by the orchestrator. Solutions are bit-identical at any
+  // thread count: each subscriber's knapsack reads only immutable
+  // iteration state and writes its own result slot.
+  int step1_threads = 1;
+};
+
 class Orchestrator {
  public:
   // `step1_solver` solves the per-subscriber MCKP; pass DpMckpSolver for
   // production behaviour or ExhaustiveMckpSolver for the brute-force
   // baseline. The solver must outlive the orchestrator.
-  explicit Orchestrator(const MckpSolver* step1_solver)
-      : step1_solver_(step1_solver) {}
+  explicit Orchestrator(const MckpSolver* step1_solver,
+                        OrchestratorOptions options = {});
+  ~Orchestrator();
+
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
 
   Solution Solve(const OrchestrationProblem& problem) const;
+  // Fast path for callers that keep the compiled form alive across rounds
+  // (the OrchestrationProblem it was compiled from must outlive the call).
+  Solution Solve(const CompiledProblem& compiled) const;
 
   const OrchestratorStats& last_stats() const { return stats_; }
 
  private:
+  struct Workspace;  // grow-only per-solve scratch, defined in the .cpp
+
+  void SolveSubscriber(const CompiledProblem& compiled, int subscriber,
+                       int worker) const;
+
   const MckpSolver* step1_solver_;
   DpMckpSolver fix_solver_;
+  OrchestratorOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   mutable OrchestratorStats stats_;
+  mutable std::unique_ptr<Workspace> ws_;
 };
 
 // Validates an OrchestrationProblem / Solution pair: every budget,

@@ -7,9 +7,9 @@
 #ifndef GSO_SIM_EVENT_LOOP_H_
 #define GSO_SIM_EVENT_LOOP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -30,7 +30,8 @@ class EventLoop {
   // Schedules `task` at absolute virtual time `when` (clamped to Now()).
   void At(Timestamp when, Task task) {
     if (when < now_) when = now_;
-    queue_.push(Event{when, next_seq_++, std::move(task)});
+    queue_.push_back(Event{when, next_seq_++, std::move(task)});
+    std::push_heap(queue_.begin(), queue_.end(), Event::Later);
   }
 
   // Schedules `task` `delay` after the current virtual time.
@@ -48,9 +49,13 @@ class EventLoop {
   // Leaves the clock at `until` (or at the last event time if earlier events
   // emptied the queue exactly at `until`).
   void RunUntil(Timestamp until) {
-    while (!queue_.empty() && queue_.top().when <= until) {
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
+    while (!queue_.empty() && queue_.front().when <= until) {
+      // pop_heap moves the minimum to the back, from where it can be moved
+      // out without const_cast (std::priority_queue::top() only exposes a
+      // const reference, which made moving the task out UB-adjacent).
+      std::pop_heap(queue_.begin(), queue_.end(), Event::Later);
+      Event ev = std::move(queue_.back());
+      queue_.pop_back();
       now_ = ev.when;
       ev.task();
     }
@@ -72,15 +77,18 @@ class EventLoop {
     uint64_t seq;  // breaks ties FIFO
     Task task;
 
-    bool operator>(const Event& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
+    // Min-heap comparator: a sorts after b when it fires later (or was
+    // scheduled later at the same instant).
+    static bool Later(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
   Timestamp now_ = Timestamp::Zero();
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Explicit binary min-heap on (when, seq); front() is the next event.
+  std::vector<Event> queue_;
 };
 
 }  // namespace gso::sim

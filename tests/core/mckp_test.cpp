@@ -151,6 +151,84 @@ TEST(Mckp, DpFindsKnifeEdgeFit) {
   EXPECT_EQ(r.total_weight, 700'000);
 }
 
+TEST(Mckp, QuantizationBoundaryValuesStayConsistent) {
+  // Adversarial grid alignment: values sitting a hair's breadth on either
+  // side of a cell boundary. The solver quantizes each value exactly once
+  // and reuses that table in the backtrack, so forward pass and backtrack
+  // can never disagree about an item's cell (which would trip the
+  // backtrack's v >= 0 check or corrupt the choice vector).
+  DpMckpSolver dp;
+  ExhaustiveMckpSolver ex;
+  MckpWorkspace workspace;
+  const double eps = 1e-12;
+  std::vector<MckpClass> classes;
+  classes.push_back(MakeClass({{100, 3.0 - eps}, {90, 2.0 + eps}, {80, 2.0}}));
+  classes.push_back(MakeClass({{100, 1.0 - eps}, {50, 1.0 + eps}}));
+  classes.push_back(
+      MakeClass({{70, 5.0}, {60, 5.0 - eps}}, /*mandatory=*/true));
+  for (int64_t capacity : {0, 50, 99, 149, 180, 230, 231, 270, 1000}) {
+    const auto r = dp.Solve(classes, capacity, &workspace);
+    const auto r2 = dp.Solve(classes, capacity);  // workspace-free overload
+    EXPECT_EQ(r.choice, r2.choice) << "capacity " << capacity;
+    EXPECT_EQ(r.total_value, r2.total_value) << "capacity " << capacity;
+    if (!r.feasible) continue;
+    EXPECT_LE(r.total_weight, capacity) << "capacity " << capacity;
+    const auto exact = ex.Solve(classes, capacity);
+    EXPECT_LE(r.total_value, exact.total_value + 1e-9)
+        << "capacity " << capacity;
+    EXPECT_GE(r.total_value, exact.total_value - 3.0 - 1e-9)
+        << "capacity " << capacity;
+  }
+}
+
+TEST(Mckp, QuantumRescaleWithBoundaryValues) {
+  // Force the quantum rescale path (value_sum / quantum > max_cells) with
+  // values crafted to land exactly on the rescaled cell boundaries.
+  DpMckpSolver dp(1.0, /*max_cells=*/8);
+  MckpWorkspace workspace;
+  std::vector<MckpClass> classes;
+  classes.push_back(MakeClass({{100, 64.0}, {50, 32.0}, {25, 16.0}}));
+  classes.push_back(MakeClass({{100, 64.0}, {10, 8.0}}));
+  for (int64_t capacity : {0, 10, 35, 110, 125, 200, 1000}) {
+    const auto r = dp.Solve(classes, capacity, &workspace);
+    EXPECT_TRUE(r.feasible) << "capacity " << capacity;
+    EXPECT_LE(r.total_weight, capacity) << "capacity " << capacity;
+    // Identical across workspace reuse and fresh scratch.
+    const auto fresh = dp.Solve(classes, capacity);
+    EXPECT_EQ(r.choice, fresh.choice) << "capacity " << capacity;
+    EXPECT_EQ(r.total_value, fresh.total_value) << "capacity " << capacity;
+  }
+}
+
+TEST(Mckp, WorkspaceShrinksAndGrowsAcrossSolves) {
+  // A big instance followed by a tiny one followed by a big one: stale
+  // cells and choice rows from earlier solves must never leak through.
+  Rng rng(11);
+  DpMckpSolver dp;
+  MckpWorkspace workspace;
+  for (int round = 0; round < 30; ++round) {
+    const int n_classes = (round % 3 == 1) ? 1 : 8;
+    std::vector<MckpClass> classes;
+    for (int k = 0; k < n_classes; ++k) {
+      MckpClass cls;
+      cls.mandatory = (round % 5 == 0 && k == 0);
+      const int n_items = static_cast<int>(rng.UniformInt(1, 6));
+      for (int j = 0; j < n_items; ++j) {
+        cls.items.push_back(MckpItem{rng.UniformInt(10'000, 1'500'000),
+                                     rng.Uniform(5, 900)});
+      }
+      classes.push_back(cls);
+    }
+    const int64_t capacity = rng.UniformInt(50'000, 4'000'000);
+    const auto reused = dp.Solve(classes, capacity, &workspace);
+    const auto fresh = dp.Solve(classes, capacity);
+    ASSERT_EQ(reused.feasible, fresh.feasible) << "round " << round;
+    ASSERT_EQ(reused.choice, fresh.choice) << "round " << round;
+    EXPECT_EQ(reused.total_value, fresh.total_value) << "round " << round;
+    EXPECT_EQ(reused.total_weight, fresh.total_weight) << "round " << round;
+  }
+}
+
 TEST(Mckp, ExhaustiveCountsVisits) {
   ExhaustiveMckpSolver ex;
   ex.Solve({MakeClass({{1, 1}, {2, 2}}), MakeClass({{1, 1}})}, 100);

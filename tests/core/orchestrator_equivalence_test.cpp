@@ -1,0 +1,590 @@
+// Bit-identical equivalence between the dense-index orchestrator fast path
+// and the original map-based implementation, and between the workspace-based
+// dominance-pruned MCKP DP and the original allocate-per-call DP.
+//
+// The `reference` namespace below is a frozen copy of the seed
+// implementations (std::map-based Orchestrator::Solve and the plain value-
+// grid DP). The optimized code paths must reproduce their results exactly —
+// publish sets, receiver lists, QoE sums (including floating-point
+// accumulation order), iteration counts and MCKP choice vectors — across
+// hundreds of randomized problems. Any reordering of the hot loop that
+// changes results shows up here as a bit-level diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/mckp.h"
+#include "core/orchestrator.h"
+#include "core/types.h"
+
+namespace gso::core {
+namespace reference {
+
+// ---- Frozen seed MCKP DP (no workspace, no pruning, no reach bounds) ----
+class RefDpSolver {
+ public:
+  explicit RefDpSolver(double value_quantum = 1.0, int64_t max_cells = 1 << 16)
+      : value_quantum_(value_quantum), max_cells_(max_cells) {}
+
+  MckpResult Solve(const std::vector<MckpClass>& classes,
+                   int64_t capacity) const {
+    constexpr int64_t kInfWeight = std::numeric_limits<int64_t>::max() / 2;
+
+    MckpResult result;
+    result.choice.assign(classes.size(), -1);
+    if (classes.empty()) return result;
+
+    double value_sum = 0.0;
+    for (const auto& cls : classes) {
+      double best = 0.0;
+      for (const auto& item : cls.items) best = std::max(best, item.value);
+      value_sum += best;
+    }
+    double quantum = value_quantum_;
+    if (value_sum / quantum > static_cast<double>(max_cells_)) {
+      quantum = value_sum / static_cast<double>(max_cells_);
+    }
+    const int64_t cells =
+        std::max<int64_t>(1, static_cast<int64_t>(value_sum / quantum));
+
+    std::vector<int64_t> dp(static_cast<size_t>(cells) + 1, kInfWeight);
+    dp[0] = 0;
+    std::vector<std::vector<int16_t>> choices(
+        classes.size(),
+        std::vector<int16_t>(static_cast<size_t>(cells) + 1, -1));
+
+    std::vector<int64_t> next(dp.size());
+    for (size_t k = 0; k < classes.size(); ++k) {
+      const auto& cls = classes[k];
+      if (cls.mandatory) {
+        std::fill(next.begin(), next.end(), kInfWeight);
+      } else {
+        next = dp;
+      }
+      for (size_t j = 0; j < cls.items.size(); ++j) {
+        const auto& item = cls.items[j];
+        if (item.weight < 0 || item.weight > capacity || item.value < 0) {
+          continue;
+        }
+        const int64_t vq = static_cast<int64_t>(item.value / quantum);
+        for (int64_t v = cells; v >= vq; --v) {
+          const int64_t base = dp[static_cast<size_t>(v - vq)];
+          if (base >= kInfWeight) continue;
+          const int64_t cand = base + item.weight;
+          if (cand <= capacity && cand < next[static_cast<size_t>(v)]) {
+            next[static_cast<size_t>(v)] = cand;
+            choices[k][static_cast<size_t>(v)] = static_cast<int16_t>(j);
+          }
+        }
+      }
+      dp.swap(next);
+    }
+
+    int64_t best_v = -1;
+    for (int64_t v = cells; v >= 0; --v) {
+      if (dp[static_cast<size_t>(v)] <= capacity) {
+        best_v = v;
+        break;
+      }
+    }
+    if (best_v < 0) {
+      result.feasible = false;
+      return result;
+    }
+
+    int64_t v = best_v;
+    for (size_t k = classes.size(); k-- > 0;) {
+      const int16_t j = choices[k][static_cast<size_t>(v)];
+      result.choice[k] = j;
+      if (j >= 0) {
+        const auto& item = classes[k].items[static_cast<size_t>(j)];
+        result.total_value += item.value;
+        result.total_weight += item.weight;
+        v -= static_cast<int64_t>(item.value / quantum);
+        GSO_CHECK_GE(v, 0);
+      }
+    }
+    return result;
+  }
+
+ private:
+  double value_quantum_;
+  int64_t max_cells_;
+};
+
+// ---- Frozen seed orchestrator (std::map-based control loop) ----
+struct Request {
+  const Subscription* subscription = nullptr;
+  StreamOption option;
+};
+
+inline DataRate BudgetOr(const std::map<ClientId, ClientBudget>& budgets,
+                         ClientId client, bool uplink) {
+  const auto it = budgets.find(client);
+  if (it == budgets.end()) return DataRate::PlusInfinity();
+  return uplink ? it->second.uplink : it->second.downlink;
+}
+
+Solution Solve(const OrchestrationProblem& problem, const RefDpSolver& step1,
+               const RefDpSolver& fix_solver) {
+  std::map<ClientId, ClientBudget> budgets;
+  for (const auto& b : problem.budgets) budgets[b.client] = b;
+
+  std::map<SourceId, std::vector<StreamOption>> active;
+  for (const auto& cap : problem.capabilities) {
+    auto options = cap.options;
+    std::sort(options.begin(), options.end(),
+              [](const StreamOption& a, const StreamOption& b) {
+                if (!(a.resolution == b.resolution))
+                  return b.resolution < a.resolution;
+                return b.bitrate < a.bitrate;
+              });
+    active[cap.source] = std::move(options);
+  }
+
+  std::map<ClientId, std::vector<const Subscription*>> per_subscriber;
+  for (const auto& sub : problem.subscriptions) {
+    if (sub.subscriber == sub.source.client) continue;
+    if (!active.count(sub.source)) continue;
+    per_subscriber[sub.subscriber].push_back(&sub);
+  }
+
+  size_t total_resolutions = 0;
+  for (const auto& [_, options] : active) {
+    std::set<Resolution, std::less<>> seen;
+    for (const auto& o : options) seen.insert(o.resolution);
+    total_resolutions += seen.size();
+  }
+  const int max_iterations = static_cast<int>(total_resolutions) + 1;
+
+  std::map<ClientId, std::vector<Request>> step1_cache;
+  std::set<ClientId> dirty;
+  for (const auto& [client, _] : per_subscriber) dirty.insert(client);
+
+  Solution solution;
+  for (int iteration = 1; iteration <= max_iterations; ++iteration) {
+    for (const ClientId& subscriber : dirty) {
+      const auto& subs = per_subscriber[subscriber];
+      std::vector<MckpClass> classes;
+      std::vector<std::vector<StreamOption>> class_options;
+      classes.reserve(subs.size());
+      for (const Subscription* sub : subs) {
+        MckpClass cls;
+        std::vector<StreamOption> opts;
+        for (const auto& option : active[sub->source]) {
+          if (option.resolution <= sub->max_resolution) {
+            cls.items.push_back(
+                MckpItem{option.bitrate.bps(), option.qoe * sub->priority});
+            opts.push_back(option);
+          }
+        }
+        classes.push_back(std::move(cls));
+        class_options.push_back(std::move(opts));
+      }
+      const DataRate downlink = BudgetOr(budgets, subscriber, false);
+      const int64_t capacity = downlink.IsFinite()
+                                   ? downlink.bps()
+                                   : std::numeric_limits<int64_t>::max() / 4;
+      const MckpResult result = step1.Solve(classes, capacity);
+
+      std::vector<Request> requests;
+      for (size_t k = 0; k < subs.size(); ++k) {
+        if (result.choice[k] < 0) continue;
+        Request req;
+        req.subscription = subs[k];
+        req.option = class_options[k][static_cast<size_t>(result.choice[k])];
+        requests.push_back(req);
+      }
+      step1_cache[subscriber] = std::move(requests);
+    }
+    dirty.clear();
+
+    std::map<SourceId, std::map<Resolution, PublishedStream, std::less<>>>
+        merged;
+    for (const auto& [subscriber, requests] : step1_cache) {
+      for (const auto& req : requests) {
+        auto& stream = merged[req.subscription->source][req.option.resolution];
+        if (stream.receivers.empty() || req.option.bitrate < stream.bitrate) {
+          stream.resolution = req.option.resolution;
+          stream.bitrate = req.option.bitrate;
+          stream.qoe = req.option.qoe;
+        }
+        stream.receivers.push_back(
+            PublishedStream::Receiver{subscriber, req.subscription->slot});
+      }
+    }
+
+    std::map<ClientId, std::vector<std::pair<SourceId, PublishedStream*>>>
+        per_publisher;
+    for (auto& [source, by_res] : merged) {
+      for (auto& [res, stream] : by_res) {
+        per_publisher[source.client].emplace_back(source, &stream);
+      }
+    }
+
+    std::optional<ClientId> reduce_client;
+    for (auto& [client, streams] : per_publisher) {
+      const DataRate uplink = BudgetOr(budgets, client, true);
+      if (!uplink.IsFinite()) continue;
+      DataRate published;
+      for (const auto& [_, stream] : streams) published += stream->bitrate;
+      if (published <= uplink) continue;
+
+      DataRate floor_total;
+      bool floor_ok = true;
+      std::vector<MckpClass> classes;
+      std::vector<std::vector<StreamOption>> class_options;
+      for (const auto& [source, stream] : streams) {
+        MckpClass cls;
+        cls.mandatory = true;
+        std::vector<StreamOption> opts;
+        DataRate cheapest = DataRate::PlusInfinity();
+        for (const auto& option : active[source]) {
+          if (!(option.resolution == stream->resolution)) continue;
+          if (option.bitrate > stream->bitrate) continue;
+          cls.items.push_back(MckpItem{option.bitrate.bps(), option.qoe});
+          opts.push_back(option);
+          cheapest = std::min(cheapest, option.bitrate);
+        }
+        if (!cheapest.IsFinite()) {
+          floor_ok = false;
+          break;
+        }
+        floor_total += cheapest;
+        classes.push_back(std::move(cls));
+        class_options.push_back(std::move(opts));
+      }
+
+      if (floor_ok && floor_total <= uplink) {
+        const MckpResult fix = fix_solver.Solve(classes, uplink.bps());
+        if (fix.feasible) {
+          for (size_t k = 0; k < streams.size(); ++k) {
+            GSO_CHECK_GE(fix.choice[k], 0);
+            const StreamOption& replacement =
+                class_options[k][static_cast<size_t>(fix.choice[k])];
+            streams[k].second->bitrate = replacement.bitrate;
+            streams[k].second->qoe = replacement.qoe;
+          }
+          continue;
+        }
+      }
+      reduce_client = client;
+      break;
+    }
+
+    if (!reduce_client) {
+      for (auto& [source, by_res] : merged) {
+        for (auto& [res, stream] : by_res) {
+          std::sort(stream.receivers.begin(), stream.receivers.end());
+          solution.publish[source].push_back(stream);
+        }
+      }
+      for (const auto& [subscriber, requests] : step1_cache) {
+        for (const auto& req : requests) {
+          solution.step1_qoe += req.option.qoe * req.subscription->priority;
+          const auto& streams = merged[req.subscription->source];
+          const auto it = streams.find(req.option.resolution);
+          GSO_CHECK(it != streams.end());
+          solution
+              .per_subscriber[{subscriber, req.subscription->slot}]
+                             [req.subscription->source] =
+              Solution::Assigned{it->second.resolution, it->second.bitrate};
+          solution.total_qoe += it->second.qoe * req.subscription->priority;
+        }
+      }
+      solution.iterations = iteration;
+      return solution;
+    }
+
+    Resolution highest{0, 0};
+    SourceId victim_source;
+    for (const auto& [source, stream] : per_publisher[*reduce_client]) {
+      if (highest < stream->resolution || highest.PixelCount() == 0) {
+        highest = stream->resolution;
+        victim_source = source;
+      }
+    }
+    auto& options = active[victim_source];
+    options.erase(std::remove_if(options.begin(), options.end(),
+                                 [&](const StreamOption& o) {
+                                   return o.resolution == highest;
+                                 }),
+                  options.end());
+    for (const auto& [subscriber, subs] : per_subscriber) {
+      for (const Subscription* sub : subs) {
+        if (sub->source == victim_source) {
+          dirty.insert(subscriber);
+          break;
+        }
+      }
+    }
+  }
+  GSO_CHECK(false);
+  return solution;
+}
+
+}  // namespace reference
+
+namespace {
+
+struct ShapeParams {
+  int clients;
+  int levels_per_resolution;
+  double slow_fraction;
+  double edge_probability;
+};
+
+OrchestrationProblem RandomProblem(const ShapeParams& params, uint64_t seed) {
+  Rng rng(seed);
+  OrchestrationProblem problem;
+  const auto ladder = BuildLadder(
+      {{kResolution720p, DataRate::KilobitsPerSec(900),
+        DataRate::KilobitsPerSec(1800), params.levels_per_resolution},
+       {kResolution360p, DataRate::KilobitsPerSec(350),
+        DataRate::KilobitsPerSec(800), params.levels_per_resolution},
+       {kResolution180p, DataRate::KilobitsPerSec(80),
+        DataRate::KilobitsPerSec(300), params.levels_per_resolution}});
+  for (int i = 1; i <= params.clients; ++i) {
+    const ClientId id{static_cast<uint32_t>(i)};
+    const bool slow = rng.Bernoulli(params.slow_fraction);
+    ClientBudget budget;
+    budget.client = id;
+    budget.uplink = slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 700))
+                         : DataRate::KilobitsPerSec(rng.UniformInt(800, 8000));
+    budget.downlink =
+        slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 900))
+             : DataRate::KilobitsPerSec(rng.UniformInt(1000, 12000));
+    problem.budgets.push_back(budget);
+    problem.capabilities.push_back({{id, SourceKind::kCamera}, ladder});
+  }
+  const Resolution caps[] = {kResolution180p, kResolution360p,
+                             kResolution720p};
+  for (int s = 1; s <= params.clients; ++s) {
+    for (int p = 1; p <= params.clients; ++p) {
+      if (s == p || !rng.Bernoulli(params.edge_probability)) continue;
+      problem.subscriptions.push_back(
+          {ClientId{static_cast<uint32_t>(s)},
+           {ClientId{static_cast<uint32_t>(p)}, SourceKind::kCamera},
+           caps[rng.UniformInt(0, 2)],
+           rng.Bernoulli(0.1) ? 3.0 : 1.0,
+           rng.Bernoulli(0.1) ? 1 : 0});
+    }
+  }
+  return problem;
+}
+
+void ExpectBitIdentical(const Solution& a, const Solution& b,
+                        const char* label, uint64_t seed) {
+  SCOPED_TRACE(testing::Message() << label << " seed " << seed);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.total_qoe, b.total_qoe);  // exact: same accumulation order
+  EXPECT_EQ(a.step1_qoe, b.step1_qoe);
+
+  ASSERT_EQ(a.publish.size(), b.publish.size());
+  auto pa = a.publish.begin();
+  auto pb = b.publish.begin();
+  for (; pa != a.publish.end(); ++pa, ++pb) {
+    ASSERT_TRUE(pa->first == pb->first);
+    ASSERT_EQ(pa->second.size(), pb->second.size());
+    for (size_t k = 0; k < pa->second.size(); ++k) {
+      const PublishedStream& sa = pa->second[k];
+      const PublishedStream& sb = pb->second[k];
+      EXPECT_TRUE(sa.resolution == sb.resolution);
+      EXPECT_EQ(sa.bitrate, sb.bitrate);
+      EXPECT_EQ(sa.qoe, sb.qoe);
+      EXPECT_EQ(sa.receivers, sb.receivers);
+    }
+  }
+
+  ASSERT_EQ(a.per_subscriber.size(), b.per_subscriber.size());
+  auto sa = a.per_subscriber.begin();
+  auto sb = b.per_subscriber.begin();
+  for (; sa != a.per_subscriber.end(); ++sa, ++sb) {
+    ASSERT_TRUE(sa->first == sb->first);
+    ASSERT_EQ(sa->second.size(), sb->second.size());
+    auto ia = sa->second.begin();
+    auto ib = sb->second.begin();
+    for (; ia != sa->second.end(); ++ia, ++ib) {
+      ASSERT_TRUE(ia->first == ib->first);
+      EXPECT_TRUE(ia->second.resolution == ib->second.resolution);
+      EXPECT_EQ(ia->second.bitrate, ib->second.bitrate);
+    }
+  }
+}
+
+const ShapeParams kShapes[] = {
+    {3, 3, 0.3, 0.7},  {5, 5, 0.3, 0.7},  {8, 5, 0.5, 0.7},
+    {10, 6, 0.2, 0.5}, {6, 2, 0.8, 0.9},
+};
+
+// The headline equivalence property: the compiled fast path reproduces the
+// seed implementation bit-for-bit on >= 500 randomized problems.
+TEST(OrchestratorEquivalence, FastPathMatchesReferenceBitIdentical) {
+  DpMckpSolver dp;
+  Orchestrator orchestrator(&dp);
+  const reference::RefDpSolver ref_dp;
+  int cases = 0;
+  for (const auto& shape : kShapes) {
+    for (uint64_t seed = 1; seed <= 110; ++seed) {
+      const auto problem = RandomProblem(shape, seed);
+      const Solution fast = orchestrator.Solve(problem);
+      const Solution ref = reference::Solve(problem, ref_dp, ref_dp);
+      ExpectBitIdentical(fast, ref, "shape", seed);
+      ++cases;
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "first divergence at shape clients=" << shape.clients
+               << " seed " << seed;
+      }
+    }
+  }
+  EXPECT_GE(cases, 500);
+}
+
+// Parallel Step-1 must be indistinguishable from the serial solve.
+TEST(OrchestratorEquivalence, ParallelStep1MatchesSerialBitIdentical) {
+  DpMckpSolver dp;
+  Orchestrator serial(&dp);
+  Orchestrator parallel(&dp, OrchestratorOptions{.step1_threads = 4});
+  for (const auto& shape : kShapes) {
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      const auto problem = RandomProblem(shape, seed);
+      const Solution a = serial.Solve(problem);
+      const Solution b = parallel.Solve(problem);
+      ExpectBitIdentical(a, b, "parallel", seed);
+      EXPECT_EQ(serial.last_stats().knapsack_solves,
+                parallel.last_stats().knapsack_solves);
+      EXPECT_EQ(serial.last_stats().reductions,
+                parallel.last_stats().reductions);
+    }
+  }
+}
+
+// Reusing one orchestrator (and thus its workspace) across many different
+// problems must not leak state between solves.
+TEST(OrchestratorEquivalence, WorkspaceReuseIsStateless) {
+  DpMckpSolver dp;
+  Orchestrator reused(&dp);
+  const reference::RefDpSolver ref_dp;
+  // Alternate shapes so buffers shrink and grow between solves.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    for (const auto& shape : {kShapes[3], kShapes[0], kShapes[2]}) {
+      const auto problem = RandomProblem(shape, seed);
+      const Solution fast = reused.Solve(problem);
+      const Solution ref = reference::Solve(problem, ref_dp, ref_dp);
+      ExpectBitIdentical(fast, ref, "reuse", seed);
+    }
+  }
+}
+
+// Dominance pruning + reach bounds + workspace reuse must leave the DP's
+// observable behaviour untouched: identical choice vectors, values, weights
+// and feasibility versus the seed DP on randomized instances (including
+// mandatory classes, oversized and negative items).
+TEST(OrchestratorEquivalence, DpSolverMatchesReferenceExactly) {
+  Rng rng(2024);
+  DpMckpSolver dp;
+  const reference::RefDpSolver ref;
+  MckpWorkspace workspace;
+  for (int trial = 0; trial < 600; ++trial) {
+    std::vector<MckpClass> classes;
+    const int n_classes = static_cast<int>(rng.UniformInt(0, 6));
+    for (int k = 0; k < n_classes; ++k) {
+      MckpClass cls;
+      cls.mandatory = rng.Bernoulli(0.15);
+      const int n_items = static_cast<int>(rng.UniformInt(1, 8));
+      for (int j = 0; j < n_items; ++j) {
+        int64_t weight = rng.UniformInt(0, 3'000'000);
+        if (rng.Bernoulli(0.05)) weight = -weight;  // filtered by both
+        double value = rng.Uniform(0, 1500);
+        if (rng.Bernoulli(0.05)) value = -value;  // filtered by both
+        if (rng.Bernoulli(0.3)) value = std::floor(value);  // grid-aligned
+        cls.items.push_back(MckpItem{weight, value});
+      }
+      classes.push_back(cls);
+    }
+    const int64_t capacity = rng.UniformInt(0, 5'000'000);
+    const MckpResult a = dp.Solve(classes, capacity, &workspace);
+    const MckpResult b = ref.Solve(classes, capacity);
+    ASSERT_EQ(a.feasible, b.feasible) << "trial " << trial;
+    ASSERT_EQ(a.choice, b.choice) << "trial " << trial;
+    EXPECT_EQ(a.total_value, b.total_value) << "trial " << trial;
+    EXPECT_EQ(a.total_weight, b.total_weight) << "trial " << trial;
+  }
+}
+
+// Same property under an aggressive value grid (tiny max_cells forces the
+// quantum rescale path where items collide into shared cells).
+TEST(OrchestratorEquivalence, DpMatchesReferenceUnderCoarseQuantization) {
+  Rng rng(77);
+  DpMckpSolver dp(1.0, /*max_cells=*/24);
+  const reference::RefDpSolver ref(1.0, /*max_cells=*/24);
+  MckpWorkspace workspace;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<MckpClass> classes;
+    const int n_classes = static_cast<int>(rng.UniformInt(1, 5));
+    for (int k = 0; k < n_classes; ++k) {
+      MckpClass cls;
+      cls.mandatory = rng.Bernoulli(0.2);
+      const int n_items = static_cast<int>(rng.UniformInt(1, 6));
+      for (int j = 0; j < n_items; ++j) {
+        cls.items.push_back(MckpItem{rng.UniformInt(10'000, 2'000'000),
+                                     rng.Uniform(1, 2000)});
+      }
+      classes.push_back(cls);
+    }
+    const int64_t capacity = rng.UniformInt(50'000, 4'000'000);
+    const MckpResult a = dp.Solve(classes, capacity, &workspace);
+    const MckpResult b = ref.Solve(classes, capacity);
+    ASSERT_EQ(a.feasible, b.feasible) << "trial " << trial;
+    ASSERT_EQ(a.choice, b.choice) << "trial " << trial;
+    EXPECT_EQ(a.total_value, b.total_value) << "trial " << trial;
+    EXPECT_EQ(a.total_weight, b.total_weight) << "trial " << trial;
+  }
+}
+
+// Pruning must never change whether the DP agrees with the exhaustive
+// optimum (within the value-quantization tolerance).
+TEST(OrchestratorEquivalence, PruningPreservesDpVsExhaustiveAgreement) {
+  Rng rng(9);
+  DpMckpSolver dp;
+  ExhaustiveMckpSolver ex;
+  const reference::RefDpSolver ref;
+  MckpWorkspace workspace;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<MckpClass> classes;
+    const int n_classes = static_cast<int>(rng.UniformInt(1, 4));
+    for (int k = 0; k < n_classes; ++k) {
+      MckpClass cls;
+      const int n_items = static_cast<int>(rng.UniformInt(1, 5));
+      for (int j = 0; j < n_items; ++j) {
+        cls.items.push_back(MckpItem{rng.UniformInt(50'000, 2'000'000),
+                                     rng.Uniform(10, 1000)});
+      }
+      classes.push_back(cls);
+    }
+    const int64_t capacity = rng.UniformInt(100'000, 4'000'000);
+    const MckpResult pruned = dp.Solve(classes, capacity, &workspace);
+    const MckpResult unpruned = ref.Solve(classes, capacity);
+    const MckpResult exact = ex.Solve(classes, capacity);
+    // Pruned == unpruned exactly ...
+    ASSERT_EQ(pruned.choice, unpruned.choice) << "trial " << trial;
+    EXPECT_EQ(pruned.total_value, unpruned.total_value) << "trial " << trial;
+    // ... and both sit within the quantization bound of the true optimum.
+    EXPECT_LE(pruned.total_value, exact.total_value + 1e-9)
+        << "trial " << trial;
+    EXPECT_GE(pruned.total_value,
+              exact.total_value - static_cast<double>(n_classes) - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gso::core

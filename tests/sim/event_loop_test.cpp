@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace gso::sim {
@@ -93,6 +95,70 @@ TEST(EventLoop, RunForAdvancesRelative) {
   loop.RunFor(TimeDelta::Millis(10));
   loop.RunFor(TimeDelta::Millis(15));
   EXPECT_EQ(loop.Now(), Timestamp::Millis(25));
+}
+
+TEST(EventLoop, FifoSurvivesInterleavedScheduling) {
+  // Regression for the explicit-heap rewrite: FIFO order among equal
+  // timestamps must hold even when insertions interleave with pops and
+  // other timestamps, which exercises heap sift-up/down paths.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.At(Timestamp::Millis(20), [&] { order.push_back(100); });
+  for (int i = 0; i < 5; ++i) {
+    loop.At(Timestamp::Millis(10), [&, i] { order.push_back(i); });
+  }
+  loop.At(Timestamp::Millis(5), [&] {
+    order.push_back(50);
+    // Scheduled mid-run at an already-populated timestamp: runs after the
+    // five existing t=10 events.
+    loop.At(Timestamp::Millis(10), [&] { order.push_back(5); });
+  });
+  for (int i = 5; i < 8; ++i) {
+    loop.At(Timestamp::Millis(10), [&, i] { order.push_back(i + 1); });
+  }
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{50, 0, 1, 2, 3, 4, 6, 7, 8, 5, 100}));
+}
+
+TEST(EventLoop, FifoHoldsAtScale) {
+  // Hundreds of ties at a handful of timestamps, drained in stages.
+  EventLoop loop;
+  std::vector<std::pair<int, int>> order;  // (timestamp bucket, seq)
+  for (int i = 0; i < 300; ++i) {
+    const int bucket = i % 3;
+    loop.At(Timestamp::Millis(10 * (bucket + 1)),
+            [&, bucket, i] { order.emplace_back(bucket, i); });
+  }
+  loop.RunUntil(Timestamp::Millis(15));
+  loop.RunAll();
+  ASSERT_EQ(order.size(), 300u);
+  int last_bucket = -1;
+  std::vector<int> last_seq(3, -1);
+  for (const auto& [bucket, seq] : order) {
+    EXPECT_GE(bucket, last_bucket);  // timestamp order
+    last_bucket = bucket;
+    EXPECT_GT(seq, last_seq[static_cast<size_t>(bucket)]);  // FIFO in bucket
+    last_seq[static_cast<size_t>(bucket)] = seq;
+  }
+}
+
+TEST(EventLoop, TaskStateSurvivesHeapMoves) {
+  // The heap rewrite moves events within and out of the container; closure
+  // state must survive the round trip even when many later insertions
+  // reshuffle the heap around an already-scheduled event.
+  EventLoop loop;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = payload;
+  int seen = 0;
+  loop.At(Timestamp::Millis(100),
+          [&seen, p = std::move(payload)] { seen = *p; });
+  for (int i = 0; i < 64; ++i) {
+    loop.At(Timestamp::Millis(i), [] {});
+  }
+  EXPECT_FALSE(watch.expired());  // the queued task owns the payload
+  loop.RunAll();
+  EXPECT_EQ(seen, 42);
+  EXPECT_TRUE(watch.expired());  // task destroyed after running
 }
 
 TEST(EventLoop, PendingCountAndEmpty) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Smoke-checks the controller scaling benchmark: runs a short measurement,
+# validates the emitted JSON, and fails loudly if either step breaks.
+#
+# Usage: tools/bench_smoke.sh [build_dir] [out_json]
+# Wired up as the `bench-smoke` CMake target.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-${BUILD_DIR}/BENCH_controller_smoke.json}"
+BIN="${BUILD_DIR}/bench/controller_scaling"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "bench_smoke: ${BIN} not built (cmake --build ${BUILD_DIR} --target controller_scaling)" >&2
+  exit 1
+fi
+
+"${BIN}" --out="${OUT}" --label=smoke --min-time=0.05
+
+if [[ ! -s "${OUT}" ]]; then
+  echo "bench_smoke: ${OUT} missing or empty" >&2
+  exit 1
+fi
+
+python3 - "${OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+for key in ("label", "unit", "results"):
+    if key not in doc:
+        sys.exit(f"bench_smoke: missing key {key!r}")
+if doc["unit"] != "ns/solve":
+    sys.exit(f"bench_smoke: unexpected unit {doc['unit']!r}")
+if not doc["results"]:
+    sys.exit("bench_smoke: empty results")
+for row in doc["results"]:
+    for key in ("shape", "threads", "ns_per_solve", "solves", "total_qoe",
+                "iterations"):
+        if key not in row:
+            sys.exit(f"bench_smoke: result row missing {key!r}: {row}")
+    if row["ns_per_solve"] <= 0 or row["solves"] <= 0:
+        sys.exit(f"bench_smoke: non-positive measurement: {row}")
+print(f"bench_smoke: OK ({len(doc['results'])} measurements in {sys.argv[1]})")
+EOF
