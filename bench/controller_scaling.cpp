@@ -5,7 +5,12 @@
 // 10x200 webinar — and writes the results as JSON so successive PRs can
 // record a perf trajectory (see BENCH_controller.json at the repo root).
 //
+// With --trace-out=FILE it additionally dumps one observability trace per
+// shape (SolveStats work counts and per-step wall time as schema-locked
+// JSONL, shapes indexed on the time axis) for offline solver profiling.
+//
 // Usage: controller_scaling [--out=FILE] [--min-time=SECONDS] [--label=NAME]
+//                           [--trace-out=FILE]
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -17,6 +22,8 @@
 #include "bench/support.h"
 #include "core/mckp.h"
 #include "core/orchestrator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -73,6 +80,41 @@ Row TimeShape(const std::string& name, int threads, double min_seconds,
   return row;
 }
 
+// One solve per shape into an obs registry: the control-plane solve-trace
+// series, indexed by shape position on the (virtual) time axis since the
+// bench has no event loop.
+void RecordSolveTraces(obs::MetricsRegistry* registry,
+                       const std::vector<Shape>& shapes) {
+  using obs::MetricKind;
+  DpMckpSolver solver;
+  Orchestrator orchestrator(&solver);
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const Solution s = orchestrator.Solve(shapes[i].problem);
+    const SolveStats& stats = s.stats;
+    const Timestamp t = Timestamp::Micros(static_cast<int64_t>(i));
+    const obs::Labels labels = {{"shape", shapes[i].name}};
+    const struct {
+      const char* name;
+      const char* unit;
+      double value;
+    } series[] = {
+        {"control.solve.iterations", "count", double(stats.iterations)},
+        {"control.solve.knapsacks", "count", double(stats.knapsack_solves)},
+        {"control.solve.reductions", "count", double(stats.reductions)},
+        {"control.solve.uplink_fixes", "count", double(stats.uplink_fixes)},
+        {"control.solve.compile_wall", "us", stats.compile_wall_us},
+        {"control.solve.step1_wall", "us", stats.step1_wall_us},
+        {"control.solve.step2_wall", "us", stats.step2_wall_us},
+        {"control.solve.step3_wall", "us", stats.step3_wall_us},
+        {"control.solve.wall", "us", stats.total_wall_us},
+    };
+    for (const auto& entry : series) {
+      registry->Get(entry.name, MetricKind::kSeries, entry.unit, labels)
+          ->Record(t, entry.value);
+    }
+  }
+}
+
 void AppendRow(std::string* json, const Row& row, bool first) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -89,11 +131,14 @@ void AppendRow(std::string* json, const Row& row, bool first) {
 int main(int argc, char** argv) {
   std::string out = "BENCH_controller.json";
   std::string label = "current";
+  std::string trace_out;
   double min_seconds = 0.3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out = arg.substr(6);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
     } else if (arg.rfind("--label=", 0) == 0) {
       label = arg.substr(8);
     } else if (arg.rfind("--min-time=", 0) == 0) {
@@ -108,7 +153,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: controller_scaling [--out=FILE] "
-                   "[--min-time=SECONDS] [--label=NAME]\n",
+                   "[--min-time=SECONDS] [--label=NAME] [--trace-out=FILE]\n",
                    arg.c_str());
       return 2;
     }
@@ -154,5 +199,13 @@ int main(int argc, char** argv) {
   std::fputs(json.c_str(), f);
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
+
+  if (!trace_out.empty()) {
+    obs::MetricsRegistry registry;
+    RecordSolveTraces(&registry, shapes);
+    if (!obs::WriteFile(trace_out, obs::ToJsonLines(registry))) return 1;
+    std::printf("wrote %zu solve-trace series to %s\n", registry.num_metrics(),
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -7,10 +7,20 @@
 // and the SFU's fragmented view leave the slow subscriber stalling.
 //
 //   ./build/examples/slow_link
+//   ./build/examples/slow_link --metrics-out slow_link.jsonl   # Fig-8-style
+//   ./build/examples/slow_link --csv-out slow_link.csv
+//   ./build/examples/slow_link --short                         # quick smoke
+//
+// With --metrics-out the GSO run records every observability series
+// (transport BWE/pacer, media jitter/stall/encoder, control-plane solve
+// traces) on the virtual clock and dumps them as schema-locked JSONL.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "conference/scenarios.h"
+#include "obs/export.h"
 
 using namespace gso;
 using namespace gso::conference;
@@ -24,21 +34,24 @@ struct Outcome {
   DataRate slow_sub_rate;
 };
 
-Outcome Run(ControlMode mode, bool narrate) {
+Outcome Run(ControlMode mode, bool narrate, TimeDelta step_duration,
+            obs::MetricsRegistry* metrics) {
   ConferenceConfig config;
   config.mode = mode;
+  config.metrics = metrics;
   auto conference = std::make_unique<Conference>(config);
+  ParticipantHandle slow;
   for (uint32_t id = 1; id <= 4; ++id) {
     ParticipantConfig participant;
     participant.client = DefaultClient(id);
     participant.access = Access(DataRate::MegabitsPerSec(10),
                                 DataRate::MegabitsPerSec(10));
-    conference->AddParticipant(participant);
+    const ParticipantHandle handle = conference->AddParticipant(participant);
+    if (id == 4) slow = handle;
   }
   conference->SubscribeAllCameras(kResolution720p);
   conference->Start();
 
-  const ClientId slow(4);
   conference->RunFor(TimeDelta::Seconds(15));
   conference->MarkMeasurementStart();
 
@@ -48,13 +61,13 @@ Outcome Run(ControlMode mode, bool narrate) {
                             DataRate::MegabitsPerSec(10)};
   const char* labels[] = {"2 Mbps", "1 Mbps", "500 kbps", "recovered"};
   for (int step = 0; step < 4; ++step) {
-    conference->SetDownlinkCapacity(slow, steps[step]);
-    conference->RunFor(TimeDelta::Seconds(20));
+    slow.SetDownlinkCapacity(steps[step]);
+    conference->RunFor(step_duration);
     if (narrate) {
       DataRate slow_total;
       DataRate fast_total;
       for (uint32_t pub = 1; pub <= 3; ++pub) {
-        slow_total += conference->client(slow)->CurrentReceiveRate(
+        slow_total += slow.client().CurrentReceiveRate(
             ClientId(pub), core::SourceKind::kCamera);
         if (pub != 1) {
           fast_total += conference->client(ClientId(1))->CurrentReceiveRate(
@@ -70,17 +83,16 @@ Outcome Run(ControlMode mode, bool narrate) {
 
   const auto report = conference->Report();
   Outcome outcome;
-  for (const auto& participant : report.participants) {
-    DataRate total;
-    for (const auto& view : participant.received) {
-      total += view.average_bitrate;
+  if (const auto* slow_report = report.participant(slow.id())) {
+    outcome.slow_sub_stall = slow_report->mean_video_stall_rate;
+    for (const auto& view : slow_report->received) {
+      outcome.slow_sub_rate += view.average_bitrate;
     }
-    if (participant.id == slow) {
-      outcome.slow_sub_stall = participant.mean_video_stall_rate;
-      outcome.slow_sub_rate = total;
-    } else if (participant.id == ClientId(1)) {
-      outcome.fast_sub_stall = participant.mean_video_stall_rate;
-      outcome.fast_sub_rate = total;
+  }
+  if (const auto* fast_report = report.participant(ClientId(1))) {
+    outcome.fast_sub_stall = fast_report->mean_video_stall_rate;
+    for (const auto& view : fast_report->received) {
+      outcome.fast_sub_rate += view.average_bitrate;
     }
   }
   return outcome;
@@ -88,11 +100,33 @@ Outcome Run(ControlMode mode, bool narrate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::string csv_out;
+  TimeDelta step_duration = TimeDelta::Seconds(20);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv-out") == 0 && i + 1 < argc) {
+      csv_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--short") == 0) {
+      step_duration = TimeDelta::Seconds(5);
+    } else {
+      std::fprintf(stderr,
+                   "usage: slow_link [--metrics-out FILE] [--csv-out FILE] "
+                   "[--short]\n");
+      return 2;
+    }
+  }
+  const bool export_metrics = !metrics_out.empty() || !csv_out.empty();
+  obs::MetricsRegistry registry;
+
   std::printf("GSO-Simulcast:\n");
-  const Outcome gso = Run(ControlMode::kGso, /*narrate=*/true);
+  const Outcome gso = Run(ControlMode::kGso, /*narrate=*/true, step_duration,
+                          export_metrics ? &registry : nullptr);
   std::printf("\nNon-GSO (template simulcast):\n");
-  const Outcome tpl = Run(ControlMode::kTemplate, /*narrate=*/true);
+  const Outcome tpl =
+      Run(ControlMode::kTemplate, /*narrate=*/true, step_duration, nullptr);
 
   std::printf("\nSummary over the whole degradation episode:\n");
   std::printf("  %-28s %10s %10s\n", "", "GSO", "Non-GSO");
@@ -106,5 +140,16 @@ int main() {
   std::printf(
       "\nThe point (paper §2.2): with GSO the slow link hurts only the slow\n"
       "subscriber — and even they degrade gracefully instead of stalling.\n");
+
+  if (!metrics_out.empty()) {
+    if (!obs::WriteFile(metrics_out, obs::ToJsonLines(registry))) return 1;
+    std::printf("\nwrote %zu series / %zu samples to %s\n",
+                registry.num_metrics(), registry.total_samples(),
+                metrics_out.c_str());
+  }
+  if (!csv_out.empty()) {
+    if (!obs::WriteFile(csv_out, obs::ToCsv(registry))) return 1;
+    std::printf("wrote CSV to %s\n", csv_out.c_str());
+  }
   return 0;
 }

@@ -485,6 +485,41 @@ DataRate Client::current_publish_rate() const {
   return total;
 }
 
+DataRate Client::encoder_target_rate() const { return current_publish_rate(); }
+
+int64_t Client::TotalFramesDecoded() const {
+  int64_t total = 0;
+  for (const auto& [_, stream] : received_) {
+    total += stream.jitter.frames_decoded();
+  }
+  return total;
+}
+
+int64_t Client::TotalFramesDropped() const {
+  int64_t total = 0;
+  for (const auto& [_, stream] : received_) {
+    total += stream.jitter.frames_dropped();
+  }
+  return total;
+}
+
+int64_t Client::TotalStalledIntervals() const {
+  int64_t total = 0;
+  for (const auto& [_, view] : views_) {
+    total += view.stalls.stalled_interval_count();
+  }
+  return total;
+}
+
+DataRate Client::TotalReceiveRate(Timestamp now) {
+  DataRate total;
+  for (auto& [_, view] : views_) {
+    if (now >= view.ended_at) continue;
+    total += view.rate.Rate(now);
+  }
+  return total;
+}
+
 DataRate Client::camera_layer_rate(int layer_index) const {
   return camera_encoder_->layer_target(layer_index);
 }

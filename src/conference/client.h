@@ -122,7 +122,18 @@ class Client {
   ControlMode mode() const { return config_.mode; }
   DataRate uplink_estimate() const { return uplink_bwe_.target_rate(); }
   const transport::SendSideBwe& uplink_bwe() const { return uplink_bwe_; }
+  const transport::Pacer& pacer() const { return pacer_; }
   DataRate current_publish_rate() const;
+  // Total rate the local encoders currently target (camera + screen).
+  DataRate encoder_target_rate() const;
+
+  // Aggregate receive-path counters for the observability sampler: sums
+  // over all per-SSRC jitter buffers / per-view stall detectors.
+  int64_t TotalFramesDecoded() const;
+  int64_t TotalFramesDropped() const;
+  int64_t TotalStalledIntervals() const;
+  // Instantaneous receive rate summed over live views.
+  DataRate TotalReceiveRate(Timestamp now);
   const media::CpuMeter& cpu() const { return cpu_; }
   media::CpuMeter& cpu() { return cpu_; }
   // Rate the encoder currently targets for a layer (zero = disabled).

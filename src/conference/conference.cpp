@@ -6,6 +6,39 @@
 
 namespace gso::conference {
 
+const ParticipantReport* MeetingReport::participant(ClientId id) const {
+  const auto it = std::lower_bound(
+      participants.begin(), participants.end(), id,
+      [](const ParticipantReport& report, ClientId key) {
+        return report.id < key;
+      });
+  if (it == participants.end() || !(it->id == id)) return nullptr;
+  return &*it;
+}
+
+void ParticipantHandle::Subscribe(
+    std::vector<core::Subscription> subscriptions) const {
+  conference_->SetSubscriptions(id_, std::move(subscriptions));
+}
+void ParticipantHandle::SetUplinkCapacity(DataRate rate) const {
+  conference_->SetUplinkCapacity(id_, rate);
+}
+void ParticipantHandle::SetDownlinkCapacity(DataRate rate) const {
+  conference_->SetDownlinkCapacity(id_, rate);
+}
+void ParticipantHandle::SetUplinkLoss(double loss) const {
+  conference_->SetUplinkLoss(id_, loss);
+}
+void ParticipantHandle::SetDownlinkLoss(double loss) const {
+  conference_->SetDownlinkLoss(id_, loss);
+}
+void ParticipantHandle::SetUplinkJitter(TimeDelta stddev) const {
+  conference_->SetUplinkJitter(id_, stddev);
+}
+void ParticipantHandle::SetDownlinkJitter(TimeDelta stddev) const {
+  conference_->SetDownlinkJitter(id_, stddev);
+}
+
 Conference::Conference(ConferenceConfig config)
     : config_(config), rng_(config.seed) {
   control_ = std::make_unique<ConferenceNode>(&loop_, config_.controller);
@@ -46,7 +79,7 @@ Conference::Conference(ConferenceConfig config)
 
 Conference::~Conference() = default;
 
-Client* Conference::AddParticipant(const ParticipantConfig& config) {
+ParticipantHandle Conference::AddParticipant(const ParticipantConfig& config) {
   GSO_CHECK(!started_);
   GSO_CHECK(config.node_index >= 0 &&
             config.node_index < config_.num_accessing_nodes);
@@ -82,7 +115,7 @@ Client* Conference::AddParticipant(const ParticipantConfig& config) {
   GSO_CHECK(joined);
 
   participants_[client->id()] = std::move(participant);
-  return client;
+  return ParticipantHandle(this, client->id(), client);
 }
 
 void Conference::SubscribeAllCameras(Resolution max_resolution) {
@@ -143,6 +176,78 @@ void Conference::Start() {
   for (auto& node : nodes_) node->Start();
   for (auto& [_, participant] : participants_) participant.client->Start();
   if (config_.mode == ControlMode::kGso) control_->Start();
+  if (config_.metrics != nullptr) WireMetrics();
+}
+
+// Interns one series per (metric, participant) and registers the polled
+// probes; runs once at Start() so the per-sample path never touches the
+// intern map. Series names follow <plane>.<component>.<metric> with the
+// unit kept in the descriptor, not the name.
+void Conference::WireMetrics() {
+  obs::MetricsRegistry* registry = config_.metrics;
+  control_->SetMetrics(registry);
+
+  using obs::MetricKind;
+  for (auto& [id, participant] : participants_) {
+    Client* client = participant.client.get();
+    const obs::Labels labels = obs::LabelClient(id.value());
+
+    registry->AddProbe(
+        registry->Get("transport.bwe.target", MetricKind::kGauge, "bps",
+                      labels),
+        [client] { return static_cast<double>(client->uplink_estimate().bps()); });
+    registry->AddProbe(
+        registry->Get("transport.bwe.loss", MetricKind::kGauge, "fraction",
+                      labels),
+        [client] { return client->uplink_bwe().loss_fraction(); });
+    registry->AddProbe(
+        registry->Get("transport.pacer.queue", MetricKind::kGauge, "packets",
+                      labels),
+        [client] { return static_cast<double>(client->pacer().queue_size()); });
+    registry->AddProbe(
+        registry->Get("transport.pacer.queue_delay", MetricKind::kGauge, "us",
+                      labels),
+        [client] {
+          return static_cast<double>(client->pacer().QueueDelay().us());
+        });
+    registry->AddProbe(
+        registry->Get("media.encoder.target", MetricKind::kGauge, "bps",
+                      labels),
+        [client] {
+          return static_cast<double>(client->encoder_target_rate().bps());
+        });
+    registry->AddProbe(
+        registry->Get("media.jitter.frames_decoded", MetricKind::kCounter,
+                      "frames", labels),
+        [client] { return static_cast<double>(client->TotalFramesDecoded()); });
+    registry->AddProbe(
+        registry->Get("media.jitter.frames_dropped", MetricKind::kCounter,
+                      "frames", labels),
+        [client] { return static_cast<double>(client->TotalFramesDropped()); });
+    registry->AddProbe(
+        registry->Get("media.stall.intervals", MetricKind::kCounter,
+                      "intervals", labels),
+        [client] {
+          return static_cast<double>(client->TotalStalledIntervals());
+        });
+    registry->AddProbe(
+        registry->Get("media.receive.rate", MetricKind::kGauge, "bps", labels),
+        [this, client] {
+          return static_cast<double>(
+              client->TotalReceiveRate(loop_.Now()).bps());
+        });
+    registry->AddProbe(
+        registry->Get("control.gtbr.received", MetricKind::kCounter,
+                      "messages", labels),
+        [client] {
+          return static_cast<double>(client->gtbr_messages_received());
+        });
+  }
+
+  loop_.Every(config_.metrics_sample_period, [this] {
+    config_.metrics->SampleProbes(loop_.Now());
+    return true;
+  });
 }
 
 void Conference::RunFor(TimeDelta duration) { loop_.RunFor(duration); }

@@ -18,6 +18,7 @@
 #include "conference/accessing_node.h"
 #include "conference/client.h"
 #include "conference/conference_node.h"
+#include "obs/metrics.h"
 #include "sim/duplex_link.h"
 #include "sim/event_loop.h"
 
@@ -30,10 +31,15 @@ struct ConferenceConfig {
   // Bandwidth probing at clients and accessing nodes (ablation switch).
   bool enable_probing = true;
   // Template for inter-node backbone links (well provisioned).
-  sim::LinkConfig inter_node_link{
-      DataRate::MegabitsPerSec(1000), TimeDelta::Millis(30),
-      TimeDelta::Zero(), 0.0, false, 0.01, 0.3, 0.7,
-      TimeDelta::Millis(500), true};
+  sim::LinkConfig inter_node_link = sim::LinkConfig::Backbone();
+  // Optional observability sink. When set, the conference wires every
+  // instrument site (transport, media, control planes) into this registry
+  // and samples the polled series on the virtual clock every
+  // `metrics_sample_period`. When null (the default) nothing is recorded
+  // and the only cost is one null check per instrument site. The registry
+  // must outlive the conference.
+  obs::MetricsRegistry* metrics = nullptr;
+  TimeDelta metrics_sample_period = TimeDelta::Millis(200);
   uint64_t seed = 1;
 };
 
@@ -54,11 +60,50 @@ struct ParticipantReport {
 };
 
 struct MeetingReport {
-  std::vector<ParticipantReport> participants;
+  std::vector<ParticipantReport> participants;  // ascending by id
   double mean_video_stall_rate = 0.0;
   double mean_voice_stall_rate = 0.0;
   double mean_framerate = 0.0;
   double mean_quality = 0.0;
+
+  // Lookup by id (binary search; `participants` is sorted). Null if the
+  // client is not part of the report.
+  const ParticipantReport* participant(ClientId id) const;
+};
+
+class Conference;
+
+// Lightweight scenario-facing handle for one participant, returned by
+// Conference::AddParticipant. Bundles the id with the per-participant
+// subscription and network-script calls so scenario code no longer threads
+// raw ClientIds back into the Conference. Copyable; valid as long as the
+// Conference is alive.
+class ParticipantHandle {
+ public:
+  ParticipantHandle() = default;
+
+  ClientId id() const { return id_; }
+  Client& client() const { return *client_; }
+
+  // Custom subscriptions for this participant (see SetSubscriptions).
+  void Subscribe(std::vector<core::Subscription> subscriptions) const;
+
+  // Scripted access-network changes (Table 2 / Fig. 7 scenarios).
+  void SetUplinkCapacity(DataRate rate) const;
+  void SetDownlinkCapacity(DataRate rate) const;
+  void SetUplinkLoss(double loss) const;
+  void SetDownlinkLoss(double loss) const;
+  void SetUplinkJitter(TimeDelta stddev) const;
+  void SetDownlinkJitter(TimeDelta stddev) const;
+
+ private:
+  friend class Conference;
+  ParticipantHandle(Conference* conference, ClientId id, Client* client)
+      : conference_(conference), id_(id), client_(client) {}
+
+  Conference* conference_ = nullptr;
+  ClientId id_;
+  Client* client_ = nullptr;
 };
 
 class Conference {
@@ -69,8 +114,9 @@ class Conference {
   Conference(const Conference&) = delete;
   Conference& operator=(const Conference&) = delete;
 
-  // Adds a participant; must be called before Start(). Returns the client.
-  Client* AddParticipant(const ParticipantConfig& config);
+  // Adds a participant; must be called before Start(). The returned handle
+  // carries the id plus per-participant subscribe/script helpers.
+  ParticipantHandle AddParticipant(const ParticipantConfig& config);
 
   // Everyone subscribes to everyone else's camera at `max_resolution`.
   void SubscribeAllCameras(Resolution max_resolution);
@@ -111,6 +157,8 @@ class Conference {
     // Current video subscriptions, for end-of-view notifications.
     std::set<std::pair<ClientId, core::SourceKind>> subscribed_views;
   };
+
+  void WireMetrics();
 
   sim::EventLoop loop_;
   ConferenceConfig config_;

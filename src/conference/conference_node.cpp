@@ -108,6 +108,26 @@ void ConferenceNode::SetSpeaker(std::optional<ClientId> speaker) {
   event_pending_ = true;
 }
 
+void ConferenceNode::SetMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_interval_ = metric_iterations_ = metric_knapsacks_ =
+        metric_reductions_ = metric_wall_ = metric_participants_ = nullptr;
+    return;
+  }
+  metric_interval_ =
+      registry->Get("control.solve.interval", obs::MetricKind::kSeries, "us");
+  metric_iterations_ = registry->Get("control.solve.iterations",
+                                     obs::MetricKind::kSeries, "count");
+  metric_knapsacks_ = registry->Get("control.solve.knapsacks",
+                                    obs::MetricKind::kSeries, "count");
+  metric_reductions_ = registry->Get("control.solve.reductions",
+                                     obs::MetricKind::kSeries, "count");
+  metric_wall_ =
+      registry->Get("control.solve.wall", obs::MetricKind::kSeries, "us");
+  metric_participants_ = registry->Get("control.conference.participants",
+                                       obs::MetricKind::kGauge, "count");
+}
+
 void ConferenceNode::Start() {
   GSO_CHECK(!started_);
   started_ = true;
@@ -165,7 +185,11 @@ void ConferenceNode::OrchestrateNow() { Orchestrate(); }
 
 void ConferenceNode::Orchestrate() {
   const Timestamp now = loop_->Now();
-  if (has_run_) call_intervals_.push_back(now - last_run_);
+  if (has_run_) {
+    call_intervals_.push_back(now - last_run_);
+    obs::Record(metric_interval_, now,
+                static_cast<double>((now - last_run_).us()));
+  }
   last_run_ = now;
   has_run_ = true;
   event_pending_ = false;
@@ -174,6 +198,14 @@ void ConferenceNode::Orchestrate() {
   last_problem_ = BuildProblem();
   last_solution_ = orchestrator_.Solve(last_problem_);
   Disseminate(last_solution_);
+
+  const core::SolveStats& stats = last_solution_.stats;
+  obs::Record(metric_iterations_, now, stats.iterations);
+  obs::Record(metric_knapsacks_, now, stats.knapsack_solves);
+  obs::Record(metric_reductions_, now, stats.reductions);
+  obs::Record(metric_wall_, now, stats.total_wall_us);
+  obs::Record(metric_participants_, now,
+              static_cast<double>(members_.size()));
 }
 
 core::OrchestrationProblem ConferenceNode::BuildProblem() {

@@ -33,6 +33,7 @@
 #include "core/types.h"
 #include "net/sdp.h"
 #include "net/ssrc_allocator.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 
 namespace gso::conference {
@@ -72,6 +73,11 @@ class ConferenceNode {
 
   void Start();
 
+  // Attaches the control-plane solve trace to `registry` (one series per
+  // SolveStats field, recorded after every orchestration). Null detaches;
+  // the registry must outlive this node.
+  void SetMetrics(obs::MetricsRegistry* registry);
+
   // --- Global picture inputs (paper §4.2) --------------------------------
   void OnSembReport(ClientId client, DataRate uplink_estimate);
   void OnDownlinkReport(ClientId client, DataRate downlink_estimate);
@@ -88,9 +94,9 @@ class ConferenceNode {
   const core::OrchestrationProblem& last_problem() const {
     return last_problem_;
   }
-  // Total CPU-style cost of all orchestrations (knapsack solve count).
-  const core::OrchestratorStats& last_orchestrator_stats() const {
-    return orchestrator_.last_stats();
+  // Trace of the most recent solve (work counts + wall time).
+  const core::SolveStats& last_orchestrator_stats() const {
+    return last_solution_.stats;
   }
 
  private:
@@ -128,6 +134,14 @@ class ConferenceNode {
   bool has_run_ = false;
   int orchestration_count_ = 0;
   std::vector<TimeDelta> call_intervals_;
+  // Solve-trace series; null when no registry is attached (recording is
+  // then a single branch per site — see obs::Record).
+  obs::Metric* metric_interval_ = nullptr;
+  obs::Metric* metric_iterations_ = nullptr;
+  obs::Metric* metric_knapsacks_ = nullptr;
+  obs::Metric* metric_reductions_ = nullptr;
+  obs::Metric* metric_wall_ = nullptr;
+  obs::Metric* metric_participants_ = nullptr;
   core::Solution last_solution_;
   core::OrchestrationProblem last_problem_;
   bool started_ = false;

@@ -1,6 +1,7 @@
 #include "core/orchestrator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <set>
@@ -47,6 +48,13 @@ DataRate BudgetOr(const std::map<ClientId, ClientBudget>& budgets,
   return uplink ? it->second.uplink : it->second.downlink;
 }
 
+using SolveClock = std::chrono::steady_clock;
+
+double ElapsedUs(SolveClock::time_point since) {
+  return std::chrono::duration<double, std::micro>(SolveClock::now() - since)
+      .count();
+}
+
 }  // namespace
 
 // Grow-only scratch reused across Solve calls: after warm-up the control
@@ -84,8 +92,13 @@ Orchestrator::Orchestrator(const MckpSolver* step1_solver,
 Orchestrator::~Orchestrator() = default;
 
 Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
+  const auto start = SolveClock::now();
   const CompiledProblem compiled = CompiledProblem::Compile(problem);
-  return Solve(compiled);
+  const double compile_us = ElapsedUs(start);
+  Solution solution = SolveCompiled(compiled);
+  solution.stats.compile_wall_us = compile_us;
+  solution.stats.total_wall_us = ElapsedUs(start);
+  return solution;
 }
 
 void Orchestrator::SolveSubscriber(const CompiledProblem& compiled,
@@ -134,8 +147,9 @@ void Orchestrator::SolveSubscriber(const CompiledProblem& compiled,
   }
 }
 
-Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
-  stats_ = OrchestratorStats{};
+Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
+  const auto solve_start = SolveClock::now();
+  SolveStats stats;
   Workspace& ws = *ws_;
   const auto& sources = compiled.sources();
   const int num_sources = compiled.num_sources();
@@ -158,12 +172,13 @@ Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
 
   Solution solution;
   for (int iteration = 1; iteration <= max_iterations; ++iteration) {
-    stats_.iterations = iteration;
+    stats.iterations = iteration;
 
     // ---- Step 1: per-subscriber Multiple-Choice Knapsack ----
     // Dirty subscribers are independent: each solve reads only the active
     // ladders (immutable within an iteration) and writes its own request
     // slot, so the fan-out is deterministic at any thread count.
+    const auto step1_start = SolveClock::now();
     ws.dirty_list.clear();
     for (int sub = 0; sub < num_subscribers; ++sub) {
       if (ws.dirty[static_cast<size_t>(sub)]) ws.dirty_list.push_back(sub);
@@ -179,10 +194,12 @@ Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
         SolveSubscriber(compiled, ws.dirty_list[static_cast<size_t>(i)], 0);
       }
     }
-    stats_.knapsack_solves += num_dirty;
+    stats.knapsack_solves += num_dirty;
     std::fill(ws.dirty.begin(), ws.dirty.end(), static_cast<uint8_t>(0));
+    stats.step1_wall_us += ElapsedUs(step1_start);
 
     // ---- Step 2: per-source merge by resolution ----
+    const auto step2_start = SolveClock::now();
     for (auto& slot : ws.merged) {
       slot.used = false;
       slot.receivers.clear();
@@ -205,7 +222,10 @@ Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
       }
     }
 
+    stats.step2_wall_us += ElapsedUs(step2_start);
+
     // ---- Step 3: per-publisher uplink check / fix / reduction ----
+    const auto step3_start = SolveClock::now();
     // Sources ascend by (client, kind), so walking them in index order
     // discovers publishers in ascending client order with each publisher's
     // streams in (source, resolution) order — the reference map order.
@@ -274,9 +294,9 @@ Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
         // Fix by the small mandatory knapsack over B_u (Eq. 15-16).
         const MckpResult fix =
             fix_solver_.Solve(ws.fix_classes, uplink.bps(), &ws.fix_mckp);
-        ++stats_.knapsack_solves;
+        ++stats.knapsack_solves;
         if (fix.feasible) {
-          ++stats_.uplink_fixes;
+          ++stats.uplink_fixes;
           for (size_t k = 0; k < streams.size(); ++k) {
             GSO_CHECK_GE(fix.choice[k], 0);
             const StreamOption& replacement =
@@ -296,6 +316,7 @@ Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
     }
 
     if (reduce_client < 0) {
+      stats.step3_wall_us += ElapsedUs(step3_start);
       // Every constraint satisfied: assemble the final solution.
       for (int s = 0; s < num_sources; ++s) {
         const CompiledSource& source = sources[static_cast<size_t>(s)];
@@ -331,12 +352,14 @@ Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
         }
       }
       solution.iterations = iteration;
+      solution.stats = stats;
+      solution.stats.total_wall_us = ElapsedUs(solve_start);
       return solution;
     }
 
     // ---- Reduction (Eq. 18-20): drop the highest published resolution of
     // the offending client and invalidate affected subscribers.
-    ++stats_.reductions;
+    ++stats.reductions;
     Resolution highest{0, 0};
     int victim = -1;
     for (const auto& [s, slot_index] :
@@ -360,6 +383,7 @@ Solution Orchestrator::Solve(const CompiledProblem& compiled) const {
     for (const int sub : compiled.watchers(victim)) {
       ws.dirty[static_cast<size_t>(sub)] = 1;
     }
+    stats.step3_wall_us += ElapsedUs(step3_start);
   }
 
   // The iteration bound guarantees we never get here: every pass without a

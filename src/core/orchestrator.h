@@ -42,12 +42,9 @@ class ThreadPool;
 
 namespace gso::core {
 
-struct OrchestratorStats {
-  int iterations = 0;
-  int knapsack_solves = 0;
-  int reductions = 0;
-  int uplink_fixes = 0;
-};
+// Solve traces now travel on the returned Solution (`Solution::stats`);
+// the alias keeps older call sites compiling.
+using OrchestratorStats = SolveStats;
 
 struct OrchestratorOptions {
   // Number of threads solving the Step-1 per-subscriber knapsacks. 1 keeps
@@ -70,12 +67,14 @@ class Orchestrator {
   Orchestrator(const Orchestrator&) = delete;
   Orchestrator& operator=(const Orchestrator&) = delete;
 
+  // The one entry point: compiles `problem` to the dense-index form and
+  // delegates to SolveCompiled. The returned Solution carries the full
+  // solve trace in `Solution::stats` (work counts + per-step wall time).
   Solution Solve(const OrchestrationProblem& problem) const;
-  // Fast path for callers that keep the compiled form alive across rounds
-  // (the OrchestrationProblem it was compiled from must outlive the call).
-  Solution Solve(const CompiledProblem& compiled) const;
-
-  const OrchestratorStats& last_stats() const { return stats_; }
+  // Delegate fast path for callers that keep the compiled form alive
+  // across rounds (the OrchestrationProblem it was compiled from must
+  // outlive the call). `stats.compile_wall_us` is zero on this path.
+  Solution SolveCompiled(const CompiledProblem& compiled) const;
 
  private:
   struct Workspace;  // grow-only per-solve scratch, defined in the .cpp
@@ -87,7 +86,6 @@ class Orchestrator {
   DpMckpSolver fix_solver_;
   OrchestratorOptions options_;
   std::unique_ptr<ThreadPool> pool_;
-  mutable OrchestratorStats stats_;
   mutable std::unique_ptr<Workspace> ws_;
 };
 

@@ -120,6 +120,24 @@ struct PublishedStream {
   std::vector<Receiver> receivers;
 };
 
+// Per-solve controller trace: algorithm work counts plus per-step wall
+// time. Filled by every Orchestrator::Solve and carried on the returned
+// Solution, so callers no longer reach back into the (const) orchestrator
+// for mutable "last stats". Wall times are host-clock microseconds — the
+// one place the library reads wall time, because they measure the
+// controller implementation itself, not simulated behaviour.
+struct SolveStats {
+  int iterations = 0;
+  int knapsack_solves = 0;
+  int reductions = 0;
+  int uplink_fixes = 0;
+  double compile_wall_us = 0.0;  // problem -> dense-index compilation
+  double step1_wall_us = 0.0;    // per-subscriber knapsacks
+  double step2_wall_us = 0.0;    // per-source merges
+  double step3_wall_us = 0.0;    // uplink checks / fixes / reductions
+  double total_wall_us = 0.0;    // whole solve including compilation
+};
+
 struct Solution {
   // Publish policy P_i per source.
   std::map<SourceId, std::vector<PublishedStream>> publish;
@@ -131,6 +149,10 @@ struct Solution {
   // This is the quantity Fig. 6's "QoE optimality" compares.
   double step1_qoe = 0.0;
   int iterations = 0;
+
+  // Solve trace (work counts + per-step wall time); stats.iterations
+  // always equals `iterations` above.
+  SolveStats stats;
 
   // Convenience: the stream assigned to one subscription, if any.
   struct Assigned {

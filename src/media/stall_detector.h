@@ -55,6 +55,12 @@ class VideoStallDetector {
 
   int64_t total_frames() const { return total_frames_; }
 
+  // Playback intervals marked stalled so far (monotone; feeds the
+  // observability counter without finalizing the session).
+  int64_t stalled_interval_count() const {
+    return static_cast<int64_t>(stalled_intervals_.size());
+  }
+
   // Average framerate over the session.
   double AverageFramerate(Timestamp session_start, Timestamp session_end) const {
     const double seconds = (session_end - session_start).seconds();

@@ -1,0 +1,167 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gso::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendLabelsJson(std::string* out, const Labels& labels) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    AppendEscaped(out, key);
+    *out += "\":\"";
+    AppendEscaped(out, value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+// %.17g survives a double round trip; trim the common integral case so the
+// export stays human-readable (bitrates, counts).
+void AppendValue(std::string* out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    *out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+std::string ToJsonLines(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(64 + registry.num_metrics() * 96 +
+              registry.total_samples() * 40);
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"meta\",\"schema\":\"%s\",\"version\":%d,"
+                "\"series\":%zu,\"samples\":%zu}\n",
+                kSchemaName, kSchemaVersion, registry.num_metrics(),
+                registry.total_samples());
+  out += buf;
+
+  for (const auto& metric : registry.metrics()) {
+    std::snprintf(buf, sizeof(buf), "{\"type\":\"series\",\"id\":%d,\"name\":\"",
+                  metric->id());
+    out += buf;
+    AppendEscaped(&out, metric->name());
+    out += "\",\"kind\":\"";
+    out += ToString(metric->kind());
+    out += "\",\"unit\":\"";
+    AppendEscaped(&out, metric->unit());
+    out += "\",\"labels\":";
+    AppendLabelsJson(&out, metric->labels());
+    out += "}\n";
+  }
+
+  // Merge all series into one stream sorted by (t_us, series id): readers
+  // replay the meeting in virtual-time order without buffering per series.
+  struct Row {
+    int64_t t_us;
+    int id;
+    double value;
+  };
+  std::vector<Row> rows;
+  rows.reserve(registry.total_samples());
+  for (const auto& metric : registry.metrics()) {
+    for (const auto& sample : metric->samples()) {
+      rows.push_back(Row{sample.time.us(), metric->id(), sample.value});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.t_us != b.t_us) return a.t_us < b.t_us;
+    return a.id < b.id;
+  });
+  for (const Row& row : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"sample\",\"id\":%d,\"t_us\":%" PRId64 ",\"v\":",
+                  row.id, row.t_us);
+    out += buf;
+    AppendValue(&out, row.value);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string ToCsv(const MetricsRegistry& registry) {
+  std::string out = "name,labels,t_us,value\n";
+  char buf[64];
+  for (const auto& metric : registry.metrics()) {
+    std::string labels;
+    for (const auto& [key, value] : metric->labels()) {
+      if (!labels.empty()) labels += ';';
+      labels += key;
+      labels += '=';
+      labels += value;
+    }
+    for (const auto& sample : metric->samples()) {
+      out += metric->name();
+      out += ',';
+      out += labels;
+      std::snprintf(buf, sizeof(buf), ",%" PRId64 ",", sample.time.us());
+      out += buf;
+      AppendValue(&out, sample.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    GSO_LOG(kError) << "obs: cannot open " << path << " for writing";
+    return false;
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    GSO_LOG(kError) << "obs: short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gso::obs

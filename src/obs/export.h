@@ -1,0 +1,37 @@
+// Schema-locked exporters for recorded metrics.
+//
+// JSONL layout (schema "gso.metrics", version 1; locked by
+// tests/obs/export_schema_test.cpp — bump kSchemaVersion on any change):
+//
+//   {"type":"meta","schema":"gso.metrics","version":1,"series":N,"samples":M}
+//   {"type":"series","id":0,"name":"transport.bwe.target","kind":"gauge",
+//    "unit":"bps","labels":{"client":"1"}}
+//   ... one line per series, ids dense ascending ...
+//   {"type":"sample","id":0,"t_us":200000,"v":300000}
+//   ... samples sorted by (t_us, id); t_us is virtual time ...
+//
+// CSV layout: header `name,labels,t_us,value`, labels joined `k=v;k=v`.
+#ifndef GSO_OBS_EXPORT_H_
+#define GSO_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gso::obs {
+
+inline constexpr int kSchemaVersion = 1;
+inline constexpr const char* kSchemaName = "gso.metrics";
+
+// Serializes the registry to JSON Lines (one JSON object per line).
+std::string ToJsonLines(const MetricsRegistry& registry);
+
+// Serializes the registry to CSV.
+std::string ToCsv(const MetricsRegistry& registry);
+
+// Writes `contents` to `path`; returns false (and logs) on I/O failure.
+bool WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace gso::obs
+
+#endif  // GSO_OBS_EXPORT_H_

@@ -1,0 +1,61 @@
+#include "obs/metrics.h"
+
+#include "common/logging.h"
+
+namespace gso::obs {
+
+Labels LabelClient(uint32_t client_id) {
+  return {{"client", std::to_string(client_id)}};
+}
+
+Labels LabelNode(uint32_t node_id) {
+  return {{"node", std::to_string(node_id)}};
+}
+
+std::string_view ToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kSeries:
+      return "series";
+  }
+  return "unknown";
+}
+
+Metric* MetricsRegistry::Get(std::string_view name, MetricKind kind,
+                             std::string_view unit, Labels labels) {
+  auto key = std::make_pair(std::string(name), std::move(labels));
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Metric* existing = metrics_[static_cast<size_t>(it->second)].get();
+    GSO_CHECK(existing->kind() == kind);
+    GSO_CHECK(existing->unit() == unit);
+    return existing;
+  }
+  const int id = static_cast<int>(metrics_.size());
+  metrics_.push_back(std::make_unique<Metric>(
+      id, key.first, kind, std::string(unit), key.second));
+  index_.emplace(std::move(key), id);
+  return metrics_.back().get();
+}
+
+void MetricsRegistry::AddProbe(Metric* metric, std::function<double()> probe) {
+  GSO_CHECK(metric != nullptr);
+  probes_.push_back(Probe{metric, std::move(probe)});
+}
+
+void MetricsRegistry::SampleProbes(Timestamp now) {
+  for (auto& probe : probes_) {
+    probe.metric->Record(now, probe.fn());
+  }
+}
+
+size_t MetricsRegistry::total_samples() const {
+  size_t total = 0;
+  for (const auto& metric : metrics_) total += metric->samples().size();
+  return total;
+}
+
+}  // namespace gso::obs

@@ -14,6 +14,11 @@ namespace gso::sim {
 struct DuplexLinkConfig {
   LinkConfig uplink;
   LinkConfig downlink;
+
+  // Same LinkConfig in both directions.
+  static DuplexLinkConfig Symmetric(LinkConfig config) {
+    return DuplexLinkConfig{config, config};
+  }
 };
 
 class DuplexLink {

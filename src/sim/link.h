@@ -44,6 +44,49 @@ struct LinkConfig {
   TimeDelta max_queue_delay = TimeDelta::Millis(300);
   // If false, delivery order is forced monotone even under jitter.
   bool allow_reordering = true;
+
+  // --- Named presets -----------------------------------------------------
+  // Construct configs through these (or designated member tweaks on top of
+  // them) instead of positional brace initializers, which break silently
+  // when a field is inserted.
+
+  // Over-provisioned datacenter interconnect: inter-node links of the
+  // media-server mesh. Deep queue, no loss.
+  static LinkConfig Backbone(
+      DataRate capacity = DataRate::MegabitsPerSec(1000),
+      TimeDelta propagation_delay = TimeDelta::Millis(30)) {
+    LinkConfig config;
+    config.capacity = capacity;
+    config.propagation_delay = propagation_delay;
+    config.max_queue_delay = TimeDelta::Millis(500);
+    return config;
+  }
+
+  // Last-mile access with mild jitter, as on a home wifi hop.
+  static LinkConfig Wifi(DataRate capacity = DataRate::MegabitsPerSec(20),
+                         TimeDelta propagation_delay = TimeDelta::Millis(20)) {
+    LinkConfig config;
+    config.capacity = capacity;
+    config.propagation_delay = propagation_delay;
+    config.jitter_stddev = TimeDelta::Millis(2);
+    return config;
+  }
+
+  // Bursty lossy path: Gilbert-Elliott loss on top of the given capacity.
+  // `bad_fraction` is the stationary probability of the Bad state; the
+  // chain keeps the default recovery rate and in-Bad loss probability.
+  static LinkConfig Lossy(DataRate capacity, double bad_fraction = 0.032,
+                          TimeDelta propagation_delay = TimeDelta::Millis(40)) {
+    LinkConfig config;
+    config.capacity = capacity;
+    config.propagation_delay = propagation_delay;
+    config.gilbert_elliott = true;
+    // Stationary P(Bad) = p_gb / (p_gb + p_bg); solve for p_gb at the
+    // default p_bg so callers can state the loss regime directly.
+    config.ge_p_good_to_bad =
+        config.ge_p_bad_to_good * bad_fraction / (1.0 - bad_fraction);
+    return config;
+  }
 };
 
 struct LinkStats {

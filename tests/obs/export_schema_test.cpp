@@ -1,0 +1,137 @@
+// Locks the gso.metrics JSONL export format. The schema is a contract with
+// external tooling (plot scripts, bench_smoke.sh): field names, units and
+// ordering must not drift without bumping obs::kSchemaVersion.
+#include "obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "conference/scenarios.h"
+#include "obs/metrics.h"
+
+namespace gso::obs {
+namespace {
+
+TEST(ExportSchema, GoldenJsonLines) {
+  MetricsRegistry registry;
+  Metric* rate = registry.Get("transport.bwe.target", MetricKind::kGauge,
+                              "bps", LabelClient(3));
+  Metric* stalls =
+      registry.Get("media.stall.intervals", MetricKind::kCounter, "intervals");
+  rate->Record(Timestamp::Millis(200), 300000);
+  stalls->Add(Timestamp::Millis(200), 1);
+  rate->Record(Timestamp::Millis(400), 512500.5);
+
+  // The exact bytes are the contract: meta first, then series descriptors
+  // in id order, then samples sorted by (t_us, id).
+  const std::string expected =
+      "{\"type\":\"meta\",\"schema\":\"gso.metrics\",\"version\":1,"
+      "\"series\":2,\"samples\":3}\n"
+      "{\"type\":\"series\",\"id\":0,\"name\":\"transport.bwe.target\","
+      "\"kind\":\"gauge\",\"unit\":\"bps\",\"labels\":{\"client\":\"3\"}}\n"
+      "{\"type\":\"series\",\"id\":1,\"name\":\"media.stall.intervals\","
+      "\"kind\":\"counter\",\"unit\":\"intervals\",\"labels\":{}}\n"
+      "{\"type\":\"sample\",\"id\":0,\"t_us\":200000,\"v\":300000}\n"
+      "{\"type\":\"sample\",\"id\":1,\"t_us\":200000,\"v\":1}\n"
+      "{\"type\":\"sample\",\"id\":0,\"t_us\":400000,\"v\":512500.5}\n";
+  EXPECT_EQ(ToJsonLines(registry), expected);
+}
+
+TEST(ExportSchema, GoldenCsv) {
+  MetricsRegistry registry;
+  Metric* rate = registry.Get("transport.bwe.target", MetricKind::kGauge,
+                              "bps", LabelClient(3));
+  rate->Record(Timestamp::Millis(200), 300000);
+  const std::string expected =
+      "name,labels,t_us,value\n"
+      "transport.bwe.target,client=3,200000,300000\n";
+  EXPECT_EQ(ToCsv(registry), expected);
+}
+
+TEST(ExportSchema, EscapesJsonStrings) {
+  MetricsRegistry registry;
+  registry.Get("x", MetricKind::kGauge, "a\"b\\c\n", {{"k", "v\t"}});
+  const std::string out = ToJsonLines(registry);
+  EXPECT_NE(out.find("\"unit\":\"a\\\"b\\\\c\\n\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"labels\":{\"k\":\"v\\t\"}"), std::string::npos) << out;
+}
+
+// End-to-end: a short degrading meeting must export a Fig-8-style trace —
+// at least 8 distinct series spanning all three planes, every expected
+// stream name with its locked unit present, and per-series virtual
+// timestamps monotone non-decreasing.
+TEST(ExportSchema, ConferenceExportSpansThreePlanes) {
+  using namespace gso::conference;
+  MetricsRegistry registry;
+  ConferenceConfig config;
+  config.metrics = &registry;
+  auto conference = BuildMeeting(config, 3);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(8));
+  conference->SetDownlinkCapacity(ClientId(3), DataRate::KilobitsPerSec(600));
+  conference->RunFor(TimeDelta::Seconds(4));
+
+  // Locked (name, unit) pairs: renaming or re-uniting any of these breaks
+  // downstream consumers and requires a schema version bump.
+  const std::map<std::string, std::string> expected_units = {
+      {"transport.bwe.target", "bps"},
+      {"transport.bwe.loss", "fraction"},
+      {"transport.pacer.queue", "packets"},
+      {"transport.pacer.queue_delay", "us"},
+      {"media.encoder.target", "bps"},
+      {"media.jitter.frames_decoded", "frames"},
+      {"media.jitter.frames_dropped", "frames"},
+      {"media.stall.intervals", "intervals"},
+      {"media.receive.rate", "bps"},
+      {"control.gtbr.received", "messages"},
+      {"control.solve.interval", "us"},
+      {"control.solve.iterations", "count"},
+      {"control.solve.knapsacks", "count"},
+      {"control.solve.reductions", "count"},
+      {"control.solve.wall", "us"},
+      {"control.conference.participants", "count"},
+  };
+  std::set<std::string> planes;
+  std::set<std::string> names;
+  for (const auto& metric : registry.metrics()) {
+    names.insert(metric->name());
+    planes.insert(metric->name().substr(0, metric->name().find('.')));
+    const auto it = expected_units.find(metric->name());
+    ASSERT_NE(it, expected_units.end()) << "unexpected series " << metric->name();
+    EXPECT_EQ(metric->unit(), it->second) << metric->name();
+  }
+  for (const auto& [name, unit] : expected_units) {
+    EXPECT_TRUE(names.count(name)) << "missing series " << name << " (" << unit
+                                   << ")";
+  }
+  EXPECT_GE(names.size(), 8u);
+  EXPECT_EQ(planes, (std::set<std::string>{"transport", "media", "control"}));
+
+  // Replay the exported sample lines: per-series t_us monotone.
+  const std::string out = ToJsonLines(registry);
+  std::istringstream stream(out);
+  std::string line;
+  std::map<int, int64_t> last_t;
+  int sample_lines = 0;
+  while (std::getline(stream, line)) {
+    int id = -1;
+    long long t_us = -1;
+    if (std::sscanf(line.c_str(), "{\"type\":\"sample\",\"id\":%d,\"t_us\":%lld",
+                    &id, &t_us) == 2) {
+      ++sample_lines;
+      const auto it = last_t.find(id);
+      if (it != last_t.end()) EXPECT_GE(t_us, it->second) << line;
+      last_t[id] = t_us;
+    }
+  }
+  EXPECT_GT(sample_lines, 0);
+}
+
+}  // namespace
+}  // namespace gso::obs

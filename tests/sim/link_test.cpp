@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "sim/duplex_link.h"
 
 namespace gso::sim {
 namespace {
@@ -209,6 +210,33 @@ TEST(Link, PayloadBytesSurviveTransit) {
   link.Send(p);
   loop.RunAll();
   EXPECT_EQ(received, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(LinkConfigPresets, FactoryPresetsSetExpectedFields) {
+  const LinkConfig backbone = LinkConfig::Backbone();
+  EXPECT_EQ(backbone.capacity, DataRate::MegabitsPerSec(1000));
+  EXPECT_EQ(backbone.propagation_delay, TimeDelta::Millis(30));
+  EXPECT_EQ(backbone.max_queue_delay, TimeDelta::Millis(500));
+  EXPECT_FALSE(backbone.gilbert_elliott);
+
+  const LinkConfig wifi = LinkConfig::Wifi(DataRate::MegabitsPerSec(5));
+  EXPECT_EQ(wifi.capacity, DataRate::MegabitsPerSec(5));
+  EXPECT_EQ(wifi.jitter_stddev, TimeDelta::Millis(2));
+
+  // Lossy(): the requested stationary Bad-state probability must come out
+  // of the Gilbert-Elliott transition rates it configures.
+  const double bad_fraction = 0.05;
+  const LinkConfig lossy = LinkConfig::Lossy(DataRate::MegabitsPerSec(2),
+                                             bad_fraction);
+  EXPECT_TRUE(lossy.gilbert_elliott);
+  const double stationary =
+      lossy.ge_p_good_to_bad /
+      (lossy.ge_p_good_to_bad + lossy.ge_p_bad_to_good);
+  EXPECT_NEAR(stationary, bad_fraction, 1e-12);
+
+  const DuplexLinkConfig duplex = DuplexLinkConfig::Symmetric(wifi);
+  EXPECT_EQ(duplex.uplink.capacity, wifi.capacity);
+  EXPECT_EQ(duplex.downlink.capacity, wifi.capacity);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-checks the controller scaling benchmark: runs a short measurement,
-# validates the emitted JSON, and fails loudly if either step breaks.
+# validates the emitted JSON, and fails loudly if either step breaks. Also
+# validates the observability exports: the solve-trace JSONL from
+# controller_scaling and the full three-plane metrics JSONL from the
+# slow_link example.
 #
 # Usage: tools/bench_smoke.sh [build_dir] [out_json]
 # Wired up as the `bench-smoke` CMake target.
@@ -8,14 +11,17 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-${BUILD_DIR}/BENCH_controller_smoke.json}"
+TRACE_OUT="${OUT%.json}_trace.jsonl"
+METRICS_OUT="${BUILD_DIR}/slow_link_smoke_metrics.jsonl"
 BIN="${BUILD_DIR}/bench/controller_scaling"
+SLOW_LINK="${BUILD_DIR}/examples/slow_link"
 
 if [[ ! -x "${BIN}" ]]; then
   echo "bench_smoke: ${BIN} not built (cmake --build ${BUILD_DIR} --target controller_scaling)" >&2
   exit 1
 fi
 
-"${BIN}" --out="${OUT}" --label=smoke --min-time=0.05
+"${BIN}" --out="${OUT}" --label=smoke --min-time=0.05 --trace-out="${TRACE_OUT}"
 
 if [[ ! -s "${OUT}" ]]; then
   echo "bench_smoke: ${OUT} missing or empty" >&2
@@ -45,3 +51,75 @@ for row in doc["results"]:
         sys.exit(f"bench_smoke: non-positive measurement: {row}")
 print(f"bench_smoke: OK ({len(doc['results'])} measurements in {sys.argv[1]})")
 EOF
+
+# --- Observability export validation -----------------------------------
+# Shared checker for the gso.metrics JSONL schema: every line parses, the
+# meta line leads with the expected schema/version, series ids are dense,
+# and per-series timestamps are monotone non-decreasing.
+validate_metrics_jsonl() {
+  python3 - "$1" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+if not lines:
+    sys.exit(f"bench_smoke: {path} is empty")
+
+meta = lines[0]
+if meta.get("type") != "meta":
+    sys.exit(f"bench_smoke: {path} first line is not a meta line: {meta}")
+if meta.get("schema") != "gso.metrics":
+    sys.exit(f"bench_smoke: {path} wrong schema {meta.get('schema')!r}")
+if meta.get("version") != 1:
+    sys.exit(f"bench_smoke: {path} wrong schema version {meta.get('version')!r}")
+
+series = [l for l in lines if l["type"] == "series"]
+samples = [l for l in lines if l["type"] == "sample"]
+if len(series) != meta["series"]:
+    sys.exit(f"bench_smoke: {path} meta says {meta['series']} series, found {len(series)}")
+if len(samples) != meta["samples"]:
+    sys.exit(f"bench_smoke: {path} meta says {meta['samples']} samples, found {len(samples)}")
+if not series or not samples:
+    sys.exit(f"bench_smoke: {path} has no series or no samples")
+ids = sorted(s["id"] for s in series)
+if ids != list(range(len(series))):
+    sys.exit(f"bench_smoke: {path} series ids not dense: {ids}")
+for s in series:
+    for key in ("name", "kind", "unit", "labels"):
+        if key not in s:
+            sys.exit(f"bench_smoke: {path} series missing {key!r}: {s}")
+last = {}
+for s in samples:
+    if s["t_us"] < last.get(s["id"], 0):
+        sys.exit(f"bench_smoke: {path} non-monotone t_us in series {s['id']}")
+    last[s["id"]] = s["t_us"]
+print(f"bench_smoke: OK ({len(series)} series, {len(samples)} samples in {path})")
+EOF
+}
+
+validate_metrics_jsonl "${TRACE_OUT}"
+
+if [[ -x "${SLOW_LINK}" ]]; then
+  "${SLOW_LINK}" --short --metrics-out "${METRICS_OUT}" > /dev/null
+  validate_metrics_jsonl "${METRICS_OUT}"
+  # The slow_link export must span all three planes.
+  python3 - "${METRICS_OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    rows = [json.loads(l) for l in f if l.strip()]
+names = {row["name"] for row in rows if row["type"] == "series"}
+planes = {name.split(".")[0] for name in names}
+missing = {"transport", "media", "control"} - planes
+if missing:
+    sys.exit(f"bench_smoke: slow_link export missing planes {sorted(missing)}")
+if len(names) < 8:
+    sys.exit(f"bench_smoke: slow_link export has only {len(names)} series")
+print(f"bench_smoke: OK (slow_link spans {sorted(planes)}, {len(names)} distinct series)")
+EOF
+else
+  echo "bench_smoke: ${SLOW_LINK} not built, skipping metrics validation" >&2
+fi
