@@ -1,0 +1,120 @@
+// Flaky conference: churn and fault injection on one meeting.
+//
+// A five-party GSO meeting subjected to the failure suite the paper's §7
+// ("Design for failure") is about surviving:
+//  - a full mid-meeting outage (link flap) on one participant's access
+//    path, with recovery,
+//  - a 20% control-channel loss episode on another participant, which the
+//    GTBR/GTBN retry machinery must ride out,
+//  - a join/leave storm: a participant leaves mid-meeting and a new one
+//    joins shortly after.
+//
+//   ./build/examples/flaky_conference
+//   ./build/examples/flaky_conference --metrics-out flaky.jsonl
+//   ./build/examples/flaky_conference --short
+//
+// With --metrics-out the run exports every observability series including
+// the fault plan (`sim.fault.*`) and the control-plane reliability
+// counters (`control.gtbr.*`), so QoE dips line up with fault episodes in
+// the trace.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "conference/scenarios.h"
+#include "obs/export.h"
+#include "sim/fault_plan.h"
+
+using namespace gso;
+using namespace gso::conference;
+
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::string csv_out;
+  TimeDelta phase = TimeDelta::Seconds(20);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv-out") == 0 && i + 1 < argc) {
+      csv_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--short") == 0) {
+      phase = TimeDelta::Seconds(8);
+    } else {
+      std::fprintf(stderr,
+                   "usage: flaky_conference [--metrics-out FILE] "
+                   "[--csv-out FILE] [--short]\n");
+      return 2;
+    }
+  }
+  const bool export_metrics = !metrics_out.empty() || !csv_out.empty();
+  obs::MetricsRegistry registry;
+
+  ConferenceConfig config;
+  config.metrics = export_metrics ? &registry : nullptr;
+  auto conference = BuildMeeting(config, 5);
+  sim::FaultPlan plan(&conference->loop());
+  if (export_metrics) plan.SetMetrics(&registry);
+  conference->Start();
+
+  // Warm up, then measure across the whole fault sequence.
+  conference->RunFor(TimeDelta::Seconds(10));
+  conference->MarkMeasurementStart();
+  const Timestamp t0 = conference->loop().Now();
+
+  // Episode 1: participant 2's access path goes fully dark for 3 s.
+  ScheduleLinkFlap(*conference, plan, ClientId(2), t0 + phase / 4,
+                   TimeDelta::Seconds(3));
+  // Episode 2: participant 3 suffers 20% random loss on both directions
+  // for half a phase — GTBR/GTBN and the reports must retry through it.
+  ScheduleControlChannelLoss(*conference, plan, ClientId(3), t0 + phase,
+                             phase / 2, 0.2);
+  // Episode 3: participant 5 leaves mid-meeting; participant 6 joins.
+  ScheduleJoinLeaveStorm(*conference, {ClientId(5)}, /*next_id=*/6,
+                         t0 + phase * int64_t{2});
+
+  conference->RunFor(phase * int64_t{3});
+
+  // The periodic solver keeps creating short-lived pending configs (each
+  // clears within ~1 RTT), so "converged" means the pending set drains
+  // shortly after the faults end — not that it is empty at one arbitrary
+  // instant.
+  TimeDelta settle = TimeDelta::Zero();
+  while (conference->control().pending_config_count() != 0 &&
+         settle < TimeDelta::Seconds(10)) {
+    conference->RunFor(TimeDelta::Millis(200));
+    settle += TimeDelta::Millis(200);
+  }
+
+  const auto report = conference->Report();
+  std::printf("flaky_conference: %zu participants at end\n",
+              report.participants.size());
+  std::printf("  mean video stall  %5.1f%%\n",
+              100 * report.mean_video_stall_rate);
+  std::printf("  mean framerate    %5.1f fps\n", report.mean_framerate);
+  std::printf("  fault episodes    %d applied, %d still active\n",
+              plan.episodes_applied(), plan.active_episodes());
+  std::printf("  gtbr retries      %d (timeouts %d, stale acks %d)\n",
+              conference->control().gtbr_retries(),
+              conference->control().gtbr_timeouts(),
+              conference->control().gtbr_stale_acks());
+  std::printf("  pending configs   %d (0 = control plane re-converged)\n",
+              conference->control().pending_config_count());
+  if (plan.active_episodes() != 0 ||
+      conference->control().pending_config_count() != 0) {
+    std::fprintf(stderr, "error: meeting did not re-converge\n");
+    return 1;
+  }
+
+  if (!metrics_out.empty()) {
+    if (!obs::WriteFile(metrics_out, obs::ToJsonLines(registry))) return 1;
+    std::printf("\nwrote %zu series / %zu samples to %s\n",
+                registry.num_metrics(), registry.total_samples(),
+                metrics_out.c_str());
+  }
+  if (!csv_out.empty()) {
+    if (!obs::WriteFile(csv_out, obs::ToCsv(registry))) return 1;
+    std::printf("wrote CSV to %s\n", csv_out.c_str());
+  }
+  return 0;
+}

@@ -296,6 +296,9 @@ void AccessingNode::HandleClientRtcp(ClientId from,
           attached.pending_gtbr->message.request_id == ack->request_id) {
         attached.pending_gtbr.reset();
       }
+      // Always forward to the controller: epoch matching happens there
+      // (a stale ack must be counted, not silently dropped here).
+      if (control_) control_->OnGtbnAck(from, *ack);
     } else if (const auto* nack = std::get_if<net::Nack>(&message)) {
       std::vector<uint16_t> missing;
       for (uint16_t seq : nack->sequences) {
@@ -633,13 +636,15 @@ void AccessingNode::SetForwarding(
 }
 
 void AccessingNode::SendGsoTmmbr(ClientId publisher,
-                                 std::vector<net::TmmbrEntry> entries) {
+                                 std::vector<net::TmmbrEntry> entries,
+                                 uint32_t epoch) {
   const auto it = clients_.find(publisher);
   if (it == clients_.end()) return;
   auto& attached = *it->second;
   net::GsoTmmbr message;
   message.sender_ssrc = Ssrc(0xF0000000u | id_.value());
   message.request_id = attached.next_request_id++;
+  message.epoch = epoch;
   message.entries = std::move(entries);
   attached.pending_gtbr =
       AttachedClient::PendingGtbr{std::move(message), Timestamp::Zero(), 0};
@@ -649,6 +654,41 @@ void AccessingNode::SendGsoTmmbr(ClientId publisher,
   attached.pending_gtbr->last_sent = loop_->Now();
   batch.push_back(attached.pending_gtbr->message);
   SendRtcpToClient(publisher, std::move(batch));
+}
+
+void AccessingNode::OnClientLeft(ClientId client,
+                                 const std::vector<Ssrc>& ssrcs) {
+  clients_.erase(client);
+  audio_publishers_.erase(client);
+
+  // The departed client as a subscriber: purge it from every forwarding
+  // entry and pending switch.
+  for (auto& [_, subs] : forwarding_) {
+    subs.erase(std::remove(subs.begin(), subs.end(), client), subs.end());
+  }
+  for (auto it = pending_switches_.begin(); it != pending_switches_.end();) {
+    const bool dead_subscriber = it->first.second == client;
+    const bool dead_stream =
+        std::find(ssrcs.begin(), ssrcs.end(), it->first.first) !=
+            ssrcs.end() ||
+        std::find(ssrcs.begin(), ssrcs.end(), it->second) != ssrcs.end();
+    it = dead_subscriber || dead_stream ? pending_switches_.erase(it)
+                                        : std::next(it);
+  }
+
+  // The departed client as a publisher: drop its streams everywhere.
+  for (Ssrc ssrc : ssrcs) {
+    forwarding_.erase(ssrc);
+    uplink_streams_.erase(ssrc);
+    forward_cache_.Drop(ssrc);
+    for (auto& [_, attached] : clients_) attached->paused.erase(ssrc);
+  }
+  for (auto& [_, attached] : clients_) {
+    attached->interest.erase(std::remove(attached->interest.begin(),
+                                         attached->interest.end(), client),
+                             attached->interest.end());
+    attached->selected.erase(client);
+  }
 }
 
 void AccessingNode::SetLocalInterest(ClientId subscriber,

@@ -67,8 +67,16 @@ class AccessingNode {
   // Replaces the forwarding table: ssrc -> subscribers.
   void SetForwarding(std::map<Ssrc, std::vector<ClientId>> table);
   // Sends a stream configuration to an attached publisher, retransmitting
-  // until the matching GTBN arrives.
-  void SendGsoTmmbr(ClientId publisher, std::vector<net::TmmbrEntry> entries);
+  // until the matching GTBN arrives. `epoch` is the controller's solve
+  // epoch; it rides in the GTBR, is echoed in the GTBN, and lets the
+  // controller reject acks from superseded solves.
+  void SendGsoTmmbr(ClientId publisher, std::vector<net::TmmbrEntry> entries,
+                    uint32_t epoch = 0);
+  // Tears down all media-plane state for a departed client: detaches it if
+  // homed here, and removes it (and its stream SSRCs) from forwarding
+  // tables, pending layer switches, uplink bookkeeping, the RTX cache, and
+  // local-mode selections.
+  void OnClientLeft(ClientId client, const std::vector<Ssrc>& ssrcs);
 
   // --- Non-GSO (local) mode ---------------------------------------------
   // Registers a subscriber's interest in other publishers' cameras.

@@ -83,30 +83,39 @@ void Client::Start() {
   GSO_CHECK(uplink_ != nullptr);
   GSO_CHECK(directory_ != nullptr);
   started_ = true;
+  stopped_ = false;
 
+  // Every timer checks stopped_ so a departed client's media and control
+  // traffic ceases; the object itself stays alive because the loop still
+  // holds these closures.
   if (!config_.video_muted) {
     loop_->Every(camera_encoder_->FrameInterval(), [this] {
+      if (stopped_) return false;
       OnCameraFrameTick();
       return true;
     });
   }
   if (screen_encoder_) {
     loop_->Every(screen_encoder_->FrameInterval(), [this] {
+      if (stopped_) return false;
       OnScreenFrameTick();
       return true;
     });
   }
   if (audio_) {
     loop_->Every(media::kAudioPacketInterval, [this] {
+      if (stopped_) return false;
       OnAudioTick();
       return true;
     });
   }
   loop_->Every(kRtcpInterval, [this] {
+    if (stopped_) return false;
     OnRtcpTick();
     return true;
   });
   loop_->Every(kPolicyInterval, [this] {
+    if (stopped_) return false;
     OnPolicyTick();
     return true;
   });
@@ -114,6 +123,8 @@ void Client::Start() {
   // mode waits for the first GTBR from the controller.
   if (config_.mode == ControlMode::kTemplate) ApplyTemplatePolicy();
 }
+
+void Client::Stop() { stopped_ = true; }
 
 // --- Send path ------------------------------------------------------------
 
@@ -204,6 +215,9 @@ void Client::SendRtcp(std::vector<net::RtcpMessage> messages) {
 // --- Receive path -----------------------------------------------------
 
 void Client::OnPacketFromNode(const sim::Packet& packet) {
+  // In-flight packets may still arrive after the client left; a stopped
+  // client neither decodes nor answers them.
+  if (stopped_) return;
   // RTCP compound packets carry PT in [200, 206] at byte offset 1. RTP
   // packets there hold marker|payload_type: <= 127 without marker, >= 224
   // with marker (PT >= 96), so the ranges never collide.
@@ -355,6 +369,7 @@ void Client::ApplyGsoTmmbr(const net::GsoTmmbr& request) {
   net::GsoTmmbn ack;
   ack.sender_ssrc = camera_ssrcs_.empty() ? audio_ssrc_ : camera_ssrcs_[0];
   ack.request_id = request.request_id;
+  ack.epoch = request.epoch;
   ack.entries = request.entries;
   pending_rtcp_.push_back(std::move(ack));
 }

@@ -103,6 +103,11 @@ class Client {
                         Ssrc audio_ssrc);
   // Starts periodic media/RTCP/policy timers. Call once after wiring.
   void Start();
+  // Halts every periodic timer at its next firing (used when the client
+  // leaves mid-meeting). The object must stay alive until the loop drains:
+  // scheduled closures still reference it.
+  void Stop();
+  bool stopped() const { return stopped_; }
 
   // Network ingress from the accessing node (downlink sink).
   void OnPacketFromNode(const sim::Packet& packet);
@@ -264,6 +269,7 @@ class Client {
   double last_screen_cost_ = 0.0;
   uint16_t padding_seq_ = 0;
   bool started_ = false;
+  bool stopped_ = false;
 };
 
 }  // namespace gso::conference

@@ -80,7 +80,6 @@ Conference::Conference(ConferenceConfig config)
 Conference::~Conference() = default;
 
 ParticipantHandle Conference::AddParticipant(const ParticipantConfig& config) {
-  GSO_CHECK(!started_);
   GSO_CHECK(config.node_index >= 0 &&
             config.node_index < config_.num_accessing_nodes);
   auto client_config = config.client;
@@ -114,8 +113,44 @@ ParticipantHandle Conference::AddParticipant(const ParticipantConfig& config) {
   const bool joined = control_->Join(client, node);
   GSO_CHECK(joined);
 
-  participants_[client->id()] = std::move(participant);
+  auto& stored = participants_[client->id()];
+  stored = std::move(participant);
+  if (started_) {
+    // Mid-meeting join: the rest of the conference is already running.
+    client->Start();
+    if (config_.metrics != nullptr) {
+      WireParticipantMetrics(client->id(), stored);
+    }
+  }
   return ParticipantHandle(this, client->id(), client);
+}
+
+void Conference::RemoveParticipant(ClientId client) {
+  const auto it = participants_.find(client);
+  if (it == participants_.end()) return;
+
+  // Control plane first: prunes subscriptions and directory state and
+  // tears the client out of every accessing node's forwarding tables.
+  control_->Leave(client);
+  it->second.client->Stop();
+
+  // Other participants' views of the departed publisher end here — a view
+  // whose publisher left must not keep accruing stall time.
+  for (auto& [other_id, other] : participants_) {
+    if (other_id == client) continue;
+    for (auto view = other.subscribed_views.begin();
+         view != other.subscribed_views.end();) {
+      if (view->first == client) {
+        other.client->OnViewEnded(view->first, view->second);
+        view = other.subscribed_views.erase(view);
+      } else {
+        ++view;
+      }
+    }
+  }
+
+  departed_.push_back(std::move(it->second));
+  participants_.erase(it);
 }
 
 void Conference::SubscribeAllCameras(Resolution max_resolution) {
@@ -187,8 +222,32 @@ void Conference::WireMetrics() {
   obs::MetricsRegistry* registry = config_.metrics;
   control_->SetMetrics(registry);
 
-  using obs::MetricKind;
+  // Node-level GTBR retransmissions (the RTCP-tick retry loop below the
+  // controller's pending-config layer).
+  for (auto& node : nodes_) {
+    AccessingNode* raw = node.get();
+    registry->AddProbe(
+        registry->Get("control.gtbr.node_retransmissions",
+                      obs::MetricKind::kCounter, "messages",
+                      obs::LabelNode(raw->id().value())),
+        [raw] { return static_cast<double>(raw->gtbr_retransmissions()); });
+  }
+
   for (auto& [id, participant] : participants_) {
+    WireParticipantMetrics(id, participant);
+  }
+
+  loop_.Every(config_.metrics_sample_period, [this] {
+    config_.metrics->SampleProbes(loop_.Now());
+    return true;
+  });
+}
+
+void Conference::WireParticipantMetrics(ClientId id,
+                                        Participant& participant) {
+  obs::MetricsRegistry* registry = config_.metrics;
+  using obs::MetricKind;
+  {
     Client* client = participant.client.get();
     const obs::Labels labels = obs::LabelClient(id.value());
 
@@ -243,11 +302,6 @@ void Conference::WireMetrics() {
           return static_cast<double>(client->gtbr_messages_received());
         });
   }
-
-  loop_.Every(config_.metrics_sample_period, [this] {
-    config_.metrics->SampleProbes(loop_.Now());
-    return true;
-  });
 }
 
 void Conference::RunFor(TimeDelta duration) { loop_.RunFor(duration); }
@@ -255,6 +309,27 @@ void Conference::RunFor(TimeDelta duration) { loop_.RunFor(duration); }
 Client* Conference::client(ClientId id) {
   const auto it = participants_.find(id);
   return it == participants_.end() ? nullptr : it->second.client.get();
+}
+
+sim::Link* Conference::uplink(ClientId client) {
+  const auto it = participants_.find(client);
+  return it == participants_.end() ? nullptr : &it->second.access->uplink();
+}
+
+sim::Link* Conference::downlink(ClientId client) {
+  const auto it = participants_.find(client);
+  return it == participants_.end() ? nullptr : &it->second.access->downlink();
+}
+
+sim::Link* Conference::inter_node_link(int from, int to) {
+  const int n = config_.num_accessing_nodes;
+  if (from == to || from < 0 || to < 0 || from >= n || to >= n) {
+    return nullptr;
+  }
+  // Links were created in (i, j) order skipping i == j, so the directed
+  // (from, to) pair lives at a dense, computable index.
+  const int index = from * (n - 1) + (to < from ? to : to - 1);
+  return inter_node_links_[static_cast<size_t>(index)].get();
 }
 
 void Conference::SetUplinkCapacity(ClientId client, DataRate rate) {

@@ -114,9 +114,18 @@ class Conference {
   Conference(const Conference&) = delete;
   Conference& operator=(const Conference&) = delete;
 
-  // Adds a participant; must be called before Start(). The returned handle
-  // carries the id plus per-participant subscribe/script helpers.
+  // Adds a participant. Before Start() the client starts with the rest of
+  // the conference; after Start() it joins mid-meeting (its media timers
+  // and, when observability is on, its metric probes start immediately).
   ParticipantHandle AddParticipant(const ParticipantConfig& config);
+
+  // Removes a participant mid-meeting: tears its state out of the control
+  // plane and every accessing node, stops its client, and ends the other
+  // participants' views of it. The Client object and its access link stay
+  // alive (quiescent) until the Conference is destroyed — event-loop
+  // closures may still reference them — but the participant disappears
+  // from Report() and from future solves.
+  void RemoveParticipant(ClientId client);
 
   // Everyone subscribes to everyone else's camera at `max_resolution`.
   void SubscribeAllCameras(Resolution max_resolution);
@@ -146,6 +155,14 @@ class Conference {
   Client* client(ClientId id);
   AccessingNode* node(int index) { return nodes_[static_cast<size_t>(index)].get(); }
   Timestamp start_time() const { return start_time_; }
+  // Raw link handles so fault plans (sim::FaultPlan) can script outages,
+  // dips, and loss episodes on any path of the meeting. Null if the client
+  // is unknown (or has departed).
+  sim::Link* uplink(ClientId client);
+  sim::Link* downlink(ClientId client);
+  // Directed inter-node backbone link, or null when from == to / out of
+  // range.
+  sim::Link* inter_node_link(int from, int to);
 
   MeetingReport Report();
 
@@ -159,6 +176,7 @@ class Conference {
   };
 
   void WireMetrics();
+  void WireParticipantMetrics(ClientId id, Participant& participant);
 
   sim::EventLoop loop_;
   ConferenceConfig config_;
@@ -167,6 +185,10 @@ class Conference {
   std::vector<std::unique_ptr<AccessingNode>> nodes_;
   std::vector<std::unique_ptr<sim::Link>> inter_node_links_;
   std::map<ClientId, Participant> participants_;
+  // Participants removed mid-meeting: kept alive (scheduled closures and
+  // probes may still reference the Client and its links) but excluded from
+  // reports, solves, and the node resolver.
+  std::vector<Participant> departed_;
   Timestamp start_time_;
   bool started_ = false;
 };

@@ -45,9 +45,12 @@ bool ConferenceNode::Join(Client* client, AccessingNode* node) {
     directory_.Register(info);
   }
   // Screen-share layers, if the client has a screen source.
-  for (size_t i = 0; i < client->GsoScreenLadder().size(); ++i) {
+  // GsoScreenLadder() returns by value: hold it for the whole loop.
+  const std::vector<core::StreamOption> screen_ladder =
+      client->GsoScreenLadder();
+  for (size_t i = 0; i < screen_ladder.size(); ++i) {
     // One SSRC per distinct screen resolution.
-    const auto& option = client->GsoScreenLadder()[i];
+    const auto& option = screen_ladder[i];
     bool seen = false;
     for (const auto& existing :
          directory_.LayersOf(client->id(), core::SourceKind::kScreen)) {
@@ -87,11 +90,48 @@ bool ConferenceNode::Join(Client* client, AccessingNode* node) {
 void ConferenceNode::Leave(ClientId client) {
   const auto it = members_.find(client);
   if (it == members_.end()) return;
-  for (Ssrc ssrc : it->second.camera_ssrcs) directory_.Unregister(ssrc);
-  for (Ssrc ssrc : it->second.screen_ssrcs) directory_.Unregister(ssrc);
-  directory_.Unregister(it->second.audio_ssrc);
+
+  // Collect every SSRC the departing member owned, then tear the member
+  // down everywhere state referencing those SSRCs (or the client id) lives:
+  // the directory, the allocator, other members' subscriptions, the
+  // speaker slot, the outstanding GTBR config, and every accessing node's
+  // media-plane tables. Anything left behind would resurface as a ghost
+  // stream in the next compiled problem or a dangling forwarding entry.
+  std::vector<Ssrc> ssrcs = it->second.camera_ssrcs;
+  ssrcs.insert(ssrcs.end(), it->second.screen_ssrcs.begin(),
+               it->second.screen_ssrcs.end());
+  ssrcs.push_back(it->second.audio_ssrc);
+  AccessingNode* home = it->second.node;
+  for (Ssrc ssrc : ssrcs) {
+    directory_.Unregister(ssrc);
+    ssrc_allocator_.Release(ssrc);
+  }
   members_.erase(it);
+
+  // The leaver's own intents, and every other member's intent toward the
+  // leaver: a subscription to a departed publisher must not survive into
+  // the next BuildProblem.
   subscriptions_.erase(client);
+  for (auto& [_, subs] : subscriptions_) {
+    subs.erase(std::remove_if(subs.begin(), subs.end(),
+                              [client](const core::Subscription& sub) {
+                                return sub.source.client == client;
+                              }),
+               subs.end());
+  }
+  if (speaker_ && *speaker_ == client) speaker_.reset();
+  pending_configs_.erase(client);
+
+  // Media-plane teardown on every node (not just the home node: peers may
+  // hold forwarding entries and caches for relayed streams).
+  std::vector<AccessingNode*> nodes{home};
+  for (const auto& [_, member] : members_) {
+    if (std::find(nodes.begin(), nodes.end(), member.node) == nodes.end()) {
+      nodes.push_back(member.node);
+    }
+  }
+  for (AccessingNode* node : nodes) node->OnClientLeft(client, ssrcs);
+
   event_pending_ = true;
   UpdateParticipantCounts();
 }
@@ -112,6 +152,8 @@ void ConferenceNode::SetMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     metric_interval_ = metric_iterations_ = metric_knapsacks_ =
         metric_reductions_ = metric_wall_ = metric_participants_ = nullptr;
+    metric_gtbr_retries_ = metric_gtbr_timeouts_ = metric_gtbr_stale_ =
+        metric_reports_aged_ = nullptr;
     return;
   }
   metric_interval_ =
@@ -126,6 +168,14 @@ void ConferenceNode::SetMetrics(obs::MetricsRegistry* registry) {
       registry->Get("control.solve.wall", obs::MetricKind::kSeries, "us");
   metric_participants_ = registry->Get("control.conference.participants",
                                        obs::MetricKind::kGauge, "count");
+  metric_gtbr_retries_ = registry->Get("control.gtbr.retries",
+                                       obs::MetricKind::kCounter, "count");
+  metric_gtbr_timeouts_ = registry->Get("control.gtbr.timeouts",
+                                        obs::MetricKind::kCounter, "count");
+  metric_gtbr_stale_ = registry->Get("control.gtbr.stale_acks",
+                                     obs::MetricKind::kCounter, "count");
+  metric_reports_aged_ = registry->Get("control.reports.aged_out",
+                                       obs::MetricKind::kCounter, "count");
 }
 
 void ConferenceNode::Start() {
@@ -148,6 +198,7 @@ void ConferenceNode::OnSembReport(ClientId client, DataRate uplink_estimate) {
   if (it == members_.end()) return;
   const DataRate prev = it->second.uplink_report;
   it->second.uplink_report = uplink_estimate;
+  it->second.uplink_report_time = loop_->Now();
   if (prev.IsZero() ||
       std::abs(uplink_estimate.bps() - prev.bps()) >
           static_cast<int64_t>(config_.event_threshold *
@@ -162,6 +213,7 @@ void ConferenceNode::OnDownlinkReport(ClientId client,
   if (it == members_.end()) return;
   const DataRate prev = it->second.downlink_report;
   it->second.downlink_report = downlink_estimate;
+  it->second.downlink_report_time = loop_->Now();
   if (prev.IsZero() ||
       std::abs(downlink_estimate.bps() - prev.bps()) >
           static_cast<int64_t>(config_.event_threshold *
@@ -170,8 +222,56 @@ void ConferenceNode::OnDownlinkReport(ClientId client,
   }
 }
 
+void ConferenceNode::OnGtbnAck(ClientId publisher, const net::GsoTmmbn& ack) {
+  const auto it = pending_configs_.find(publisher);
+  if (it == pending_configs_.end()) return;  // already acked or superseded
+  if (ack.epoch != it->second.epoch) {
+    // An ack for a solve this config has replaced: accepting it would mark
+    // the current (different) config delivered when the publisher may
+    // still be applying the old one.
+    ++gtbr_stale_acks_;
+    obs::Add(metric_gtbr_stale_, loop_->Now(), 1.0);
+    return;
+  }
+  pending_configs_.erase(it);
+}
+
+void ConferenceNode::CheckPendingConfigs() {
+  const Timestamp now = loop_->Now();
+  for (auto it = pending_configs_.begin(); it != pending_configs_.end();) {
+    PendingConfig& pending = it->second;
+    if (now - pending.last_sent < config_.gtbr_ack_timeout) {
+      ++it;
+      continue;
+    }
+    const auto member = members_.find(it->first);
+    if (member == members_.end()) {
+      it = pending_configs_.erase(it);
+      continue;
+    }
+    if (pending.retries >= config_.gtbr_max_retries) {
+      // Give up on this config and let the next orchestration produce a
+      // fresh one from current reports, rather than retrying forever into
+      // what is probably a dead control channel.
+      ++gtbr_timeouts_;
+      obs::Add(metric_gtbr_timeouts_, now, 1.0);
+      event_pending_ = true;
+      it = pending_configs_.erase(it);
+      continue;
+    }
+    ++pending.retries;
+    ++gtbr_retries_;
+    obs::Add(metric_gtbr_retries_, now, 1.0);
+    pending.last_sent = now;
+    member->second.node->SendGsoTmmbr(it->first, pending.entries,
+                                      pending.epoch);
+    ++it;
+  }
+}
+
 void ConferenceNode::Tick() {
   if (members_.empty()) return;
+  CheckPendingConfigs();
   const Timestamp now = loop_->Now();
   const TimeDelta since_last = now - last_run_;
   const bool time_trigger = !has_run_ || since_last >= config_.max_interval;
@@ -194,6 +294,7 @@ void ConferenceNode::Orchestrate() {
   has_run_ = true;
   event_pending_ = false;
   ++orchestration_count_;
+  ++solve_epoch_;
 
   last_problem_ = BuildProblem();
   last_solution_ = orchestrator_.Solve(last_problem_);
@@ -211,18 +312,35 @@ void ConferenceNode::Orchestrate() {
 core::OrchestrationProblem ConferenceNode::BuildProblem() {
   core::OrchestrationProblem problem;
   const int n = static_cast<int>(members_.size());
+  const Timestamp now = loop_->Now();
 
   for (const auto& [client_id, member] : members_) {
     // Audio protection: one outgoing audio stream on the uplink and one
     // incoming per other participant on the downlink (paper §7).
     core::ClientBudget budget;
     budget.client = client_id;
-    const DataRate uplink_raw = member.uplink_report.IsZero()
-                                    ? DataRate::KilobitsPerSec(300)
-                                    : member.uplink_report;
-    const DataRate downlink_raw = member.downlink_report.IsZero()
-                                      ? DataRate::KilobitsPerSec(500)
-                                      : member.downlink_report;
+    // A report that predates `report_max_age` is stale — likely from
+    // before an outage — and is treated exactly like a missing report:
+    // fall back to the conservative join-time defaults.
+    const bool uplink_stale =
+        !member.uplink_report.IsZero() &&
+        now - member.uplink_report_time > config_.report_max_age;
+    const bool downlink_stale =
+        !member.downlink_report.IsZero() &&
+        now - member.downlink_report_time > config_.report_max_age;
+    if (uplink_stale || downlink_stale) {
+      reports_aged_out_ += (uplink_stale ? 1 : 0) + (downlink_stale ? 1 : 0);
+      obs::Add(metric_reports_aged_, now,
+               (uplink_stale ? 1.0 : 0.0) + (downlink_stale ? 1.0 : 0.0));
+    }
+    const DataRate uplink_raw =
+        member.uplink_report.IsZero() || uplink_stale
+            ? DataRate::KilobitsPerSec(300)
+            : member.uplink_report;
+    const DataRate downlink_raw =
+        member.downlink_report.IsZero() || downlink_stale
+            ? DataRate::KilobitsPerSec(500)
+            : member.downlink_report;
     budget.uplink = conditioner_.Condition(
         static_cast<uint64_t>(client_id.value()) << 1,
         uplink_raw * config_.utilization, 1);
@@ -296,7 +414,17 @@ void ConferenceNode::Disseminate(const core::Solution& solution) {
       }
     }
     if (!entries.empty()) {
-      member.node->SendGsoTmmbr(client_id, std::move(entries));
+      // Track the config until its GTBN arrives; CheckPendingConfigs
+      // re-issues it on ack timeout. The epoch tags the solve so a late
+      // ack for a superseded config can never clear this one.
+      PendingConfig pending;
+      pending.epoch = solve_epoch_;
+      pending.entries = entries;
+      pending.last_sent = loop_->Now();
+      pending_configs_[client_id] = std::move(pending);
+      member.node->SendGsoTmmbr(client_id, std::move(entries), solve_epoch_);
+    } else {
+      pending_configs_.erase(client_id);
     }
   }
 

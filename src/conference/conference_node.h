@@ -52,6 +52,19 @@ struct ControllerConfig {
   int max_simulcast_layers = 3;
   double speaker_priority = 3.0;
   double screen_priority = 4.0;
+  // --- GTBR reliability (paper §4.3 + §7 "Design for failure") -----------
+  // The accessing node already retransmits an unacknowledged GTBR on its
+  // RTCP tick; this layer sits above it: if the controller has seen no
+  // GTBN for a publisher's current config after `gtbr_ack_timeout`, it
+  // re-issues the config (fresh request id), up to `gtbr_max_retries`
+  // times, then declares the publisher unreachable and schedules a
+  // re-orchestration instead of stalling on a config nobody acked.
+  TimeDelta gtbr_ack_timeout = TimeDelta::Seconds(1);
+  int gtbr_max_retries = 5;
+  // Bandwidth reports older than this are treated as absent when building
+  // a problem: a report from before an outage says nothing about the link
+  // now, and trusting it would size streams against a dead estimate.
+  TimeDelta report_max_age = TimeDelta::Seconds(10);
 };
 
 class ConferenceNode {
@@ -81,6 +94,10 @@ class ConferenceNode {
   // --- Global picture inputs (paper §4.2) --------------------------------
   void OnSembReport(ClientId client, DataRate uplink_estimate);
   void OnDownlinkReport(ClientId client, DataRate downlink_estimate);
+  // GTBN ack forwarded by the publisher's accessing node. An ack whose
+  // epoch does not match the publisher's outstanding config is stale (it
+  // acknowledges a superseded solve) and is counted but ignored.
+  void OnGtbnAck(ClientId publisher, const net::GsoTmmbn& ack);
 
   // Forces an immediate orchestration (used by tests).
   void OrchestrateNow();
@@ -98,6 +115,16 @@ class ConferenceNode {
   const core::SolveStats& last_orchestrator_stats() const {
     return last_solution_.stats;
   }
+  // GTBR reliability counters (controller level, above node retransmission).
+  uint32_t solve_epoch() const { return solve_epoch_; }
+  int gtbr_retries() const { return gtbr_retries_; }
+  int gtbr_timeouts() const { return gtbr_timeouts_; }
+  int gtbr_stale_acks() const { return gtbr_stale_acks_; }
+  int reports_aged_out() const { return reports_aged_out_; }
+  // Publishers whose current config is still awaiting a GTBN.
+  int pending_config_count() const {
+    return static_cast<int>(pending_configs_.size());
+  }
 
  private:
   struct Member {
@@ -109,12 +136,25 @@ class ConferenceNode {
     Ssrc audio_ssrc;
     DataRate uplink_report;
     DataRate downlink_report;
+    // When each report last arrived; reports older than
+    // `report_max_age` are treated as absent by BuildProblem.
+    Timestamp uplink_report_time = Timestamp::Zero();
+    Timestamp downlink_report_time = Timestamp::Zero();
+  };
+
+  // A disseminated stream configuration awaiting its GTBN ack.
+  struct PendingConfig {
+    uint32_t epoch = 0;
+    std::vector<net::TmmbrEntry> entries;
+    Timestamp last_sent;
+    int retries = 0;
   };
 
   void Tick();
   void Orchestrate();
   core::OrchestrationProblem BuildProblem();
   void Disseminate(const core::Solution& solution);
+  void CheckPendingConfigs();
   void UpdateParticipantCounts();
 
   sim::EventLoop* loop_;
@@ -127,12 +167,18 @@ class ConferenceNode {
 
   std::map<ClientId, Member> members_;
   std::map<ClientId, std::vector<core::Subscription>> subscriptions_;
+  std::map<ClientId, PendingConfig> pending_configs_;
   std::optional<ClientId> speaker_;
 
   bool event_pending_ = true;  // first run happens asap
   Timestamp last_run_ = Timestamp::Zero();
   bool has_run_ = false;
   int orchestration_count_ = 0;
+  uint32_t solve_epoch_ = 0;
+  int gtbr_retries_ = 0;
+  int gtbr_timeouts_ = 0;
+  int gtbr_stale_acks_ = 0;
+  int reports_aged_out_ = 0;
   std::vector<TimeDelta> call_intervals_;
   // Solve-trace series; null when no registry is attached (recording is
   // then a single branch per site — see obs::Record).
@@ -142,6 +188,10 @@ class ConferenceNode {
   obs::Metric* metric_reductions_ = nullptr;
   obs::Metric* metric_wall_ = nullptr;
   obs::Metric* metric_participants_ = nullptr;
+  obs::Metric* metric_gtbr_retries_ = nullptr;
+  obs::Metric* metric_gtbr_timeouts_ = nullptr;
+  obs::Metric* metric_gtbr_stale_ = nullptr;
+  obs::Metric* metric_reports_aged_ = nullptr;
   core::Solution last_solution_;
   core::OrchestrationProblem last_problem_;
   bool started_ = false;

@@ -4,6 +4,7 @@
 #define GSO_CONFERENCE_SCENARIOS_H_
 
 #include "conference/conference.h"
+#include "sim/fault_plan.h"
 
 namespace gso::conference {
 
@@ -69,6 +70,64 @@ inline std::unique_ptr<Conference> BuildMeeting(
   }
   conference->SubscribeAllCameras(max_resolution);
   return conference;
+}
+
+// --- Failure-scenario builders (paper §7 "Design for failure") ----------
+// Each schedules a scripted disturbance on an already-built conference;
+// callers then RunFor long enough to cover the episode plus recovery.
+
+// Mid-meeting link flap on one participant's access path: `flaps` full
+// outages of `down_for` each (up and down directions together), one every
+// `period`, starting at `start`.
+inline void ScheduleLinkFlap(Conference& conference, sim::FaultPlan& plan,
+                             ClientId victim, Timestamp start,
+                             TimeDelta down_for = TimeDelta::Seconds(2),
+                             int flaps = 1,
+                             TimeDelta period = TimeDelta::Seconds(8)) {
+  plan.Flap(conference.uplink(victim), start, down_for, flaps, period);
+  plan.Flap(conference.downlink(victim), start, down_for, flaps, period);
+}
+
+// Control-channel loss: random loss on a participant's access path, which
+// GTBR/GTBN, SEMB and feedback must survive via retry (media shares the
+// path, so QoE degrades too — as in a real flaky last mile).
+inline void ScheduleControlChannelLoss(Conference& conference,
+                                       sim::FaultPlan& plan, ClientId victim,
+                                       Timestamp start, TimeDelta duration,
+                                       double loss_rate = 0.2) {
+  plan.LossEpisode(conference.uplink(victim), start, duration, loss_rate);
+  plan.LossEpisode(conference.downlink(victim), start, duration, loss_rate);
+}
+
+// Join/leave storm: `leavers` of the current participants leave one per
+// `spacing` starting at `start`; each is replaced by a fresh participant
+// (ids from `next_id` up) joining `spacing`/2 later, re-meshing camera
+// subscriptions after every membership change. Returns the ids of the
+// joiners. Call after Start().
+inline std::vector<ClientId> ScheduleJoinLeaveStorm(
+    Conference& conference, std::vector<ClientId> leavers, uint32_t next_id,
+    Timestamp start, TimeDelta spacing = TimeDelta::Seconds(2),
+    Resolution max_resolution = kResolution720p) {
+  std::vector<ClientId> joiners;
+  Timestamp at = start;
+  for (ClientId leaver : leavers) {
+    const ClientId joiner(next_id++);
+    joiners.push_back(joiner);
+    conference.loop().At(at, [&conference, leaver, max_resolution] {
+      conference.RemoveParticipant(leaver);
+      conference.SubscribeAllCameras(max_resolution);
+    });
+    conference.loop().At(at + spacing / 2,
+                         [&conference, joiner, max_resolution] {
+                           ParticipantConfig pc;
+                           pc.client = DefaultClient(joiner.value());
+                           pc.access = Access();
+                           conference.AddParticipant(pc);
+                           conference.SubscribeAllCameras(max_resolution);
+                         });
+    at = at + spacing;
+  }
+  return joiners;
 }
 
 }  // namespace gso::conference

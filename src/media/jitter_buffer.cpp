@@ -34,6 +34,7 @@ std::vector<DecodedFrame> JitterBuffer::Insert(const net::RtpPacket& packet,
   auto& frame = partial_frames_[packet.frame_id];
   frame.packets_expected = packet.packets_in_frame;
   frame.is_keyframe = packet.is_keyframe;
+  frame.min_seq = std::min(frame.min_seq, seq);
   if (frame.packets_received.insert(packet.packet_index).second) {
     frame.size += DataSize::Bytes(packet.payload_size);
   }
@@ -79,6 +80,13 @@ std::vector<DecodedFrame> JitterBuffer::Insert(const net::RtpPacket& packet,
       last_decoded_frame_ = frame_id;
       have_decoded_ = true;
       waiting_for_keyframe_ = false;
+      // Decode frontier: everything before this frame's first packet is
+      // either decoded or abandoned (keyframe resync drops it above), so
+      // NACKing those sequences would repair frames that can never be
+      // shown — pure RTX waste on an already-struggling link.
+      if (pf.min_seq != INT64_MAX) {
+        nack_floor_ = std::max(nack_floor_, pf.min_seq - 1);
+      }
       it = partial_frames_.erase(partial_frames_.begin(), std::next(it));
       progressed = true;
       break;
@@ -106,6 +114,9 @@ std::vector<uint16_t> JitterBuffer::CollectNacks(Timestamp now) {
   const int64_t floor_seq =
       std::max({*received_seqs_.begin(), nack_floor_ + 1,
                 highest_seq_ - kNackWindow});
+  // Retry state below the frontier can never be consulted again.
+  nack_state_.erase(nack_state_.begin(),
+                    nack_state_.lower_bound(floor_seq));
   for (int64_t s = floor_seq; s < highest_seq_; ++s) {
     if (received_seqs_.count(s)) continue;
     auto& state = nack_state_[s];

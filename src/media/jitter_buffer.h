@@ -50,6 +50,11 @@ class JitterBuffer {
     std::set<uint16_t> packets_received;
     DataSize size;
     bool is_keyframe = false;
+    // Lowest unwrapped sequence seen for this frame. Sequence numbers are
+    // assigned in encode order, so every packet of every earlier frame is
+    // strictly below this; decoding the frame proves nothing below it can
+    // still be displayed, which is what lets CollectNacks skip it.
+    int64_t min_seq = INT64_MAX;
   };
 
   struct NackState {

@@ -3,11 +3,13 @@
 #ifndef GSO_MEDIA_RTX_CACHE_H_
 #define GSO_MEDIA_RTX_CACHE_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <unordered_map>
 
 #include "common/ids.h"
+#include "common/sequence.h"
 #include "net/rtp_packet.h"
 
 namespace gso::media {
@@ -19,24 +21,44 @@ class RtxCache {
 
   void Put(const net::RtpPacket& packet) {
     auto& stream = streams_[packet.ssrc];
-    stream[packet.sequence_number] = packet;
-    while (stream.size() > max_per_stream_) stream.erase(stream.begin());
+    // Key by the unwrapped sequence: with raw uint16_t keys, right after a
+    // 16-bit wrap the map orders the new sequences (0, 1, ...) *before*
+    // the pre-wrap ones (65535, ...), so size-bound eviction would throw
+    // away the newest packets — exactly the ones NACKs are about to ask
+    // for — while hoarding a full window of stale ones.
+    stream.packets[stream.unwrapper.Unwrap(packet.sequence_number)] = packet;
+    while (stream.packets.size() > max_per_stream_) {
+      stream.packets.erase(stream.packets.begin());
+    }
   }
 
   std::optional<net::RtpPacket> Get(Ssrc ssrc, uint16_t sequence) const {
     const auto s = streams_.find(ssrc);
     if (s == streams_.end()) return std::nullopt;
-    const auto p = s->second.find(sequence);
-    if (p == s->second.end()) return std::nullopt;
+    const auto last = s->second.unwrapper.last();
+    if (!last) return std::nullopt;
+    // Project the 16-bit NACK sequence into the unwrapped space relative
+    // to the newest cached packet (NACK windows are far narrower than a
+    // half wrap, so the nearest interpretation is the right one).
+    const int64_t seq =
+        *last + static_cast<int16_t>(
+                    sequence - static_cast<uint16_t>(*last & 0xFFFF));
+    const auto p = s->second.packets.find(seq);
+    if (p == s->second.packets.end()) return std::nullopt;
     return p->second;
   }
 
+  // Forgets all cached packets of one stream (publisher teardown).
+  void Drop(Ssrc ssrc) { streams_.erase(ssrc); }
+
  private:
+  struct Stream {
+    SequenceUnwrapper unwrapper;
+    std::map<int64_t, net::RtpPacket> packets;  // ordered: begin() is oldest
+  };
+
   size_t max_per_stream_;
-  // Inner map ordered by sequence so eviction drops the oldest. Wrapping
-  // makes "oldest" approximate around the wrap point, which is harmless
-  // for a short retransmission window.
-  std::unordered_map<Ssrc, std::map<uint16_t, net::RtpPacket>> streams_;
+  std::unordered_map<Ssrc, Stream> streams_;
 };
 
 }  // namespace gso::media

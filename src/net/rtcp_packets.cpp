@@ -183,10 +183,11 @@ void SerializeSemb(ByteWriter& w, const Semb& semb) {
 }
 
 void SerializeGsoTmmb(ByteWriter& w, Ssrc sender, uint32_t request_id,
-                      const char name[4],
+                      uint32_t epoch, const char name[4],
                       const std::vector<TmmbrEntry>& entries) {
   ByteWriter body;
   body.WriteU32(request_id);
+  body.WriteU32(epoch);
   body.WriteU32(static_cast<uint32_t>(entries.size()));
   WriteTmmbEntries(body, entries);
   SerializeApp(w, sender, 0, name, body.data());
@@ -262,10 +263,10 @@ void SerializeOne(ByteWriter& w, const RtcpMessage& msg) {
         } else if constexpr (std::is_same_v<T, Semb>) {
           SerializeSemb(w, m);
         } else if constexpr (std::is_same_v<T, GsoTmmbr>) {
-          SerializeGsoTmmb(w, m.sender_ssrc, m.request_id, kNameGtbr,
+          SerializeGsoTmmb(w, m.sender_ssrc, m.request_id, m.epoch, kNameGtbr,
                            m.entries);
         } else if constexpr (std::is_same_v<T, GsoTmmbn>) {
-          SerializeGsoTmmb(w, m.sender_ssrc, m.request_id, kNameGtbn,
+          SerializeGsoTmmb(w, m.sender_ssrc, m.request_id, m.epoch, kNameGtbn,
                            m.entries);
         } else if constexpr (std::is_same_v<T, TransportFeedback>) {
           SerializeTransportFeedback(w, m);
@@ -301,22 +302,27 @@ std::optional<RtcpMessage> ParseApp(ByteReader& r, uint8_t subtype,
   }
   if ((name == std::string(kNameGtbr, 4) ||
        name == std::string(kNameGtbn, 4)) &&
-      payload_bytes >= 8) {
+      payload_bytes >= 12) {
     const uint32_t request_id = r.ReadU32();
+    const uint32_t epoch = r.ReadU32();
     const uint32_t count = r.ReadU32();
-    if (payload_bytes < 8 + 8 * static_cast<size_t>(count)) return std::nullopt;
+    if (payload_bytes < 12 + 8 * static_cast<size_t>(count)) {
+      return std::nullopt;
+    }
     auto entries = ReadTmmbEntries(r, count);
-    r.Skip(payload_bytes - 8 - 8 * static_cast<size_t>(count));
+    r.Skip(payload_bytes - 12 - 8 * static_cast<size_t>(count));
     if (name == std::string(kNameGtbr, 4)) {
       GsoTmmbr m;
       m.sender_ssrc = sender;
       m.request_id = request_id;
+      m.epoch = epoch;
       m.entries = std::move(entries);
       return m;
     }
     GsoTmmbn m;
     m.sender_ssrc = sender;
     m.request_id = request_id;
+    m.epoch = epoch;
     m.entries = std::move(entries);
     return m;
   }

@@ -107,6 +107,10 @@ struct Semb {
 struct GsoTmmbr {
   Ssrc sender_ssrc;
   uint32_t request_id = 0;  // echoed in the GTBN ack; drives retransmission
+  // Solve epoch that produced this config. Echoed in the GTBN ack so the
+  // controller can reject an ack from a superseded solve: without the tag,
+  // a delayed GTBN for epoch N could mark the epoch-N+1 config delivered.
+  uint32_t epoch = 0;
   std::vector<TmmbrEntry> entries;
 };
 
@@ -114,6 +118,7 @@ struct GsoTmmbr {
 struct GsoTmmbn {
   Ssrc sender_ssrc;
   uint32_t request_id = 0;
+  uint32_t epoch = 0;  // echoed from the acknowledged GTBR
   std::vector<TmmbrEntry> entries;
 };
 

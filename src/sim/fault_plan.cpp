@@ -1,0 +1,130 @@
+#include "sim/fault_plan.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gso::sim {
+
+void FaultPlan::SetMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_events_ = metric_active_ = nullptr;
+    return;
+  }
+  metric_events_ =
+      registry->Get("sim.fault.events", obs::MetricKind::kCounter, "count");
+  metric_active_ =
+      registry->Get("sim.fault.active", obs::MetricKind::kGauge, "count");
+}
+
+void FaultPlan::RecordTransition(const std::string& label, bool begin) {
+  transitions_.push_back(Transition{loop_->Now(), label, begin});
+  if (begin) {
+    ++episodes_applied_;
+    ++active_episodes_;
+    obs::Add(metric_events_, loop_->Now(), 1.0);
+  } else {
+    --active_episodes_;
+  }
+  obs::Record(metric_active_, loop_->Now(),
+              static_cast<double>(active_episodes_));
+}
+
+void FaultPlan::Schedule(std::string label, Timestamp start,
+                         TimeDelta duration, std::function<void()> apply,
+                         std::function<void()> restore) {
+  loop_->At(start, [this, label, apply = std::move(apply)] {
+    RecordTransition(label, /*begin=*/true);
+    apply();
+  });
+  loop_->At(start + duration,
+            [this, label = std::move(label), restore = std::move(restore)] {
+              RecordTransition(label, /*begin=*/false);
+              restore();
+            });
+}
+
+void FaultPlan::Outage(Link* link, Timestamp start, TimeDelta duration) {
+  GSO_CHECK(link != nullptr);
+  Schedule("outage:" + link->name(), start, duration,
+           [link] { link->SetUp(false); }, [link] { link->SetUp(true); });
+}
+
+void FaultPlan::CapacityDip(Link* link, Timestamp start, TimeDelta duration,
+                            DataRate degraded) {
+  GSO_CHECK(link != nullptr);
+  // The pre-fault value is captured when the episode begins, not when it is
+  // scheduled, so dips compose with other scripted capacity steps.
+  auto saved = std::make_shared<DataRate>();
+  Schedule(
+      "capacity_dip:" + link->name(), start, duration,
+      [link, degraded, saved] {
+        *saved = link->config().capacity;
+        link->SetCapacity(degraded);
+      },
+      [link, saved] { link->SetCapacity(*saved); });
+}
+
+void FaultPlan::LossEpisode(Link* link, Timestamp start, TimeDelta duration,
+                            double loss_rate) {
+  GSO_CHECK(link != nullptr);
+  auto saved = std::make_shared<double>(0.0);
+  Schedule(
+      "loss:" + link->name(), start, duration,
+      [link, loss_rate, saved] {
+        *saved = link->config().loss_rate;
+        link->SetLossRate(loss_rate);
+      },
+      [link, saved] { link->SetLossRate(*saved); });
+}
+
+void FaultPlan::BurstLoss(Link* link, Timestamp start, TimeDelta duration,
+                          double bad_fraction) {
+  GSO_CHECK(link != nullptr);
+  auto saved = std::make_shared<bool>(false);
+  Schedule(
+      "burst_loss:" + link->name(), start, duration,
+      [link, bad_fraction, saved] {
+        *saved = link->config().gilbert_elliott;
+        link->SetBurstLoss(true, bad_fraction);
+      },
+      [link, saved] { link->SetBurstLoss(*saved); });
+}
+
+void FaultPlan::DelaySpike(Link* link, Timestamp start, TimeDelta duration,
+                           TimeDelta extra_delay) {
+  GSO_CHECK(link != nullptr);
+  auto saved = std::make_shared<TimeDelta>();
+  Schedule(
+      "delay_spike:" + link->name(), start, duration,
+      [link, extra_delay, saved] {
+        *saved = link->config().propagation_delay;
+        link->SetPropagationDelay(*saved + extra_delay);
+      },
+      [link, saved] { link->SetPropagationDelay(*saved); });
+}
+
+void FaultPlan::ReorderEpisode(Link* link, Timestamp start,
+                               TimeDelta duration, TimeDelta jitter_stddev) {
+  GSO_CHECK(link != nullptr);
+  auto saved = std::make_shared<TimeDelta>();
+  Schedule(
+      "reorder:" + link->name(), start, duration,
+      [link, jitter_stddev, saved] {
+        *saved = link->config().jitter_stddev;
+        link->SetJitter(jitter_stddev);
+      },
+      [link, saved] { link->SetJitter(*saved); });
+}
+
+void FaultPlan::Flap(Link* link, Timestamp start, TimeDelta down_for,
+                     int flaps, TimeDelta period) {
+  GSO_CHECK(link != nullptr);
+  GSO_CHECK(down_for < period);
+  for (int i = 0; i < flaps; ++i) {
+    Outage(link, start + period * static_cast<int64_t>(i), down_for);
+  }
+}
+
+}  // namespace gso::sim

@@ -1,0 +1,92 @@
+// Scheduled fault injection for simulated links.
+//
+// A FaultPlan scripts impairment episodes on the virtual clock and applies
+// them to Links through their runtime-reconfiguration API, so call sites
+// (clients, nodes) never know faults exist. Each episode applies at its
+// start time and restores the affected knob — capturing the value the link
+// holds at apply time, so plans compose with other scripted changes — when
+// the episode ends:
+//  - Outage: the link goes fully down (a flap is an outage plus recovery),
+//  - CapacityDip: bandwidth drops to a degraded rate, then restores,
+//  - LossEpisode: Bernoulli loss at a given rate,
+//  - BurstLoss: Gilbert-Elliott bursty loss at a given stationary P(Bad),
+//  - DelaySpike: extra propagation delay,
+//  - ReorderEpisode: jitter with reordering allowed.
+//
+// Every applied transition is recorded (for test assertions) and, when a
+// MetricsRegistry is attached, exported as the `sim.fault.events` counter
+// and the `sim.fault.active` gauge (number of episodes currently in
+// effect), so exported traces line up with QoE dips exactly.
+#ifndef GSO_SIM_FAULT_PLAN_H_
+#define GSO_SIM_FAULT_PLAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+
+namespace gso::sim {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(EventLoop* loop) : loop_(loop) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // Attaches the fault-event series; the registry must outlive the plan.
+  void SetMetrics(obs::MetricsRegistry* registry);
+
+  // --- Episode schedulers ------------------------------------------------
+  // All take an absolute virtual start time; the episode ends (and the
+  // affected knob restores) at start + duration.
+  void Outage(Link* link, Timestamp start, TimeDelta duration);
+  void CapacityDip(Link* link, Timestamp start, TimeDelta duration,
+                   DataRate degraded);
+  void LossEpisode(Link* link, Timestamp start, TimeDelta duration,
+                   double loss_rate);
+  void BurstLoss(Link* link, Timestamp start, TimeDelta duration,
+                 double bad_fraction);
+  void DelaySpike(Link* link, Timestamp start, TimeDelta duration,
+                  TimeDelta extra_delay);
+  void ReorderEpisode(Link* link, Timestamp start, TimeDelta duration,
+                      TimeDelta jitter_stddev);
+
+  // A repeated outage: `flaps` down/up cycles, each `down_for` long,
+  // starting every `period` from `start`.
+  void Flap(Link* link, Timestamp start, TimeDelta down_for, int flaps,
+            TimeDelta period);
+
+  // Generic scripted episode for impairments the named helpers don't
+  // cover. `apply` runs at `start`, `restore` at start + duration.
+  void Schedule(std::string label, Timestamp start, TimeDelta duration,
+                std::function<void()> apply, std::function<void()> restore);
+
+  // --- Introspection -----------------------------------------------------
+  struct Transition {
+    Timestamp time;
+    std::string label;
+    bool begin = false;  // true when the episode starts, false when it ends
+  };
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  int episodes_applied() const { return episodes_applied_; }
+  int active_episodes() const { return active_episodes_; }
+
+ private:
+  void RecordTransition(const std::string& label, bool begin);
+
+  EventLoop* loop_;
+  std::vector<Transition> transitions_;
+  int episodes_applied_ = 0;
+  int active_episodes_ = 0;
+  obs::Metric* metric_events_ = nullptr;
+  obs::Metric* metric_active_ = nullptr;
+};
+
+}  // namespace gso::sim
+
+#endif  // GSO_SIM_FAULT_PLAN_H_

@@ -37,6 +37,10 @@ bool Link::DrawLoss() {
 
 void Link::Send(Packet packet) {
   ++stats_.packets_sent;
+  if (!up_) {
+    ++stats_.packets_dropped_down;
+    return;
+  }
   const Timestamp now = loop_->Now();
 
   // Droptail: reject when the backlog already exceeds the queue bound.

@@ -94,12 +94,14 @@ struct LinkStats {
   int64_t packets_delivered = 0;
   int64_t packets_dropped_queue = 0;
   int64_t packets_dropped_loss = 0;
+  int64_t packets_dropped_down = 0;  // sent while the link was down
   DataSize bytes_delivered;
 
   double LossFraction() const {
     return packets_sent > 0
                ? static_cast<double>(packets_dropped_queue +
-                                     packets_dropped_loss) /
+                                     packets_dropped_loss +
+                                     packets_dropped_down) /
                      static_cast<double>(packets_sent)
                : 0.0;
   }
@@ -122,6 +124,19 @@ class Link {
   void SetLossRate(double loss) { config_.loss_rate = loss; }
   void SetJitter(TimeDelta stddev) { config_.jitter_stddev = stddev; }
   void SetPropagationDelay(TimeDelta d) { config_.propagation_delay = d; }
+  // Enables/disables Gilbert-Elliott bursty loss; `bad_fraction` is the
+  // stationary P(Bad) as in LinkConfig::Lossy.
+  void SetBurstLoss(bool enabled, double bad_fraction = 0.032) {
+    config_.gilbert_elliott = enabled;
+    if (enabled) {
+      config_.ge_p_good_to_bad =
+          config_.ge_p_bad_to_good * bad_fraction / (1.0 - bad_fraction);
+    }
+  }
+  // Full outage: while down, every offered packet is dropped (counted in
+  // packets_dropped_down); packets already in flight still arrive.
+  void SetUp(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
 
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
@@ -142,6 +157,7 @@ class Link {
   Timestamp busy_until_ = Timestamp::Zero();
   Timestamp last_delivery_ = Timestamp::Zero();
   bool ge_in_bad_state_ = false;
+  bool up_ = true;
 };
 
 }  // namespace gso::sim

@@ -1,0 +1,165 @@
+// Churn and fault-tolerance regression tests: mid-meeting leave/rejoin,
+// stale-state pruning in the controller, GTBN epoch checks, and the
+// flaky-meeting re-convergence scenario from the failure suite.
+#include <gtest/gtest.h>
+
+#include "conference/scenarios.h"
+#include "sim/fault_plan.h"
+
+namespace gso::conference {
+namespace {
+
+// The periodic solver keeps creating short-lived pending configs (each
+// clears within ~1 RTT), so convergence is "the pending set drains within
+// a bounded settle window", not "empty at one arbitrary instant".
+bool PendingConfigsDrain(Conference& conference,
+                         TimeDelta budget = TimeDelta::Seconds(10)) {
+  TimeDelta settle = TimeDelta::Zero();
+  while (conference.control().pending_config_count() != 0 &&
+         settle < budget) {
+    conference.RunFor(TimeDelta::Millis(200));
+    settle += TimeDelta::Millis(200);
+  }
+  return conference.control().pending_config_count() == 0;
+}
+
+// After a Leave, the next compiled problem must not reference the departed
+// client anywhere: no budget row, no capability, no subscription from or
+// to it.
+TEST(Churn, LeavePrunesDepartedClientFromNextProblem) {
+  ConferenceConfig config;
+  auto conference = BuildMeeting(config, 4);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(5));
+  conference->RemoveParticipant(ClientId(2));
+  conference->control().OrchestrateNow();
+  const auto& problem = conference->control().last_problem();
+  for (const auto& budget : problem.budgets) {
+    EXPECT_NE(budget.client, ClientId(2));
+  }
+  for (const auto& cap : problem.capabilities) {
+    EXPECT_NE(cap.source.client, ClientId(2));
+  }
+  for (const auto& sub : problem.subscriptions) {
+    EXPECT_NE(sub.subscriber, ClientId(2));
+    EXPECT_NE(sub.source.client, ClientId(2));
+  }
+  // The solution still satisfies the pruned problem.
+  EXPECT_EQ(core::ValidateSolution(problem,
+                                   conference->control().last_solution()),
+            "");
+  // And the departed participant no longer appears in reports.
+  EXPECT_EQ(conference->Report().participant(ClientId(2)), nullptr);
+}
+
+// Leave while a solve's GTBRs are still awaiting acks: the pending-config
+// entry for the departed publisher must not linger (or retry forever).
+TEST(Churn, LeaveDuringInFlightSolveClearsPendingConfig) {
+  ConferenceConfig config;
+  auto conference = BuildMeeting(config, 3);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(5));
+  // Kick a solve and remove the participant before its GTBN can return.
+  conference->control().OrchestrateNow();
+  conference->RemoveParticipant(ClientId(3));
+  conference->RunFor(TimeDelta::Seconds(10));
+  EXPECT_TRUE(PendingConfigsDrain(*conference));
+  EXPECT_EQ(conference->control().gtbr_timeouts(), 0);
+}
+
+// A participant leaves and a new one joins mid-meeting; the joiner reuses
+// the freed SSRC range and must still receive everyone's video.
+TEST(Churn, RejoinAfterLeaveReceivesVideo) {
+  ConferenceConfig config;
+  auto conference = BuildMeeting(config, 4);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(5));
+  conference->RemoveParticipant(ClientId(2));
+  ParticipantConfig pc;
+  pc.client = DefaultClient(5);
+  pc.access = Access();
+  conference->AddParticipant(pc);
+  conference->SubscribeAllCameras(kResolution720p);
+  conference->RunFor(TimeDelta::Seconds(5));
+  conference->MarkMeasurementStart();
+  conference->RunFor(TimeDelta::Seconds(10));
+  const auto report = conference->Report();
+  EXPECT_EQ(report.participants.size(), 4u);
+  EXPECT_EQ(report.participant(ClientId(2)), nullptr);
+  const auto* joiner = report.participant(ClientId(5));
+  ASSERT_NE(joiner, nullptr);
+  // The joiner both receives the room and is received by it.
+  EXPECT_EQ(joiner->received.size(), 3u);
+  EXPECT_GT(joiner->mean_framerate, 10.0);
+  for (const auto& other : report.participants) {
+    if (other.id == ClientId(5)) continue;
+    EXPECT_GT(other.mean_framerate, 10.0) << other.id.ToString();
+  }
+}
+
+// A GTBN carrying a stale solve epoch (from a superseded orchestration)
+// must not acknowledge the current pending config.
+TEST(Churn, StaleEpochGtbnIsRejected) {
+  ConferenceConfig config;
+  auto conference = BuildMeeting(config, 2);
+  conference->control().OrchestrateNow();
+  const int pending = conference->control().pending_config_count();
+  ASSERT_GT(pending, 0);
+
+  net::GsoTmmbn stale;
+  stale.epoch = conference->control().solve_epoch() - 1;
+  conference->control().OnGtbnAck(ClientId(1), stale);
+  EXPECT_EQ(conference->control().gtbr_stale_acks(), 1);
+  EXPECT_EQ(conference->control().pending_config_count(), pending);
+
+  net::GsoTmmbn fresh;
+  fresh.epoch = conference->control().solve_epoch();
+  conference->control().OnGtbnAck(ClientId(1), fresh);
+  EXPECT_EQ(conference->control().pending_config_count(), pending - 1);
+  EXPECT_EQ(conference->control().gtbr_stale_acks(), 1);
+}
+
+// The headline failure scenario: a full mid-meeting outage with recovery
+// plus a 20% control-channel loss episode. The meeting must re-converge —
+// GTBR retries observed while the faults are active, then the pending set
+// drains and nobody is left permanently stalled.
+TEST(Churn, FlakyMeetingReconverges) {
+  ConferenceConfig config;
+  auto conference = BuildMeeting(config, 5);
+  sim::FaultPlan plan(&conference->loop());
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(10));
+  conference->MarkMeasurementStart();
+  const Timestamp t0 = conference->loop().Now();
+
+  // Full outage on participant 2's access path for 3 s, then recovery.
+  ScheduleLinkFlap(*conference, plan, ClientId(2), t0 + TimeDelta::Seconds(5),
+                   TimeDelta::Seconds(3));
+  // 20% control-channel loss on participant 3 for 10 s.
+  ScheduleControlChannelLoss(*conference, plan, ClientId(3),
+                             t0 + TimeDelta::Seconds(12),
+                             TimeDelta::Seconds(10), 0.2);
+  conference->RunFor(TimeDelta::Seconds(35));
+
+  EXPECT_EQ(plan.episodes_applied(), 4);
+  EXPECT_EQ(plan.active_episodes(), 0);
+  // The outage outlives the ack timeout, so controller-level retries must
+  // have fired...
+  EXPECT_GT(conference->control().gtbr_retries(), 0);
+  // ...and after recovery the control plane quiesces: the pending set
+  // drains instead of retrying forever.
+  EXPECT_TRUE(PendingConfigsDrain(*conference));
+
+  const auto report = conference->Report();
+  ASSERT_EQ(report.participants.size(), 5u);
+  for (const auto& participant : report.participants) {
+    // Nobody ends the meeting permanently stalled; the worst case (the
+    // outage victim) loses ~3 s of a 35 s window plus recovery time.
+    EXPECT_LT(participant.mean_video_stall_rate, 0.5)
+        << participant.id.ToString();
+    EXPECT_GT(participant.mean_framerate, 5.0) << participant.id.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace gso::conference

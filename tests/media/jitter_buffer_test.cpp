@@ -159,5 +159,24 @@ TEST(JitterBuffer, LateRetransmitOfDecodedFrameIgnored) {
   EXPECT_EQ(buffer.frames_decoded(), 2);
 }
 
+TEST(JitterBuffer, NoNacksBelowDecodeFrontier) {
+  // Regression: a keyframe resync abandons the frames before it, yet
+  // CollectNacks kept requesting their lost sequences — retransmissions
+  // of frames that can never be decoded, on a link that is already
+  // struggling. Sequences at or below the decode frontier must be
+  // skipped.
+  JitterBuffer buffer;
+  buffer.Insert(MakePacket(0, 1, 0, 1, true), Timestamp::Millis(1));
+  // Frame 2 (seqs 1-2) is lost entirely. Frame 3 is a keyframe at
+  // seqs 3-4: it resynchronizes the decoder and drops the backlog.
+  buffer.Insert(MakePacket(3, 3, 0, 2, true), Timestamp::Millis(80));
+  const auto decoded =
+      buffer.Insert(MakePacket(4, 3, 1, 2, true), Timestamp::Millis(85));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].frame_id, 3u);
+  // Seqs 1-2 belong to the abandoned frame: never NACKed again.
+  EXPECT_TRUE(buffer.CollectNacks(Timestamp::Millis(100)).empty());
+}
+
 }  // namespace
 }  // namespace gso::media

@@ -48,6 +48,42 @@ TEST(RtxCache, StreamsAreIndependent) {
   EXPECT_FALSE(cache.Get(Ssrc(2), 1).has_value());
 }
 
+TEST(RtxCache, WrapDoesNotEvictNewestPackets) {
+  // Regression: with raw uint16_t map keys, the post-wrap sequences (0,
+  // 1, ...) sorted *before* the pre-wrap ones (65534, 65535), so eviction
+  // of "the oldest" silently threw away the packets a NACK was about to
+  // request. Sequences must be ordered by their unwrapped position.
+  RtxCache cache(/*max_packets_per_stream=*/4);
+  for (uint16_t seq : {65533, 65534, 65535, 0, 1, 2}) {
+    cache.Put(MakePacket(Ssrc(1), seq));
+  }
+  // The four newest (65535, 0, 1, 2) must survive; the two oldest are out.
+  EXPECT_FALSE(cache.Get(Ssrc(1), 65533).has_value());
+  EXPECT_FALSE(cache.Get(Ssrc(1), 65534).has_value());
+  EXPECT_TRUE(cache.Get(Ssrc(1), 65535).has_value());
+  EXPECT_TRUE(cache.Get(Ssrc(1), 0).has_value());
+  EXPECT_TRUE(cache.Get(Ssrc(1), 1).has_value());
+  EXPECT_TRUE(cache.Get(Ssrc(1), 2).has_value());
+}
+
+TEST(RtxCache, GetAcrossWrapBoundary) {
+  RtxCache cache;
+  for (uint16_t seq : {65535, 0, 1}) cache.Put(MakePacket(Ssrc(1), seq));
+  // A NACK for the pre-wrap sequence still resolves after the wrap.
+  ASSERT_TRUE(cache.Get(Ssrc(1), 65535).has_value());
+  EXPECT_EQ(cache.Get(Ssrc(1), 65535)->sequence_number, 65535);
+  EXPECT_FALSE(cache.Get(Ssrc(1), 2).has_value());
+}
+
+TEST(RtxCache, DropForgetsStream) {
+  RtxCache cache;
+  cache.Put(MakePacket(Ssrc(1), 1));
+  cache.Put(MakePacket(Ssrc(2), 1));
+  cache.Drop(Ssrc(1));
+  EXPECT_FALSE(cache.Get(Ssrc(1), 1).has_value());
+  EXPECT_TRUE(cache.Get(Ssrc(2), 1).has_value());
+}
+
 TEST(RtxCache, OverwriteSameSequenceKeepsLatest) {
   RtxCache cache;
   auto p = MakePacket(Ssrc(1), 9);

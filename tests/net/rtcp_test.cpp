@@ -151,6 +151,31 @@ TEST(Rtcp, GsoTmmbnEchoesRequestId) {
   EXPECT_EQ(out->request_id, 7u);
 }
 
+TEST(Rtcp, GsoTmmbEpochRoundTrip) {
+  // The solve epoch rides both directions of the reliability handshake:
+  // the GTBR carries the solve that produced it, the GTBN echoes it so the
+  // controller can reject acks of superseded configs.
+  GsoTmmbr gtbr;
+  gtbr.sender_ssrc = Ssrc(0xF0000001);
+  gtbr.request_id = 12;
+  gtbr.epoch = 0xDEADBEEF;
+  gtbr.entries.push_back(
+      {Ssrc(1000), MxTbr::FromBitrate(DataRate::KilobitsPerSec(800))});
+  GsoTmmbn gtbn;
+  gtbn.sender_ssrc = Ssrc(1000);
+  gtbn.request_id = 12;
+  gtbn.epoch = 0xDEADBEEF;
+  const auto parsed = ParseCompound(SerializeCompound({gtbr, gtbn}));
+  ASSERT_EQ(parsed.size(), 2u);
+  const auto* req = std::get_if<GsoTmmbr>(&parsed[0]);
+  const auto* ack = std::get_if<GsoTmmbn>(&parsed[1]);
+  ASSERT_NE(req, nullptr);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(req->epoch, 0xDEADBEEFu);
+  ASSERT_EQ(req->entries.size(), 1u);
+  EXPECT_EQ(ack->epoch, 0xDEADBEEFu);
+}
+
 TEST(Rtcp, TransportFeedbackRoundTrip) {
   TransportFeedback fb;
   fb.sender_ssrc = Ssrc(2);

@@ -90,6 +90,11 @@ TEST(ExportSchema, ConferenceExportSpansThreePlanes) {
       {"media.stall.intervals", "intervals"},
       {"media.receive.rate", "bps"},
       {"control.gtbr.received", "messages"},
+      {"control.gtbr.node_retransmissions", "messages"},
+      {"control.gtbr.retries", "count"},
+      {"control.gtbr.timeouts", "count"},
+      {"control.gtbr.stale_acks", "count"},
+      {"control.reports.aged_out", "count"},
       {"control.solve.interval", "us"},
       {"control.solve.iterations", "count"},
       {"control.solve.knapsacks", "count"},

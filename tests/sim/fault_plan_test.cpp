@@ -1,0 +1,184 @@
+// Tests for scheduled fault injection: apply/restore semantics, the
+// transition log, composition with other scripted changes, and end-to-end
+// determinism (same seed + same plan => identical meeting report).
+#include "sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "conference/scenarios.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+
+namespace gso::sim {
+namespace {
+
+Packet MakePacket(int64_t bytes) {
+  Packet p;
+  p.wire_size = DataSize::Bytes(bytes);
+  return p;
+}
+
+TEST(FaultPlan, OutageDropsPacketsThenRestores) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{}, Rng(1));
+  int delivered = 0;
+  link.SetSink([&](const Packet&) { ++delivered; });
+  FaultPlan plan(&loop);
+  plan.Outage(&link, Timestamp::Millis(100), TimeDelta::Millis(100));
+  // One packet before, one during, one after the outage.
+  loop.At(Timestamp::Millis(50), [&] { link.Send(MakePacket(100)); });
+  loop.At(Timestamp::Millis(150), [&] { link.Send(MakePacket(100)); });
+  loop.At(Timestamp::Millis(250), [&] { link.Send(MakePacket(100)); });
+  loop.RunAll();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().packets_dropped_down, 1);
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(plan.episodes_applied(), 1);
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
+TEST(FaultPlan, TransitionLogRecordsBeginAndEnd) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{}, Rng(1), "access");
+  FaultPlan plan(&loop);
+  plan.Outage(&link, Timestamp::Millis(100), TimeDelta::Millis(50));
+  loop.RunAll();
+  ASSERT_EQ(plan.transitions().size(), 2u);
+  EXPECT_EQ(plan.transitions()[0].label, "outage:access");
+  EXPECT_TRUE(plan.transitions()[0].begin);
+  EXPECT_EQ(plan.transitions()[0].time, Timestamp::Millis(100));
+  EXPECT_FALSE(plan.transitions()[1].begin);
+  EXPECT_EQ(plan.transitions()[1].time, Timestamp::Millis(150));
+}
+
+TEST(FaultPlan, CapacityDipComposesWithScriptedSteps) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(8);
+  Link link(&loop, config, Rng(1));
+  FaultPlan plan(&loop);
+  // A scenario script raises capacity *before* the dip begins; the dip
+  // must restore the value the link held at apply time, not at schedule
+  // time.
+  loop.At(Timestamp::Millis(20),
+          [&] { link.SetCapacity(DataRate::MegabitsPerSec(16)); });
+  plan.CapacityDip(&link, Timestamp::Millis(50), TimeDelta::Millis(100),
+                   DataRate::MegabitsPerSec(1));
+  loop.At(Timestamp::Millis(100), [&] {
+    EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(1));
+  });
+  loop.RunAll();
+  EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(16));
+}
+
+TEST(FaultPlan, LossAndDelayEpisodesRestoreKnobs) {
+  EventLoop loop;
+  LinkConfig config;
+  config.propagation_delay = TimeDelta::Millis(20);
+  Link link(&loop, config, Rng(1));
+  FaultPlan plan(&loop);
+  plan.LossEpisode(&link, Timestamp::Millis(10), TimeDelta::Millis(40), 0.2);
+  plan.DelaySpike(&link, Timestamp::Millis(10), TimeDelta::Millis(40),
+                  TimeDelta::Millis(100));
+  plan.BurstLoss(&link, Timestamp::Millis(10), TimeDelta::Millis(40), 0.1);
+  loop.At(Timestamp::Millis(30), [&] {
+    EXPECT_DOUBLE_EQ(link.config().loss_rate, 0.2);
+    EXPECT_EQ(link.config().propagation_delay, TimeDelta::Millis(120));
+    EXPECT_TRUE(link.config().gilbert_elliott);
+  });
+  loop.RunAll();
+  EXPECT_DOUBLE_EQ(link.config().loss_rate, 0.0);
+  EXPECT_EQ(link.config().propagation_delay, TimeDelta::Millis(20));
+  EXPECT_FALSE(link.config().gilbert_elliott);
+  EXPECT_EQ(plan.episodes_applied(), 3);
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
+TEST(FaultPlan, FlapSchedulesRepeatedOutages) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{}, Rng(1));
+  FaultPlan plan(&loop);
+  std::vector<bool> states;
+  plan.Flap(&link, Timestamp::Millis(100), TimeDelta::Millis(50),
+            /*flaps=*/3, /*period=*/TimeDelta::Millis(200));
+  // Sample link state every 25 ms across the whole flap train.
+  loop.Every(TimeDelta::Millis(25), [&] {
+    states.push_back(link.is_up());
+    return loop.Now() < Timestamp::Millis(700);
+  });
+  loop.RunAll();
+  EXPECT_EQ(plan.episodes_applied(), 3);
+  EXPECT_EQ(plan.active_episodes(), 0);
+  int down_samples = 0;
+  for (bool up : states) {
+    if (!up) ++down_samples;
+  }
+  EXPECT_GT(down_samples, 0);
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(plan.transitions().size(), 6u);
+}
+
+TEST(FaultPlan, MetricsCountEventsAndActiveEpisodes) {
+  EventLoop loop;
+  obs::MetricsRegistry registry;
+  Link link(&loop, LinkConfig{}, Rng(1));
+  FaultPlan plan(&loop);
+  plan.SetMetrics(&registry);
+  plan.Outage(&link, Timestamp::Millis(10), TimeDelta::Millis(20));
+  plan.Outage(&link, Timestamp::Millis(50), TimeDelta::Millis(20));
+  loop.RunAll();
+  const obs::Metric* events =
+      registry.Get("sim.fault.events", obs::MetricKind::kCounter, "count");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->samples().empty());
+  EXPECT_DOUBLE_EQ(events->samples().back().value, 2.0);
+  const obs::Metric* active =
+      registry.Get("sim.fault.active", obs::MetricKind::kGauge, "count");
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->samples().back().value, 0.0);
+}
+
+// Same seed + same fault plan => bit-identical meeting report. This is the
+// property that makes failure scenarios usable as regression tests at all.
+conference::MeetingReport RunFaultedMeeting() {
+  conference::ConferenceConfig config;
+  config.seed = 7;
+  auto conference = conference::BuildMeeting(config, 4);
+  FaultPlan plan(&conference->loop());
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(5));
+  conference->MarkMeasurementStart();
+  const Timestamp t0 = conference->loop().Now();
+  conference::ScheduleLinkFlap(*conference, plan, ClientId(2),
+                               t0 + TimeDelta::Seconds(2),
+                               TimeDelta::Seconds(1));
+  conference::ScheduleControlChannelLoss(*conference, plan, ClientId(3),
+                                         t0 + TimeDelta::Seconds(4),
+                                         TimeDelta::Seconds(2), 0.2);
+  conference->RunFor(TimeDelta::Seconds(10));
+  EXPECT_EQ(plan.episodes_applied(), 4);
+  EXPECT_EQ(plan.active_episodes(), 0);
+  return conference->Report();
+}
+
+TEST(FaultPlan, SameSeedAndPlanGiveIdenticalReports) {
+  const conference::MeetingReport a = RunFaultedMeeting();
+  const conference::MeetingReport b = RunFaultedMeeting();
+  ASSERT_EQ(a.participants.size(), b.participants.size());
+  EXPECT_EQ(a.mean_video_stall_rate, b.mean_video_stall_rate);
+  EXPECT_EQ(a.mean_voice_stall_rate, b.mean_voice_stall_rate);
+  EXPECT_EQ(a.mean_framerate, b.mean_framerate);
+  EXPECT_EQ(a.mean_quality, b.mean_quality);
+  for (size_t i = 0; i < a.participants.size(); ++i) {
+    EXPECT_EQ(a.participants[i].id, b.participants[i].id);
+    EXPECT_EQ(a.participants[i].mean_framerate,
+              b.participants[i].mean_framerate);
+    EXPECT_EQ(a.participants[i].mean_video_stall_rate,
+              b.participants[i].mean_video_stall_rate);
+    EXPECT_EQ(a.participants[i].mean_quality, b.participants[i].mean_quality);
+  }
+}
+
+}  // namespace
+}  // namespace gso::sim

@@ -13,8 +13,10 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-${BUILD_DIR}/BENCH_controller_smoke.json}"
 TRACE_OUT="${OUT%.json}_trace.jsonl"
 METRICS_OUT="${BUILD_DIR}/slow_link_smoke_metrics.jsonl"
+FLAKY_OUT="${BUILD_DIR}/flaky_conference_smoke_metrics.jsonl"
 BIN="${BUILD_DIR}/bench/controller_scaling"
 SLOW_LINK="${BUILD_DIR}/examples/slow_link"
+FLAKY="${BUILD_DIR}/examples/flaky_conference"
 
 if [[ ! -x "${BIN}" ]]; then
   echo "bench_smoke: ${BIN} not built (cmake --build ${BUILD_DIR} --target controller_scaling)" >&2
@@ -122,4 +124,33 @@ print(f"bench_smoke: OK (slow_link spans {sorted(planes)}, {len(names)} distinct
 EOF
 else
   echo "bench_smoke: ${SLOW_LINK} not built, skipping metrics validation" >&2
+fi
+
+if [[ -x "${FLAKY}" ]]; then
+  # The example exits non-zero if the meeting fails to re-converge after
+  # the fault sequence, so this doubles as a failure-suite smoke check.
+  "${FLAKY}" --short --metrics-out "${FLAKY_OUT}" > /dev/null
+  validate_metrics_jsonl "${FLAKY_OUT}"
+  # The fault plan and the control-plane reliability counters must appear.
+  python3 - "${FLAKY_OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    rows = [json.loads(l) for l in f if l.strip()]
+names = {row["name"] for row in rows if row["type"] == "series"}
+for prefix in ("sim.fault.", "control.gtbr."):
+    if not any(name.startswith(prefix) for name in names):
+        sys.exit(f"bench_smoke: flaky_conference export has no {prefix}* series")
+fault_ids = {row["id"] for row in rows
+             if row["type"] == "series" and row["name"] == "sim.fault.events"}
+fault_samples = [row for row in rows
+                 if row["type"] == "sample" and row["id"] in fault_ids]
+if not fault_samples:
+    sys.exit("bench_smoke: no sim.fault.events samples despite scheduled faults")
+print(f"bench_smoke: OK (flaky_conference exports fault + gtbr series, "
+      f"{len(fault_samples)} fault events)")
+EOF
+else
+  echo "bench_smoke: ${FLAKY} not built, skipping failure-suite validation" >&2
 fi
