@@ -52,6 +52,8 @@ void AccessingNode::ConnectPeer(AccessingNode* peer, sim::Link* link) {
 void AccessingNode::Start() {
   GSO_CHECK(!started_);
   started_ = true;
+  // Watchdog grace: "no table yet" at startup is not a dead controller.
+  last_forwarding_time_ = loop_->Now();
   loop_->Every(kRtcpInterval, [this] {
     OnRtcpTick();
     return true;
@@ -71,6 +73,7 @@ DataRate AccessingNode::DownlinkEstimate(ClientId client) const {
 // --- Ingress ---------------------------------------------------------------
 
 void AccessingNode::OnClientPacket(ClientId from, const sim::Packet& packet) {
+  if (!alive_) return;  // a dead node drops everything on the floor
   const auto attached = clients_.find(from);
   if (attached == clients_.end()) return;
 
@@ -89,6 +92,7 @@ void AccessingNode::OnClientPacket(ClientId from, const sim::Packet& packet) {
 }
 
 void AccessingNode::OnPeerPacket(NodeId /*from*/, const sim::Packet& packet) {
+  if (!alive_) return;
   if (IsRtcp(packet)) {
     // Cross-node control relay (NACK/PLI toward a publisher homed here).
     for (const auto& message : net::ParseCompound(packet.data)) {
@@ -182,7 +186,7 @@ void AccessingNode::HandleMediaPacket(const net::RtpPacket& packet,
 
 std::vector<ClientId> AccessingNode::SubscribersOf(Ssrc ssrc) const {
   std::vector<ClientId> out;
-  if (mode_ == ControlMode::kGso) {
+  if (mode_ == ControlMode::kGso && !degraded_) {
     const auto it = forwarding_.find(ssrc);
     if (it != forwarding_.end()) out = it->second;
     // Make-before-break: subscribers still waiting for another layer's
@@ -360,8 +364,22 @@ void AccessingNode::SendRtcpToClient(ClientId client,
 // --- Periodic work -----------------------------------------------------
 
 void AccessingNode::OnRtcpTick() {
+  if (!alive_) return;  // frozen while dead; the timer itself keeps ticking
   const Timestamp now = loop_->Now();
   const Ssrc node_ssrc(0xF0000000u | id_.value());
+
+  // Liveness signal to the controller (it declares this node dead after
+  // node_heartbeat_timeout of silence and re-homes our clients).
+  if (control_) control_->OnNodeHeartbeat(id_);
+
+  // Controller watchdog: in GSO mode, a forwarding-table drought longer
+  // than the deadline means the controller (or the path to it) is gone —
+  // fall back to local greedy selection until a table arrives again.
+  if (mode_ == ControlMode::kGso && watchdog_ > TimeDelta::Zero() &&
+      !degraded_ && now - last_forwarding_time_ > watchdog_) {
+    degraded_ = true;
+    ++degraded_entries_;
+  }
 
   for (auto& [client_id, attached] : clients_) {
     std::vector<net::RtcpMessage> messages;
@@ -541,7 +559,10 @@ void AccessingNode::ReportDownlink(ClientId client, bool force) {
 }
 
 void AccessingNode::OnSelectionTick() {
-  if (mode_ != ControlMode::kTemplate) return;
+  if (!alive_) return;
+  // Local greedy selection runs in Non-GSO mode always, and in GSO mode
+  // only while degraded (the controller-loss fallback).
+  if (mode_ != ControlMode::kTemplate && !degraded_) return;
   const Timestamp now = loop_->Now();
   for (auto& [subscriber_id, attached] : clients_) {
     DataRate budget = attached->bwe.target_rate();
@@ -586,6 +607,14 @@ void AccessingNode::OnSelectionTick() {
 
 void AccessingNode::SetForwarding(
     std::map<Ssrc, std::vector<ClientId>> table) {
+  if (!alive_) return;  // a dead node cannot accept coordination
+  last_forwarding_time_ = loop_->Now();
+  if (degraded_) {
+    // The controller is back: its table supersedes the local fallback
+    // selections immediately.
+    degraded_ = false;
+    for (auto& [_, attached] : clients_) attached->selected.clear();
+  }
   // A fresh coordination supersedes local pauses.
   for (auto& [_, attached] : clients_) attached->paused.clear();
 
@@ -638,6 +667,7 @@ void AccessingNode::SetForwarding(
 void AccessingNode::SendGsoTmmbr(ClientId publisher,
                                  std::vector<net::TmmbrEntry> entries,
                                  uint32_t epoch) {
+  if (!alive_) return;  // the controller's ack timeout will notice
   const auto it = clients_.find(publisher);
   if (it == clients_.end()) return;
   auto& attached = *it->second;
@@ -696,6 +726,36 @@ void AccessingNode::SetLocalInterest(ClientId subscriber,
   const auto it = clients_.find(subscriber);
   if (it == clients_.end()) return;
   it->second->interest = std::move(publishers);
+}
+
+// --- Crash / restart -------------------------------------------------------
+
+void AccessingNode::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  // Media-plane state dies with the process. Client attachments (and their
+  // transport state) are harness-level wiring and survive: a node that
+  // comes back before the controller declares it dead resumes serving the
+  // same clients once a fresh forwarding table arrives.
+  forwarding_.clear();
+  pending_switches_.clear();
+  uplink_streams_.clear();
+  forward_cache_.Clear();
+  audio_publishers_.clear();
+  for (auto& [_, attached] : clients_) {
+    attached->pending_gtbr.reset();
+    attached->paused.clear();
+    attached->selected.clear();
+  }
+  degraded_ = false;
+}
+
+void AccessingNode::Restart() {
+  if (alive_) return;
+  alive_ = true;
+  // Fresh watchdog grace: the revived node must not instantly declare the
+  // controller dead just because no table arrived while it was down.
+  last_forwarding_time_ = loop_->Now();
 }
 
 }  // namespace gso::conference

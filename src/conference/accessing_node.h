@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "baseline/template_policy.h"
@@ -34,6 +35,7 @@
 #include "net/rtcp_packets.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
+#include "sim/process.h"
 #include "transport/feedback_builder.h"
 #include "transport/send_side_bwe.h"
 
@@ -41,7 +43,7 @@ namespace gso::conference {
 
 class ConferenceNode;  // control plane (forward declared)
 
-class AccessingNode {
+class AccessingNode : public sim::CrashableProcess {
  public:
   AccessingNode(sim::EventLoop* loop, NodeId id, ControlMode mode,
                 const StreamDirectory* directory, Rng rng);
@@ -81,6 +83,27 @@ class AccessingNode {
   // --- Non-GSO (local) mode ---------------------------------------------
   // Registers a subscriber's interest in other publishers' cameras.
   void SetLocalInterest(ClientId subscriber, std::vector<ClientId> publishers);
+
+  // --- Crash / restart (sim::CrashableProcess) ----------------------------
+  // Crash wipes the media-plane state (forwarding tables, pending
+  // switches, uplink bookkeeping, RTX cache, outstanding GTBRs, local
+  // selections) and drops all ingress; client attachments survive as
+  // harness-level wiring so a short blip can recover without failover.
+  void Crash() override;
+  void Restart() override;
+  bool alive() const override { return alive_; }
+  std::string process_name() const override {
+    return "node:" + std::to_string(id_.value());
+  }
+
+  // --- Degraded mode (controller-loss fallback, paper §7) -----------------
+  // In GSO mode, if no forwarding table has arrived for `deadline`, the
+  // node declares the controller unreachable and falls back to local
+  // greedy layer selection (the Non-GSO path) so subscribers keep
+  // receiving video. The next SetForwarding reclaims it. Zero disables.
+  void SetControllerWatchdog(TimeDelta deadline) { watchdog_ = deadline; }
+  bool degraded() const { return degraded_; }
+  int degraded_entries() const { return degraded_entries_; }
 
   // Downlink probing toggle (ablation: paper §7 over-estimation lesson).
   void SetProbingEnabled(bool enabled) { probing_enabled_ = enabled; }
@@ -182,6 +205,12 @@ class AccessingNode {
   media::RtxCache forward_cache_;
   baseline::SfuLayerSelector selector_;
   int gtbr_retransmissions_ = 0;
+  bool alive_ = true;
+  bool degraded_ = false;
+  int degraded_entries_ = 0;
+  TimeDelta watchdog_ = TimeDelta::Seconds(8);
+  // When the controller last pushed a forwarding table (watchdog input).
+  Timestamp last_forwarding_time_ = Timestamp::Zero();
   bool probing_enabled_ = true;
   int max_audio_fanout_ = 5;
   // Recently active audio publishers, for the fan-out bound.

@@ -72,6 +72,9 @@ void Client::ConfigureStreams(std::vector<Ssrc> camera_layer_ssrcs,
                               std::vector<Ssrc> screen_layer_ssrcs,
                               Ssrc audio_ssrc) {
   GSO_CHECK_EQ(camera_layer_ssrcs.size(), config_.camera.layers.size());
+  // On a reconfigure (failover re-home) grants keyed by the old SSRCs are
+  // meaningless; the next GTBR or template decision repopulates.
+  granted_.clear();
   camera_ssrcs_ = std::move(camera_layer_ssrcs);
   screen_ssrcs_ = std::move(screen_layer_ssrcs);
   audio_ssrc_ = audio_ssrc;
@@ -84,6 +87,8 @@ void Client::Start() {
   GSO_CHECK(directory_ != nullptr);
   started_ = true;
   stopped_ = false;
+  // Watchdog grace: "no GTBR yet" right after joining is not an outage.
+  last_gtbr_time_ = loop_->Now();
 
   // Every timer checks stopped_ so a departed client's media and control
   // traffic ceases; the object itself stays alive because the loop still
@@ -344,6 +349,18 @@ void Client::OnRtcpTick() {
 void Client::OnPolicyTick() {
   if (config_.mode == ControlMode::kTemplate) {
     ApplyTemplatePolicy();
+  } else if (config_.controller_watchdog > TimeDelta::Zero()) {
+    // Controller watchdog: a GTBR drought means the controller (or the
+    // path to it) is dead. Degrade to the local template policy — the
+    // paper's observation that clients without orchestration feedback
+    // behave like template-based simulcast, made explicit.
+    if (!degraded_ &&
+        loop_->Now() - last_gtbr_time_ > config_.controller_watchdog) {
+      degraded_ = true;
+      degraded_since_ = loop_->Now();
+      ++degraded_entries_;
+    }
+    if (degraded_) ApplyTemplatePolicy();
   }
   MaybeSendSemb(/*force=*/false);
   MaybeProbe();
@@ -351,6 +368,12 @@ void Client::OnPolicyTick() {
 
 void Client::ApplyGsoTmmbr(const net::GsoTmmbr& request) {
   ++gtbr_received_;
+  last_gtbr_time_ = loop_->Now();
+  if (degraded_) {
+    // The controller is back; its grant supersedes the local fallback.
+    degraded_ = false;
+    degraded_total_ += loop_->Now() - degraded_since_;
+  }
   cpu_.AddControlMessage();
   for (const auto& entry : request.entries) {
     granted_[entry.ssrc] = entry.max_total_bitrate.bitrate();
@@ -470,6 +493,19 @@ void Client::MaybeProbe() {
 }
 
 // --- Failure handling -------------------------------------------------
+
+void Client::ForceKeyframes() {
+  if (camera_encoder_) {
+    for (size_t i = 0; i < config_.camera.layers.size(); ++i) {
+      camera_encoder_->RequestKeyframe(static_cast<int>(i));
+    }
+  }
+  if (screen_encoder_ && config_.screen) {
+    for (size_t i = 0; i < config_.screen->layers.size(); ++i) {
+      screen_encoder_->RequestKeyframe(static_cast<int>(i));
+    }
+  }
+}
 
 void Client::InjectLayerFault(int layer_index, bool broken) {
   GSO_CHECK(layer_index >= 0 &&

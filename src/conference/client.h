@@ -70,6 +70,11 @@ struct ClientConfig {
   net::VideoCodec codec = net::VideoCodec::kH264;
   // Probing for the bandwidth upper bound (paper §7); disable to ablate.
   bool enable_probing = true;
+  // GSO mode only: with no GTBR for this long, the client assumes the
+  // controller is unreachable and degrades to local TemplatePolicy layer
+  // selection (publishing keeps flowing at Non-GSO quality instead of
+  // freezing on a stale grant). A fresh GTBR reclaims it. Zero disables.
+  TimeDelta controller_watchdog = TimeDelta::Seconds(8);
 };
 
 // Per received video stream statistics exposed to benches.
@@ -144,6 +149,18 @@ class Client {
   // Rate the encoder currently targets for a layer (zero = disabled).
   DataRate camera_layer_rate(int layer_index) const;
   int gtbr_messages_received() const { return gtbr_received_; }
+
+  // --- Degraded mode (controller-loss fallback) -------------------------
+  bool degraded() const { return degraded_; }
+  int degraded_entries() const { return degraded_entries_; }
+  // Cumulative time spent degraded, including a still-open episode.
+  TimeDelta TimeInDegraded(Timestamp now) const {
+    return degraded_ ? degraded_total_ + (now - degraded_since_)
+                     : degraded_total_;
+  }
+  // Requests a keyframe on every encoder layer (issued after failover:
+  // subscribers behind the new accessing node need a fresh decode anchor).
+  void ForceKeyframes();
 
   // Instantaneous received rate of one publisher's view (for time-series
   // benches such as Fig. 7).
@@ -264,6 +281,12 @@ class Client {
   DataRate last_semb_sent_;
   Timestamp last_semb_time_ = Timestamp::Zero();
   int gtbr_received_ = 0;
+  // Controller watchdog / degraded-mode state (GSO mode).
+  Timestamp last_gtbr_time_ = Timestamp::Zero();
+  bool degraded_ = false;
+  Timestamp degraded_since_ = Timestamp::Zero();
+  TimeDelta degraded_total_ = TimeDelta::Zero();
+  int degraded_entries_ = 0;
   media::CpuMeter cpu_;
   double last_camera_cost_ = 0.0;
   double last_screen_cost_ = 0.0;

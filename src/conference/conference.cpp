@@ -49,8 +49,11 @@ Conference::Conference(ConferenceConfig config)
         control_->directory(), rng_.Fork());
     node->SetControlPlane(control_.get());
     node->SetProbingEnabled(config_.enable_probing);
+    node->SetControllerWatchdog(config_.node_watchdog);
     nodes_.push_back(std::move(node));
   }
+  control_->SetNodeFailureHandler(
+      [this](NodeId dead) { HandleNodeFailure(dead); });
   // Full-mesh inter-node links.
   for (int i = 0; i < config_.num_accessing_nodes; ++i) {
     for (int j = 0; j < config_.num_accessing_nodes; ++j) {
@@ -153,6 +156,65 @@ void Conference::RemoveParticipant(ClientId client) {
   participants_.erase(it);
 }
 
+void Conference::HandleNodeFailure(NodeId dead) {
+  // First surviving node takes the orphans (deterministic choice).
+  AccessingNode* survivor = nullptr;
+  int survivor_index = -1;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->id() != dead && nodes_[i]->alive()) {
+      survivor = nodes_[i].get();
+      survivor_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (survivor == nullptr) return;  // total outage: nowhere to re-home
+
+  // NodeId(i) == index by construction (see the constructor).
+  const int dead_index = static_cast<int>(dead.value());
+  std::vector<ClientId> victims;
+  for (const auto& [id, participant] : participants_) {
+    if (participant.node_index == dead_index) victims.push_back(id);
+  }
+
+  for (ClientId id : victims) {
+    Participant& participant = participants_.at(id);
+    Client* client = participant.client.get();
+    // Fresh SSRCs from the monotonic allocator: no collision with anything
+    // a surviving table or in-flight closure still names.
+    const std::vector<Ssrc> old_ssrcs = control_->ReHome(id, survivor);
+    // Purge the old streams and the stale attachment from every node (the
+    // dead one included — its attachment must not resurrect on restart).
+    for (auto& node : nodes_) node->OnClientLeft(id, old_ssrcs);
+    // Rewire the media path: uplink now terminates at the survivor.
+    participant.access->uplink().SetSink(
+        [survivor, id](const sim::Packet& packet) {
+          survivor->OnClientPacket(id, packet);
+        });
+    survivor->AttachClient(client, &participant.access->downlink());
+    participant.node_index = survivor_index;
+    // Subscribers behind the survivor need a decode anchor on the new
+    // SSRCs right away, not at the next periodic keyframe.
+    client->ForceKeyframes();
+  }
+
+  // OnClientLeft stripped the victims from every client's local-interest
+  // and selection state; rebuild interest from the subscription records so
+  // degraded-mode selection still sees the full mesh.
+  for (const auto& [id, participant] : participants_) {
+    std::vector<ClientId> interest;
+    for (const auto& view : participant.subscribed_views) {
+      if (view.second == core::SourceKind::kCamera) {
+        interest.push_back(view.first);
+      }
+    }
+    nodes_[static_cast<size_t>(participant.node_index)]->SetLocalInterest(
+        id, std::move(interest));
+  }
+  // Re-coordinate immediately: forwarding tables referencing the dead
+  // node's streams are already purged; the new solve rebuilds them.
+  control_->OrchestrateNow();
+}
+
 void Conference::SubscribeAllCameras(Resolution max_resolution) {
   for (const auto& [subscriber_id, _] : participants_) {
     std::vector<core::Subscription> subs;
@@ -231,6 +293,10 @@ void Conference::WireMetrics() {
                       obs::MetricKind::kCounter, "messages",
                       obs::LabelNode(raw->id().value())),
         [raw] { return static_cast<double>(raw->gtbr_retransmissions()); });
+    registry->AddProbe(
+        registry->Get("gso.robustness.node_degraded", obs::MetricKind::kGauge,
+                      "bool", obs::LabelNode(raw->id().value())),
+        [raw] { return raw->degraded() ? 1.0 : 0.0; });
   }
 
   for (auto& [id, participant] : participants_) {
@@ -300,6 +366,17 @@ void Conference::WireParticipantMetrics(ClientId id,
                       "messages", labels),
         [client] {
           return static_cast<double>(client->gtbr_messages_received());
+        });
+    registry->AddProbe(
+        registry->Get("gso.robustness.client_degraded", MetricKind::kGauge,
+                      "bool", labels),
+        [client] { return client->degraded() ? 1.0 : 0.0; });
+    registry->AddProbe(
+        registry->Get("gso.robustness.time_in_degraded", MetricKind::kCounter,
+                      "us", labels),
+        [this, client] {
+          return static_cast<double>(
+              client->TimeInDegraded(loop_.Now()).us());
         });
   }
 }

@@ -40,6 +40,11 @@ struct ConferenceConfig {
   // must outlive the conference.
   obs::MetricsRegistry* metrics = nullptr;
   TimeDelta metrics_sample_period = TimeDelta::Millis(200);
+  // Accessing-node controller watchdog (GSO mode): a node that has seen no
+  // forwarding table for this long falls back to local greedy selection.
+  // Zero disables. (The client-side analogue lives in
+  // ClientConfig::controller_watchdog.)
+  TimeDelta node_watchdog = TimeDelta::Seconds(8);
   uint64_t seed = 1;
 };
 
@@ -177,6 +182,10 @@ class Conference {
 
   void WireMetrics();
   void WireParticipantMetrics(ClientId id, Participant& participant);
+  // Installed as the controller's node-failure handler: re-homes every
+  // participant of the dead node onto the first surviving one (fresh
+  // SSRCs, rewired media paths, rebuilt interest), then forces a solve.
+  void HandleNodeFailure(NodeId dead);
 
   sim::EventLoop loop_;
   ConferenceConfig config_;

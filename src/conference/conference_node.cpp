@@ -28,10 +28,21 @@ bool ConferenceNode::Join(Client* client, AccessingNode* node) {
   member.node = node;
   member.negotiated = negotiation.config;
 
+  AllocateAndRegisterStreams(member);
+  client->ConfigureStreams(member.camera_ssrcs, member.screen_ssrcs,
+                           member.audio_ssrc);
+  members_[client->id()] = member;
+  event_pending_ = true;  // membership change triggers orchestration
+  UpdateParticipantCounts();
+  return true;
+}
+
+void ConferenceNode::AllocateAndRegisterStreams(Member& member) {
+  Client* client = member.client;
   // Allocate one SSRC per accepted camera layer (paper §4.2: an SSRC per
   // stream resolution so TMMBR can address layers individually).
-  for (size_t i = 0; i < negotiation.config.layers.size(); ++i) {
-    const auto& layer = negotiation.config.layers[i];
+  for (size_t i = 0; i < member.negotiated.layers.size(); ++i) {
+    const auto& layer = member.negotiated.layers[i];
     const Ssrc ssrc = ssrc_allocator_.Allocate(
         {client->id(), net::MediaKind::kVideo, static_cast<int>(i)});
     member.camera_ssrcs.push_back(ssrc);
@@ -78,13 +89,6 @@ bool ConferenceNode::Join(Client* client, AccessingNode* node) {
   audio_info.owner = client->id();
   audio_info.is_audio = true;
   directory_.Register(audio_info);
-
-  client->ConfigureStreams(member.camera_ssrcs, member.screen_ssrcs,
-                           member.audio_ssrc);
-  members_[client->id()] = member;
-  event_pending_ = true;  // membership change triggers orchestration
-  UpdateParticipantCounts();
-  return true;
 }
 
 void ConferenceNode::Leave(ClientId client) {
@@ -136,6 +140,144 @@ void ConferenceNode::Leave(ClientId client) {
   UpdateParticipantCounts();
 }
 
+std::vector<Ssrc> ConferenceNode::MemberSsrcs(ClientId client) const {
+  const auto it = members_.find(client);
+  if (it == members_.end()) return {};
+  std::vector<Ssrc> ssrcs = it->second.camera_ssrcs;
+  ssrcs.insert(ssrcs.end(), it->second.screen_ssrcs.begin(),
+               it->second.screen_ssrcs.end());
+  ssrcs.push_back(it->second.audio_ssrc);
+  return ssrcs;
+}
+
+std::vector<Ssrc> ConferenceNode::ReHome(ClientId client,
+                                         AccessingNode* new_node) {
+  GSO_CHECK(new_node != nullptr);
+  const auto it = members_.find(client);
+  if (it == members_.end()) return {};
+  Member& member = it->second;
+
+  // Release the old SSRCs first so the directory has no trace of them when
+  // the fresh set registers. The allocator is monotonic — released values
+  // are never reissued — so the new SSRCs cannot collide with old ones
+  // still named by in-flight closures or a surviving node's tables.
+  std::vector<Ssrc> old_ssrcs = MemberSsrcs(client);
+  for (Ssrc ssrc : old_ssrcs) {
+    directory_.Unregister(ssrc);
+    ssrc_allocator_.Release(ssrc);
+  }
+  member.camera_ssrcs.clear();
+  member.screen_ssrcs.clear();
+  member.node = new_node;
+  AllocateAndRegisterStreams(member);
+  member.client->ConfigureStreams(member.camera_ssrcs, member.screen_ssrcs,
+                                  member.audio_ssrc);
+  // The outstanding config named the old SSRCs; the post-failover solve
+  // will issue a fresh one. Bandwidth reports are kept: the uplink estimate
+  // is a property of the client's access link, not of the dead node.
+  pending_configs_.erase(client);
+  ++rehomed_;
+  obs::Add(metric_rehomed_, loop_->Now(), 1.0);
+  event_pending_ = true;
+  return old_ssrcs;
+}
+
+void ConferenceNode::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++crash_count_;
+  obs::Add(metric_crashes_, loop_->Now(), 1.0);
+  // Volatile state only: the global picture dies with the process. What
+  // survives (members_, subscriptions_, directory_, allocator state) is the
+  // durably-replicated signaling plane.
+  pending_configs_.clear();
+  node_heartbeats_.clear();
+  failed_nodes_.clear();
+  reconstructing_ = false;
+  event_pending_ = false;
+  for (auto& [_, member] : members_) {
+    member.uplink_report = DataRate::Zero();
+    member.downlink_report = DataRate::Zero();
+    member.uplink_report_time = Timestamp::Zero();
+    member.downlink_report_time = Timestamp::Zero();
+  }
+}
+
+void ConferenceNode::Restart() {
+  if (alive_) return;
+  alive_ = true;
+  ++restart_count_;
+  obs::Add(metric_restarts_, loop_->Now(), 1.0);
+  restarted_at_ = loop_->Now();
+  reconstructing_ = !members_.empty();
+  post_restart_window_ = true;
+  damping_until_ = Timestamp::Zero();
+  // A fresh epoch makes every post-restart GTBR distinguishable from
+  // anything acked before the crash.
+  ++solve_epoch_;
+  // The dead window is not a call interval (paper Fig. 12 measures solve
+  // cadence, not availability gaps).
+  has_run_ = false;
+  event_pending_ = true;
+  node_health_baseline_ = loop_->Now();
+}
+
+void ConferenceNode::MaybeFinishReconstruction() {
+  const Timestamp now = loop_->Now();
+  bool complete = true;
+  for (const auto& [_, member] : members_) {
+    if (member.uplink_report_time <= restarted_at_ ||
+        member.downlink_report_time <= restarted_at_) {
+      complete = false;
+      break;
+    }
+  }
+  if (!complete && now - restarted_at_ < config_.reconstruct_timeout) return;
+  reconstructing_ = false;
+  last_reconstruction_latency_ = now - restarted_at_;
+  obs::Record(metric_reconstruct_latency_, now,
+              static_cast<double>(last_reconstruction_latency_.us()));
+  // Damping starts now: the first post-restart solve runs immediately,
+  // then event triggers stay muted while clients reclaim from degraded
+  // mode (each reclaim fires report events that would otherwise each earn
+  // a solve).
+  damping_until_ = now + config_.restart_damping;
+  Orchestrate();
+}
+
+void ConferenceNode::OnNodeHeartbeat(NodeId node) {
+  if (!alive_) return;
+  node_heartbeats_[node] = loop_->Now();
+}
+
+void ConferenceNode::CheckNodeHealth() {
+  // Tick() only runs after Start(), which seeds node_health_baseline_ —
+  // possibly with the virtual epoch (time 0) itself, so "not yet started"
+  // cannot be encoded as a zero baseline.
+  if (!node_failure_handler_) return;
+  const Timestamp now = loop_->Now();
+  std::set<NodeId> homes;
+  for (const auto& [_, member] : members_) homes.insert(member.node->id());
+  std::vector<NodeId> newly_failed;
+  for (NodeId id : homes) {
+    const auto hb = node_heartbeats_.find(id);
+    const Timestamp last_heard =
+        hb != node_heartbeats_.end() ? hb->second : node_health_baseline_;
+    if (now - last_heard > config_.node_heartbeat_timeout) {
+      if (failed_nodes_.insert(id).second) newly_failed.push_back(id);
+    } else {
+      // A heartbeat resumed: the node recovered on its own.
+      failed_nodes_.erase(id);
+    }
+  }
+  // Fire handlers after the scan: re-homing mutates members_.
+  for (NodeId id : newly_failed) {
+    ++node_failures_;
+    obs::Add(metric_failovers_, now, 1.0);
+    node_failure_handler_(id);
+  }
+}
+
 void ConferenceNode::SetSubscriptions(
     ClientId subscriber, std::vector<core::Subscription> subscriptions) {
   subscriptions_[subscriber] = std::move(subscriptions);
@@ -154,6 +296,9 @@ void ConferenceNode::SetMetrics(obs::MetricsRegistry* registry) {
         metric_reductions_ = metric_wall_ = metric_participants_ = nullptr;
     metric_gtbr_retries_ = metric_gtbr_timeouts_ = metric_gtbr_stale_ =
         metric_reports_aged_ = nullptr;
+    metric_crashes_ = metric_restarts_ = metric_reconstruct_latency_ =
+        metric_resolves_after_restart_ = metric_rehomed_ = metric_failovers_ =
+            nullptr;
     return;
   }
   metric_interval_ =
@@ -176,11 +321,26 @@ void ConferenceNode::SetMetrics(obs::MetricsRegistry* registry) {
                                      obs::MetricKind::kCounter, "count");
   metric_reports_aged_ = registry->Get("control.reports.aged_out",
                                        obs::MetricKind::kCounter, "count");
+  metric_crashes_ = registry->Get("gso.robustness.controller_crashes",
+                                  obs::MetricKind::kCounter, "count");
+  metric_restarts_ = registry->Get("gso.robustness.controller_restarts",
+                                   obs::MetricKind::kCounter, "count");
+  metric_reconstruct_latency_ =
+      registry->Get("gso.robustness.reconstruction_latency",
+                    obs::MetricKind::kSeries, "us");
+  metric_resolves_after_restart_ =
+      registry->Get("gso.robustness.resolves_after_restart",
+                    obs::MetricKind::kCounter, "count");
+  metric_rehomed_ = registry->Get("gso.robustness.rehomed_participants",
+                                  obs::MetricKind::kCounter, "count");
+  metric_failovers_ = registry->Get("gso.robustness.node_failovers",
+                                    obs::MetricKind::kCounter, "count");
 }
 
 void ConferenceNode::Start() {
   GSO_CHECK(!started_);
   started_ = true;
+  node_health_baseline_ = loop_->Now();
   loop_->Every(config_.tick_period, [this] {
     Tick();
     return true;
@@ -194,6 +354,7 @@ void ConferenceNode::UpdateParticipantCounts() {
 }
 
 void ConferenceNode::OnSembReport(ClientId client, DataRate uplink_estimate) {
+  if (!alive_) return;  // a dead controller hears nothing
   const auto it = members_.find(client);
   if (it == members_.end()) return;
   const DataRate prev = it->second.uplink_report;
@@ -209,6 +370,7 @@ void ConferenceNode::OnSembReport(ClientId client, DataRate uplink_estimate) {
 
 void ConferenceNode::OnDownlinkReport(ClientId client,
                                       DataRate downlink_estimate) {
+  if (!alive_) return;
   const auto it = members_.find(client);
   if (it == members_.end()) return;
   const DataRate prev = it->second.downlink_report;
@@ -223,6 +385,7 @@ void ConferenceNode::OnDownlinkReport(ClientId client,
 }
 
 void ConferenceNode::OnGtbnAck(ClientId publisher, const net::GsoTmmbn& ack) {
+  if (!alive_) return;
   const auto it = pending_configs_.find(publisher);
   if (it == pending_configs_.end()) return;  // already acked or superseded
   if (ack.epoch != it->second.epoch) {
@@ -270,18 +433,31 @@ void ConferenceNode::CheckPendingConfigs() {
 }
 
 void ConferenceNode::Tick() {
-  if (members_.empty()) return;
+  // A dead controller's timer keeps ticking (so Restart needs no
+  // re-wiring) but the body is frozen.
+  if (!alive_ || members_.empty()) return;
+  if (reconstructing_) {
+    MaybeFinishReconstruction();
+    if (reconstructing_) return;  // still collecting the global picture
+  }
   CheckPendingConfigs();
+  CheckNodeHealth();
   const Timestamp now = loop_->Now();
   const TimeDelta since_last = now - last_run_;
   const bool time_trigger = !has_run_ || since_last >= config_.max_interval;
-  const bool event_trigger =
-      event_pending_ && since_last >= config_.min_interval;
+  // Post-restart damping mutes event triggers only: the time trigger still
+  // bounds staleness at max_interval.
+  const bool event_trigger = event_pending_ &&
+                             since_last >= config_.min_interval &&
+                             now >= damping_until_;
   if (!time_trigger && !event_trigger) return;
   Orchestrate();
 }
 
-void ConferenceNode::OrchestrateNow() { Orchestrate(); }
+void ConferenceNode::OrchestrateNow() {
+  if (!alive_) return;
+  Orchestrate();
+}
 
 void ConferenceNode::Orchestrate() {
   const Timestamp now = loop_->Now();
@@ -295,6 +471,16 @@ void ConferenceNode::Orchestrate() {
   event_pending_ = false;
   ++orchestration_count_;
   ++solve_epoch_;
+  if (post_restart_window_) {
+    // Count solves between a restart and the end of its damping window —
+    // the "re-solve storm" the damping exists to bound.
+    if (damping_until_ != Timestamp::Zero() && now > damping_until_) {
+      post_restart_window_ = false;
+    } else {
+      ++resolves_after_restart_;
+      obs::Add(metric_resolves_after_restart_, now, 1.0);
+    }
+  }
 
   last_problem_ = BuildProblem();
   last_solution_ = orchestrator_.Solve(last_problem_);

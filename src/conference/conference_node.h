@@ -17,8 +17,10 @@
 #ifndef GSO_CONFERENCE_CONFERENCE_NODE_H_
 #define GSO_CONFERENCE_CONFERENCE_NODE_H_
 
+#include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -35,6 +37,7 @@
 #include "net/ssrc_allocator.h"
 #include "obs/metrics.h"
 #include "sim/event_loop.h"
+#include "sim/process.h"
 
 namespace gso::conference {
 
@@ -65,9 +68,26 @@ struct ControllerConfig {
   // a problem: a report from before an outage says nothing about the link
   // now, and trusting it would size streams against a dead estimate.
   TimeDelta report_max_age = TimeDelta::Seconds(10);
+  // --- Crash recovery (paper §7 "Design for failure") ---------------------
+  // After Restart() the controller holds off orchestrating until every
+  // member has delivered a fresh uplink AND downlink report (reports
+  // predating the restart were wiped with the rest of the volatile state),
+  // or until this deadline passes — whichever comes first. Clients report
+  // on their 1 s policy tick and nodes every 500 ms, so 2.5 s covers one
+  // full collection round plus slack without stretching the outage.
+  TimeDelta reconstruct_timeout = TimeDelta::MillisF(2500);
+  // Re-solve damping after reconstruction: event triggers are suppressed
+  // for this long (the max_interval time trigger still fires), so the
+  // burst of fresh reports and GTBN acks arriving as clients leave
+  // degraded mode cannot fan out into a re-solve storm.
+  TimeDelta restart_damping = TimeDelta::Seconds(5);
+  // An accessing node homing members that has not heartbeated (RTCP tick,
+  // 100 ms cadence) for this long is declared dead and its participants
+  // are re-homed through the failure handler.
+  TimeDelta node_heartbeat_timeout = TimeDelta::Seconds(1);
 };
 
-class ConferenceNode {
+class ConferenceNode : public sim::CrashableProcess {
  public:
   ConferenceNode(sim::EventLoop* loop, ControllerConfig config = {});
 
@@ -102,6 +122,36 @@ class ConferenceNode {
   // Forces an immediate orchestration (used by tests).
   void OrchestrateNow();
 
+  // --- Crash / restart (sim::CrashableProcess) ----------------------------
+  // Crash wipes the volatile global picture: bandwidth reports, pending
+  // GTBR configs, node heartbeats. Signaling state (membership, SSRC
+  // assignments, subscriptions) survives — it is modeled as durably
+  // replicated, which is what lets Restart() reconstruct from reports
+  // alone. While dead, all report/ack/heartbeat ingress is dropped and
+  // Tick() does nothing.
+  void Crash() override;
+  // Revives the controller in `reconstructing` state: it re-collects
+  // reports, bumps the solve epoch, and only orchestrates once the picture
+  // is complete (or reconstruct_timeout passes), with re-solve damping.
+  void Restart() override;
+  bool alive() const override { return alive_; }
+  std::string process_name() const override { return "controller"; }
+
+  // --- Accessing-node health / failover -----------------------------------
+  // Liveness signal from an accessing node (sent on its RTCP tick).
+  void OnNodeHeartbeat(NodeId node);
+  // Invoked (from Tick) with the id of a node declared dead; the handler
+  // (the Conference harness) re-homes that node's participants.
+  void SetNodeFailureHandler(std::function<void(NodeId)> handler) {
+    node_failure_handler_ = std::move(handler);
+  }
+  // Moves `client` to `new_node`: releases its old SSRCs, allocates and
+  // registers fresh ones (the allocator is monotonic, so they can never
+  // collide with SSRCs still referenced by in-flight closures), and
+  // reconfigures the client. Returns the old SSRCs so the caller can purge
+  // them from every surviving node's forwarding/RTX state.
+  std::vector<Ssrc> ReHome(ClientId client, AccessingNode* new_node);
+
   // --- Introspection ------------------------------------------------------
   int orchestration_count() const { return orchestration_count_; }
   const std::vector<TimeDelta>& call_intervals() const {
@@ -125,6 +175,19 @@ class ConferenceNode {
   int pending_config_count() const {
     return static_cast<int>(pending_configs_.size());
   }
+  // Robustness counters (crash/restart/failover arc).
+  int crash_count() const { return crash_count_; }
+  int restart_count() const { return restart_count_; }
+  bool reconstructing() const { return reconstructing_; }
+  TimeDelta last_reconstruction_latency() const {
+    return last_reconstruction_latency_;
+  }
+  int resolves_after_restart() const { return resolves_after_restart_; }
+  int rehomed_count() const { return rehomed_; }
+  int node_failover_count() const { return node_failures_; }
+  // All SSRCs currently assigned to `client` (camera + screen + audio);
+  // empty if the client is not a member. Used by failover verification.
+  std::vector<Ssrc> MemberSsrcs(ClientId client) const;
 
  private:
   struct Member {
@@ -156,6 +219,15 @@ class ConferenceNode {
   void Disseminate(const core::Solution& solution);
   void CheckPendingConfigs();
   void UpdateParticipantCounts();
+  // Allocates + registers camera/screen/audio SSRCs for `member` (shared
+  // between Join and ReHome).
+  void AllocateAndRegisterStreams(Member& member);
+  // While `reconstructing_`: finish (and run the post-restart solve) once
+  // every member has post-restart reports, or the deadline passes.
+  void MaybeFinishReconstruction();
+  // Declares nodes dead after node_heartbeat_timeout of silence and fires
+  // the failure handler for each.
+  void CheckNodeHealth();
 
   sim::EventLoop* loop_;
   ControllerConfig config_;
@@ -179,6 +251,28 @@ class ConferenceNode {
   int gtbr_timeouts_ = 0;
   int gtbr_stale_acks_ = 0;
   int reports_aged_out_ = 0;
+  // Crash/restart state.
+  bool alive_ = true;
+  bool reconstructing_ = false;
+  Timestamp restarted_at_ = Timestamp::Zero();
+  // Event-triggered solves are suppressed until this time (set when
+  // reconstruction completes); Timestamp::Zero() means no damping.
+  Timestamp damping_until_ = Timestamp::Zero();
+  bool post_restart_window_ = false;
+  int crash_count_ = 0;
+  int restart_count_ = 0;
+  int resolves_after_restart_ = 0;
+  TimeDelta last_reconstruction_latency_ = TimeDelta::Zero();
+  // Accessing-node health.
+  std::map<NodeId, Timestamp> node_heartbeats_;
+  // Grace floor for nodes that have never heartbeated (set at Start and at
+  // Restart, so a node that died during the controller's own outage is
+  // still detected once the controller is back).
+  Timestamp node_health_baseline_ = Timestamp::Zero();
+  std::set<NodeId> failed_nodes_;
+  std::function<void(NodeId)> node_failure_handler_;
+  int rehomed_ = 0;
+  int node_failures_ = 0;
   std::vector<TimeDelta> call_intervals_;
   // Solve-trace series; null when no registry is attached (recording is
   // then a single branch per site — see obs::Record).
@@ -192,6 +286,12 @@ class ConferenceNode {
   obs::Metric* metric_gtbr_timeouts_ = nullptr;
   obs::Metric* metric_gtbr_stale_ = nullptr;
   obs::Metric* metric_reports_aged_ = nullptr;
+  obs::Metric* metric_crashes_ = nullptr;
+  obs::Metric* metric_restarts_ = nullptr;
+  obs::Metric* metric_reconstruct_latency_ = nullptr;
+  obs::Metric* metric_resolves_after_restart_ = nullptr;
+  obs::Metric* metric_rehomed_ = nullptr;
+  obs::Metric* metric_failovers_ = nullptr;
   core::Solution last_solution_;
   core::OrchestrationProblem last_problem_;
   bool started_ = false;

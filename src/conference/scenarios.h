@@ -99,6 +99,26 @@ inline void ScheduleControlChannelLoss(Conference& conference,
   plan.LossEpisode(conference.downlink(victim), start, duration, loss_rate);
 }
 
+// Controller outage: the conference node crashes at `start` and restarts
+// `down_for` later. While it is down, clients and accessing nodes detect
+// the GTBR / forwarding-table drought via their watchdogs and degrade to
+// TemplatePolicy-driven selection; on restart the controller reconstructs
+// the global picture from fresh reports and reclaims them.
+inline void ScheduleControllerOutage(Conference& conference,
+                                     sim::FaultPlan& plan, Timestamp start,
+                                     TimeDelta down_for) {
+  plan.NodeCrash(&conference.control(), start, down_for);
+}
+
+// Permanent accessing-node death at `start`: the controller's heartbeat
+// timeout declares it dead and the harness re-homes its participants onto
+// a surviving node (fresh SSRCs, rewired media paths).
+inline void ScheduleAccessingNodeDeath(Conference& conference,
+                                       sim::FaultPlan& plan, int node_index,
+                                       Timestamp start) {
+  plan.NodeCrash(conference.node(node_index), start);
+}
+
 // Join/leave storm: `leavers` of the current participants leave one per
 // `spacing` starting at `start`; each is replaced by a fresh participant
 // (ids from `next_id` up) joining `spacing`/2 later, re-meshing camera

@@ -51,6 +51,10 @@ class RtxCache {
   // Forgets all cached packets of one stream (publisher teardown).
   void Drop(Ssrc ssrc) { streams_.erase(ssrc); }
 
+  // Forgets everything (process crash: the revived node must not answer
+  // NACKs with pre-crash payloads).
+  void Clear() { streams_.clear(); }
+
  private:
   struct Stream {
     SequenceUnwrapper unwrapper;

@@ -98,6 +98,9 @@ class ByteReader {
     return hi << 32 | lo;
   }
   void ReadBytes(uint8_t* out, size_t len) {
+    // len == 0 must be a no-op before touching `out`: an empty vector's
+    // data() is null, and memcpy/memset(null, ..., 0) is still UB.
+    if (len == 0) return;
     if (!Check(len)) {
       std::memset(out, 0, len);
       return;

@@ -1,5 +1,6 @@
 #include "net/rtcp_packets.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -94,7 +95,10 @@ void WriteTmmbEntries(ByteWriter& w, const std::vector<TmmbrEntry>& entries) {
 
 std::vector<TmmbrEntry> ReadTmmbEntries(ByteReader& r, size_t count) {
   std::vector<TmmbrEntry> entries;
-  entries.reserve(count);
+  // `count` is a wire field: a corrupted packet can claim billions of
+  // entries. Each entry needs 8 bytes, so cap the reservation by what the
+  // buffer can actually hold (the read loop stops at r.ok() regardless).
+  entries.reserve(std::min(count, r.remaining() / 8));
   for (size_t i = 0; i < count && r.ok(); ++i) {
     TmmbrEntry e;
     e.ssrc = Ssrc(r.ReadU32());

@@ -1,7 +1,7 @@
 #include "sim/fault_plan.h"
 
-#include <memory>
-#include <utility>
+#include <algorithm>
+#include <cstdint>
 
 #include "common/logging.h"
 
@@ -45,77 +45,142 @@ void FaultPlan::Schedule(std::string label, Timestamp start,
             });
 }
 
+double FaultPlan::ReadKnob(const Link& link, Knob knob) {
+  const LinkConfig& config = link.config();
+  switch (knob) {
+    case Knob::kCapacity:
+      return static_cast<double>(config.capacity.bps());
+    case Knob::kLoss:
+      return config.loss_rate;
+    case Knob::kBurst: {
+      // SetBurstLoss derives the GE transition probabilities from the
+      // stationary bad fraction; invert that so the original fraction can
+      // be re-imposed on restore.
+      const double sum = config.ge_p_good_to_bad + config.ge_p_bad_to_good;
+      return sum > 0.0 ? config.ge_p_good_to_bad / sum : 0.0;
+    }
+    case Knob::kDelay:
+      return static_cast<double>(config.propagation_delay.us());
+    case Knob::kJitter:
+      return static_cast<double>(config.jitter_stddev.us());
+  }
+  return 0.0;
+}
+
+void FaultPlan::WriteKnob(Link* link, Knob knob, double value, bool flag) {
+  switch (knob) {
+    case Knob::kCapacity:
+      link->SetCapacity(DataRate::BitsPerSec(static_cast<int64_t>(value)));
+      return;
+    case Knob::kLoss:
+      link->SetLossRate(value);
+      return;
+    case Knob::kBurst:
+      if (flag && value > 0.0) {
+        link->SetBurstLoss(true, value);
+      } else {
+        link->SetBurstLoss(false);
+      }
+      return;
+    case Knob::kDelay:
+      link->SetPropagationDelay(TimeDelta::Micros(static_cast<int64_t>(value)));
+      return;
+    case Knob::kJitter:
+      link->SetJitter(TimeDelta::Micros(static_cast<int64_t>(value)));
+      return;
+  }
+}
+
+void FaultPlan::BeginKnob(Link* link, Knob knob, int64_t id, double value,
+                          bool relative) {
+  KnobState& state = knob_states_[{link, knob}];
+  if (state.active.empty()) {
+    // First overlapping episode: capture whatever the link holds right now,
+    // so the plan composes with other scripted knob changes.
+    state.base = ReadKnob(*link, knob);
+    state.base_flag = link->config().gilbert_elliott;
+  }
+  const double imposed = relative ? state.base + value : value;
+  state.active.emplace_back(id, imposed);
+  WriteKnob(link, knob, imposed, /*flag=*/true);
+}
+
+void FaultPlan::EndKnob(Link* link, Knob knob, int64_t id) {
+  auto it = knob_states_.find({link, knob});
+  if (it == knob_states_.end()) return;
+  KnobState& state = it->second;
+  std::erase_if(state.active,
+                [id](const std::pair<int64_t, double>& e) { return e.first == id; });
+  if (state.active.empty()) {
+    WriteKnob(link, knob, state.base, state.base_flag);
+    knob_states_.erase(it);
+  } else {
+    // The newest still-active episode's value takes (back) effect.
+    WriteKnob(link, knob, state.active.back().second, /*flag=*/true);
+  }
+}
+
+void FaultPlan::ScheduleKnob(std::string label, Link* link, Knob knob,
+                             Timestamp start, TimeDelta duration, double value,
+                             bool relative) {
+  GSO_CHECK(link != nullptr);
+  const int64_t id = next_episode_id_++;
+  Schedule(
+      std::move(label), start, duration,
+      [this, link, knob, id, value, relative] {
+        BeginKnob(link, knob, id, value, relative);
+      },
+      [this, link, knob, id] { EndKnob(link, knob, id); });
+}
+
 void FaultPlan::Outage(Link* link, Timestamp start, TimeDelta duration) {
   GSO_CHECK(link != nullptr);
-  Schedule("outage:" + link->name(), start, duration,
-           [link] { link->SetUp(false); }, [link] { link->SetUp(true); });
+  // Refcounted: with overlapping outages the link stays down until the last
+  // one ends.
+  Schedule(
+      "outage:" + link->name(), start, duration,
+      [this, link] {
+        if (outage_depth_[link]++ == 0) link->SetUp(false);
+      },
+      [this, link] {
+        if (--outage_depth_[link] == 0) link->SetUp(true);
+      });
 }
 
 void FaultPlan::CapacityDip(Link* link, Timestamp start, TimeDelta duration,
                             DataRate degraded) {
   GSO_CHECK(link != nullptr);
-  // The pre-fault value is captured when the episode begins, not when it is
-  // scheduled, so dips compose with other scripted capacity steps.
-  auto saved = std::make_shared<DataRate>();
-  Schedule(
-      "capacity_dip:" + link->name(), start, duration,
-      [link, degraded, saved] {
-        *saved = link->config().capacity;
-        link->SetCapacity(degraded);
-      },
-      [link, saved] { link->SetCapacity(*saved); });
+  ScheduleKnob("capacity_dip:" + link->name(), link, Knob::kCapacity, start,
+               duration, static_cast<double>(degraded.bps()));
 }
 
 void FaultPlan::LossEpisode(Link* link, Timestamp start, TimeDelta duration,
                             double loss_rate) {
   GSO_CHECK(link != nullptr);
-  auto saved = std::make_shared<double>(0.0);
-  Schedule(
-      "loss:" + link->name(), start, duration,
-      [link, loss_rate, saved] {
-        *saved = link->config().loss_rate;
-        link->SetLossRate(loss_rate);
-      },
-      [link, saved] { link->SetLossRate(*saved); });
+  ScheduleKnob("loss:" + link->name(), link, Knob::kLoss, start, duration,
+               loss_rate);
 }
 
 void FaultPlan::BurstLoss(Link* link, Timestamp start, TimeDelta duration,
                           double bad_fraction) {
   GSO_CHECK(link != nullptr);
-  auto saved = std::make_shared<bool>(false);
-  Schedule(
-      "burst_loss:" + link->name(), start, duration,
-      [link, bad_fraction, saved] {
-        *saved = link->config().gilbert_elliott;
-        link->SetBurstLoss(true, bad_fraction);
-      },
-      [link, saved] { link->SetBurstLoss(*saved); });
+  ScheduleKnob("burst_loss:" + link->name(), link, Knob::kBurst, start,
+               duration, bad_fraction);
 }
 
 void FaultPlan::DelaySpike(Link* link, Timestamp start, TimeDelta duration,
                            TimeDelta extra_delay) {
   GSO_CHECK(link != nullptr);
-  auto saved = std::make_shared<TimeDelta>();
-  Schedule(
-      "delay_spike:" + link->name(), start, duration,
-      [link, extra_delay, saved] {
-        *saved = link->config().propagation_delay;
-        link->SetPropagationDelay(*saved + extra_delay);
-      },
-      [link, saved] { link->SetPropagationDelay(*saved); });
+  ScheduleKnob("delay_spike:" + link->name(), link, Knob::kDelay, start,
+               duration, static_cast<double>(extra_delay.us()),
+               /*relative=*/true);
 }
 
 void FaultPlan::ReorderEpisode(Link* link, Timestamp start,
                                TimeDelta duration, TimeDelta jitter_stddev) {
   GSO_CHECK(link != nullptr);
-  auto saved = std::make_shared<TimeDelta>();
-  Schedule(
-      "reorder:" + link->name(), start, duration,
-      [link, jitter_stddev, saved] {
-        *saved = link->config().jitter_stddev;
-        link->SetJitter(jitter_stddev);
-      },
-      [link, saved] { link->SetJitter(*saved); });
+  ScheduleKnob("reorder:" + link->name(), link, Knob::kJitter, start, duration,
+               static_cast<double>(jitter_stddev.us()));
 }
 
 void FaultPlan::Flap(Link* link, Timestamp start, TimeDelta down_for,
@@ -125,6 +190,30 @@ void FaultPlan::Flap(Link* link, Timestamp start, TimeDelta down_for,
   for (int i = 0; i < flaps; ++i) {
     Outage(link, start + period * static_cast<int64_t>(i), down_for);
   }
+}
+
+void FaultPlan::NodeCrash(CrashableProcess* proc, Timestamp start,
+                          TimeDelta duration) {
+  GSO_CHECK(proc != nullptr);
+  Schedule(
+      "crash:" + proc->process_name(), start, duration,
+      [proc] { proc->Crash(); }, [proc] { proc->Restart(); });
+}
+
+void FaultPlan::NodeCrash(CrashableProcess* proc, Timestamp start) {
+  GSO_CHECK(proc != nullptr);
+  loop_->At(start, [this, proc] {
+    RecordTransition("crash:" + proc->process_name(), /*begin=*/true);
+    proc->Crash();
+  });
+}
+
+void FaultPlan::NodeRestart(CrashableProcess* proc, Timestamp at) {
+  GSO_CHECK(proc != nullptr);
+  loop_->At(at, [this, proc] {
+    RecordTransition("crash:" + proc->process_name(), /*begin=*/false);
+    proc->Restart();
+  });
 }
 
 }  // namespace gso::sim

@@ -1,17 +1,27 @@
-// Scheduled fault injection for simulated links.
+// Scheduled fault injection for simulated links and processes.
 //
 // A FaultPlan scripts impairment episodes on the virtual clock and applies
 // them to Links through their runtime-reconfiguration API, so call sites
-// (clients, nodes) never know faults exist. Each episode applies at its
-// start time and restores the affected knob — capturing the value the link
-// holds at apply time, so plans compose with other scripted changes — when
-// the episode ends:
+// (clients, nodes) never know faults exist:
 //  - Outage: the link goes fully down (a flap is an outage plus recovery),
 //  - CapacityDip: bandwidth drops to a degraded rate, then restores,
 //  - LossEpisode: Bernoulli loss at a given rate,
 //  - BurstLoss: Gilbert-Elliott bursty loss at a given stationary P(Bad),
 //  - DelaySpike: extra propagation delay,
 //  - ReorderEpisode: jitter with reordering allowed.
+//
+// Episodes on the same knob of the same link may overlap. The plan keeps a
+// per-(link, knob) overlay stack: the link's own value is captured when the
+// first overlapping episode begins (so plans still compose with other
+// scripted changes), the most recently begun still-active episode's value
+// is in effect, and the original value is restored only when the last
+// overlapping episode ends. Outages are refcounted the same way — the link
+// comes back up only when every overlapping outage has ended.
+//
+// Process faults script endpoint death on the same clock:
+//  - NodeCrash(proc, start, duration): Crash() at start, Restart() at end,
+//  - NodeCrash(proc, start): permanent crash (no scheduled restart),
+//  - NodeRestart(proc, at): revival pairing an earlier permanent crash.
 //
 // Every applied transition is recorded (for test assertions) and, when a
 // MetricsRegistry is attached, exported as the `sim.fault.events` counter
@@ -20,14 +30,18 @@
 #ifndef GSO_SIM_FAULT_PLAN_H_
 #define GSO_SIM_FAULT_PLAN_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
+#include "sim/process.h"
 
 namespace gso::sim {
 
@@ -41,7 +55,7 @@ class FaultPlan {
   // Attaches the fault-event series; the registry must outlive the plan.
   void SetMetrics(obs::MetricsRegistry* registry);
 
-  // --- Episode schedulers ------------------------------------------------
+  // --- Link episode schedulers -------------------------------------------
   // All take an absolute virtual start time; the episode ends (and the
   // affected knob restores) at start + duration.
   void Outage(Link* link, Timestamp start, TimeDelta duration);
@@ -61,6 +75,15 @@ class FaultPlan {
   void Flap(Link* link, Timestamp start, TimeDelta down_for, int flaps,
             TimeDelta period);
 
+  // --- Process episode schedulers ----------------------------------------
+  // Kills `proc` at `start` and revives it at start + duration.
+  void NodeCrash(CrashableProcess* proc, Timestamp start, TimeDelta duration);
+  // Kills `proc` at `start` with no scheduled revival. The episode stays
+  // active until a NodeRestart (if any) pairs with it.
+  void NodeCrash(CrashableProcess* proc, Timestamp start);
+  // Revives `proc` at `at`; closes the episode a permanent NodeCrash opened.
+  void NodeRestart(CrashableProcess* proc, Timestamp at);
+
   // Generic scripted episode for impairments the named helpers don't
   // cover. `apply` runs at `start`, `restore` at start + duration.
   void Schedule(std::string label, Timestamp start, TimeDelta duration,
@@ -77,12 +100,39 @@ class FaultPlan {
   int active_episodes() const { return active_episodes_; }
 
  private:
+  // Which runtime knob of a Link an episode overlays; the (link, knob) pair
+  // keys the overlay stack so distinct knobs never interfere.
+  enum class Knob { kCapacity, kLoss, kBurst, kDelay, kJitter };
+
+  // One overlay stack. `base` is the value the link held before the first
+  // currently-active episode began; `active` lists (episode id, imposed
+  // value) in begin order — the back entry is in effect.
+  struct KnobState {
+    double base = 0.0;
+    bool base_flag = false;  // burst loss: whether GE loss was enabled
+    std::vector<std::pair<int64_t, double>> active;
+  };
+
   void RecordTransition(const std::string& label, bool begin);
+  // Schedules a knob-overlay episode: at `start` the link's current value is
+  // captured (if no other episode holds this knob) and `value` imposed; at
+  // start + duration this episode is popped and the knob reverts to the
+  // newest still-active episode's value, or to the captured base.
+  void ScheduleKnob(std::string label, Link* link, Knob knob, Timestamp start,
+                    TimeDelta duration, double value, bool relative = false);
+  void BeginKnob(Link* link, Knob knob, int64_t id, double value,
+                 bool relative);
+  void EndKnob(Link* link, Knob knob, int64_t id);
+  static double ReadKnob(const Link& link, Knob knob);
+  static void WriteKnob(Link* link, Knob knob, double value, bool flag);
 
   EventLoop* loop_;
   std::vector<Transition> transitions_;
   int episodes_applied_ = 0;
   int active_episodes_ = 0;
+  int64_t next_episode_id_ = 0;
+  std::map<std::pair<Link*, Knob>, KnobState> knob_states_;
+  std::map<Link*, int> outage_depth_;
   obs::Metric* metric_events_ = nullptr;
   obs::Metric* metric_active_ = nullptr;
 };

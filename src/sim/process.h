@@ -1,0 +1,35 @@
+// A crashable simulated process.
+//
+// Links model paths; this models the *endpoints* — a conference node or an
+// accessing node that can die and come back on the virtual clock. A crash
+// drops the process's volatile state and all in-flight control traffic
+// addressed to it; its periodic timers keep ticking on the event loop but
+// skip their body until Restart() (the closures must stay scheduled so the
+// process can revive without re-wiring). FaultPlan::NodeCrash /
+// NodeRestart script these transitions exactly like link episodes.
+#ifndef GSO_SIM_PROCESS_H_
+#define GSO_SIM_PROCESS_H_
+
+#include <string>
+
+namespace gso::sim {
+
+class CrashableProcess {
+ public:
+  virtual ~CrashableProcess() = default;
+
+  // Kills the process: volatile state is wiped, ingress is dropped, timers
+  // freeze (tick but do nothing). Idempotent while dead.
+  virtual void Crash() = 0;
+  // Revives a dead process with empty volatile state; it must rebuild its
+  // picture of the world from the traffic that follows. Idempotent while
+  // alive.
+  virtual void Restart() = 0;
+  virtual bool alive() const = 0;
+  // Stable label for fault-plan transition logs.
+  virtual std::string process_name() const = 0;
+};
+
+}  // namespace gso::sim
+
+#endif  // GSO_SIM_PROCESS_H_

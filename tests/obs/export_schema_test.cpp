@@ -101,6 +101,15 @@ TEST(ExportSchema, ConferenceExportSpansThreePlanes) {
       {"control.solve.reductions", "count"},
       {"control.solve.wall", "us"},
       {"control.conference.participants", "count"},
+      {"gso.robustness.controller_crashes", "count"},
+      {"gso.robustness.controller_restarts", "count"},
+      {"gso.robustness.reconstruction_latency", "us"},
+      {"gso.robustness.resolves_after_restart", "count"},
+      {"gso.robustness.rehomed_participants", "count"},
+      {"gso.robustness.node_failovers", "count"},
+      {"gso.robustness.node_degraded", "bool"},
+      {"gso.robustness.client_degraded", "bool"},
+      {"gso.robustness.time_in_degraded", "us"},
   };
   std::set<std::string> planes;
   std::set<std::string> names;
@@ -116,7 +125,8 @@ TEST(ExportSchema, ConferenceExportSpansThreePlanes) {
                                    << ")";
   }
   EXPECT_GE(names.size(), 8u);
-  EXPECT_EQ(planes, (std::set<std::string>{"transport", "media", "control"}));
+  EXPECT_EQ(planes,
+            (std::set<std::string>{"transport", "media", "control", "gso"}));
 
   // Replay the exported sample lines: per-series t_us monotone.
   const std::string out = ToJsonLines(registry);

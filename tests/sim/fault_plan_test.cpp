@@ -139,6 +139,163 @@ TEST(FaultPlan, MetricsCountEventsAndActiveEpisodes) {
   EXPECT_DOUBLE_EQ(active->samples().back().value, 0.0);
 }
 
+// Overlapping episodes on the same link knob: the newest active episode's
+// value is in effect, ending it re-imposes the next one down, and the
+// scripted base returns only when the last overlap ends. A naive
+// capture/restore pair would instead restore episode A's value as the
+// "base" when B ends, or pop the link back to base mid-A.
+TEST(FaultPlan, OverlappingCapacityDipsRestoreInStackOrder) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(8);
+  Link link(&loop, config, Rng(1));
+  FaultPlan plan(&loop);
+  plan.CapacityDip(&link, Timestamp::Millis(50), TimeDelta::Millis(200),
+                   DataRate::MegabitsPerSec(1));
+  plan.CapacityDip(&link, Timestamp::Millis(100), TimeDelta::Millis(50),
+                   DataRate::MegabitsPerSec(2));
+  loop.At(Timestamp::Millis(120), [&] {
+    EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(2));
+  });
+  // The inner dip ended at 150 ms: the outer dip's value must be back.
+  loop.At(Timestamp::Millis(200), [&] {
+    EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(1));
+  });
+  loop.RunAll();
+  EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(8));
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
+TEST(FaultPlan, OverlappingOutagesKeepLinkDownUntilLastEnds) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{}, Rng(1));
+  FaultPlan plan(&loop);
+  plan.Outage(&link, Timestamp::Millis(100), TimeDelta::Millis(200));
+  plan.Outage(&link, Timestamp::Millis(150), TimeDelta::Millis(50));
+  // The inner outage ended at 200 ms; the link must stay down until the
+  // outer one ends at 300 ms.
+  loop.At(Timestamp::Millis(250), [&] { EXPECT_FALSE(link.is_up()); });
+  loop.At(Timestamp::Millis(350), [&] { EXPECT_TRUE(link.is_up()); });
+  loop.RunAll();
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(plan.episodes_applied(), 2);
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
+TEST(FaultPlan, OverlappingDelaySpikesStayRelativeToScriptedBase) {
+  EventLoop loop;
+  LinkConfig config;
+  config.propagation_delay = TimeDelta::Millis(20);
+  Link link(&loop, config, Rng(1));
+  FaultPlan plan(&loop);
+  plan.DelaySpike(&link, Timestamp::Millis(10), TimeDelta::Millis(90),
+                  TimeDelta::Millis(100));
+  plan.DelaySpike(&link, Timestamp::Millis(30), TimeDelta::Millis(30),
+                  TimeDelta::Millis(50));
+  // The inner spike is relative to the captured base (20 ms), not to the
+  // outer spike's already-raised delay — spikes do not compound.
+  loop.At(Timestamp::Millis(40), [&] {
+    EXPECT_EQ(link.config().propagation_delay, TimeDelta::Millis(70));
+  });
+  loop.At(Timestamp::Millis(80), [&] {
+    EXPECT_EQ(link.config().propagation_delay, TimeDelta::Millis(120));
+  });
+  loop.RunAll();
+  EXPECT_EQ(link.config().propagation_delay, TimeDelta::Millis(20));
+}
+
+TEST(FaultPlan, OverlappingBurstLossRestoresDisabledState) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{}, Rng(1));
+  FaultPlan plan(&loop);
+  plan.BurstLoss(&link, Timestamp::Millis(10), TimeDelta::Millis(100), 0.2);
+  plan.BurstLoss(&link, Timestamp::Millis(40), TimeDelta::Millis(20), 0.4);
+  loop.At(Timestamp::Millis(50),
+          [&] { EXPECT_TRUE(link.config().gilbert_elliott); });
+  // Inner episode ends at 60 ms: the GE model must stay on for the outer.
+  loop.At(Timestamp::Millis(80),
+          [&] { EXPECT_TRUE(link.config().gilbert_elliott); });
+  loop.RunAll();
+  EXPECT_FALSE(link.config().gilbert_elliott);
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
+// A Flap (up/down episodes) overlapping a CapacityDip (capacity knob):
+// the outage ending mid-dip must bring the link up at the *dipped*
+// capacity, and the dip ending must restore the original capacity even
+// though a flap cycled the link in between.
+TEST(FaultPlan, FlapOverlappingCapacityDipRestoresBothKnobs) {
+  EventLoop loop;
+  LinkConfig config;
+  config.capacity = DataRate::MegabitsPerSec(8);
+  Link link(&loop, config, Rng(1));
+  FaultPlan plan(&loop);
+  plan.CapacityDip(&link, Timestamp::Millis(50), TimeDelta::Millis(300),
+                   DataRate::MegabitsPerSec(1));
+  plan.Flap(&link, Timestamp::Millis(100), TimeDelta::Millis(50),
+            /*flaps=*/2, /*period=*/TimeDelta::Millis(100));
+  loop.At(Timestamp::Millis(120), [&] {
+    EXPECT_FALSE(link.is_up());
+    EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(1));
+  });
+  // Between flaps: up again, still at the dipped capacity.
+  loop.At(Timestamp::Millis(170), [&] {
+    EXPECT_TRUE(link.is_up());
+    EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(1));
+  });
+  loop.RunAll();
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(link.config().capacity, DataRate::MegabitsPerSec(8));
+  EXPECT_EQ(plan.episodes_applied(), 3);
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
+// NodeCrash drives a CrashableProcess through Crash/Restart on the virtual
+// clock; the permanent overload plus NodeRestart split the pair.
+class FakeProcess : public CrashableProcess {
+ public:
+  void Crash() override { alive_ = false; ++crashes_; }
+  void Restart() override { alive_ = true; ++restarts_; }
+  bool alive() const override { return alive_; }
+  std::string process_name() const override { return "fake"; }
+  int crashes() const { return crashes_; }
+  int restarts() const { return restarts_; }
+
+ private:
+  bool alive_ = true;
+  int crashes_ = 0;
+  int restarts_ = 0;
+};
+
+TEST(FaultPlan, NodeCrashKillsAndRevivesOnSchedule) {
+  EventLoop loop;
+  FakeProcess proc;
+  FaultPlan plan(&loop);
+  plan.NodeCrash(&proc, Timestamp::Millis(100), TimeDelta::Millis(200));
+  loop.At(Timestamp::Millis(50), [&] { EXPECT_TRUE(proc.alive()); });
+  loop.At(Timestamp::Millis(200), [&] { EXPECT_FALSE(proc.alive()); });
+  loop.RunAll();
+  EXPECT_TRUE(proc.alive());
+  EXPECT_EQ(proc.crashes(), 1);
+  EXPECT_EQ(proc.restarts(), 1);
+  ASSERT_EQ(plan.transitions().size(), 2u);
+  EXPECT_EQ(plan.transitions()[0].label, "crash:fake");
+}
+
+TEST(FaultPlan, PermanentNodeCrashAndExplicitRestart) {
+  EventLoop loop;
+  FakeProcess proc;
+  FaultPlan plan(&loop);
+  plan.NodeCrash(&proc, Timestamp::Millis(100));
+  loop.At(Timestamp::Millis(500), [&] { EXPECT_FALSE(proc.alive()); });
+  plan.NodeRestart(&proc, Timestamp::Millis(800));
+  loop.RunAll();
+  EXPECT_TRUE(proc.alive());
+  EXPECT_EQ(proc.crashes(), 1);
+  EXPECT_EQ(proc.restarts(), 1);
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
 // Same seed + same fault plan => bit-identical meeting report. This is the
 // property that makes failure scenarios usable as regression tests at all.
 conference::MeetingReport RunFaultedMeeting() {

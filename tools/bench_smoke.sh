@@ -14,9 +14,12 @@ OUT="${2:-${BUILD_DIR}/BENCH_controller_smoke.json}"
 TRACE_OUT="${OUT%.json}_trace.jsonl"
 METRICS_OUT="${BUILD_DIR}/slow_link_smoke_metrics.jsonl"
 FLAKY_OUT="${BUILD_DIR}/flaky_conference_smoke_metrics.jsonl"
+OUTAGE_OUT="${BUILD_DIR}/controller_outage_smoke_metrics.jsonl"
+ROBUSTNESS_JSON="${BUILD_DIR}/BENCH_robustness.json"
 BIN="${BUILD_DIR}/bench/controller_scaling"
 SLOW_LINK="${BUILD_DIR}/examples/slow_link"
 FLAKY="${BUILD_DIR}/examples/flaky_conference"
+OUTAGE="${BUILD_DIR}/examples/controller_outage"
 
 if [[ ! -x "${BIN}" ]]; then
   echo "bench_smoke: ${BIN} not built (cmake --build ${BUILD_DIR} --target controller_scaling)" >&2
@@ -153,4 +156,77 @@ print(f"bench_smoke: OK (flaky_conference exports fault + gtbr series, "
 EOF
 else
   echo "bench_smoke: ${FLAKY} not built, skipping failure-suite validation" >&2
+fi
+
+if [[ -x "${OUTAGE}" ]]; then
+  # Exits non-zero unless degraded-mode QoE holds the Non-GSO floor, the
+  # controller re-converges after restart, and node failover re-homes every
+  # victim — so this run is itself the robustness gate.
+  "${OUTAGE}" --short --metrics-out "${OUTAGE_OUT}" \
+      --bench-out "${ROBUSTNESS_JSON}" > /dev/null
+  validate_metrics_jsonl "${OUTAGE_OUT}"
+  # The crash/restart/failover arc must be visible in the export.
+  python3 - "${OUTAGE_OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    rows = [json.loads(l) for l in f if l.strip()]
+series = {row["id"]: row["name"] for row in rows if row["type"] == "series"}
+names = set(series.values())
+required = {
+    "gso.robustness.controller_crashes",
+    "gso.robustness.controller_restarts",
+    "gso.robustness.reconstruction_latency",
+    "gso.robustness.resolves_after_restart",
+    "gso.robustness.rehomed_participants",
+    "gso.robustness.node_failovers",
+    "gso.robustness.node_degraded",
+    "gso.robustness.client_degraded",
+    "gso.robustness.time_in_degraded",
+}
+missing = required - names
+if missing:
+    sys.exit(f"bench_smoke: controller_outage export missing {sorted(missing)}")
+# The crash counter must have actually counted a crash, and some client
+# must have spent time degraded.
+def last_value(name):
+    ids = {i for i, n in series.items() if n == name}
+    vals = [row["v"] for row in rows
+            if row["type"] == "sample" and row["id"] in ids]
+    return max(vals) if vals else 0
+
+if last_value("gso.robustness.controller_crashes") < 1:
+    sys.exit("bench_smoke: no controller crash recorded despite the fault plan")
+if last_value("gso.robustness.time_in_degraded") <= 0:
+    sys.exit("bench_smoke: no degraded time recorded during the outage")
+print(f"bench_smoke: OK (controller_outage exports {len(required)} "
+      f"robustness series)")
+EOF
+  # And the robustness bench summary must be well-formed.
+  python3 - "${ROBUSTNESS_JSON}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("label", "unit", "results"):
+    if key not in doc:
+        sys.exit(f"bench_smoke: BENCH_robustness missing key {key!r}")
+if doc["label"] != "robustness" or not doc["results"]:
+    sys.exit("bench_smoke: malformed BENCH_robustness document")
+row = doc["results"][0]
+for key in ("crashes", "restarts", "reconstruction_latency_ms",
+            "resolves_after_restart", "degraded_fps", "baseline_fps",
+            "recovered_fps", "rehomed_participants", "node_failovers",
+            "passed"):
+    if key not in row:
+        sys.exit(f"bench_smoke: BENCH_robustness row missing {key!r}: {row}")
+if not row["passed"]:
+    sys.exit(f"bench_smoke: robustness gate failed: {row}")
+print(f"bench_smoke: OK (BENCH_robustness: {row['rehomed_participants']} "
+      f"re-homed, reconstruction {row['reconstruction_latency_ms']:.0f} ms)")
+EOF
+else
+  echo "bench_smoke: ${OUTAGE} not built, skipping robustness validation" >&2
 fi
