@@ -2,8 +2,14 @@
 //
 // Times full Orchestrator::Solve calls (ns/solve) on the canonical shapes
 // the ROADMAP tracks — symmetric meshes of 8/16/32/64 participants and the
-// 10x200 webinar — and writes the results as JSON so successive PRs can
-// record a perf trajectory (see BENCH_controller.json at the repo root).
+// 10x200 webinar — across a Step-1 thread sweep (1/2/4/8), plus warm-start
+// delta re-solves (SolveWarm) for the controller's steady-state event
+// kinds: a single bandwidth report, a subscriber join, a subscriber leave.
+// Every warm measurement is verified bit-identical against a cold solve
+// before it is timed. Results are written as JSON (with the host's CPU
+// count, since parallel speedups are meaningless without it) so successive
+// PRs can record a perf trajectory (see BENCH_controller.json at the repo
+// root and tools/perf_gate.py).
 //
 // With --trace-out=FILE it additionally dumps one observability trace per
 // shape (SolveStats work counts and per-step wall time as schema-locked
@@ -17,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/support.h"
@@ -37,6 +44,7 @@ struct Shape {
 
 struct Row {
   std::string shape;
+  std::string mode = "cold";  // "cold" or "warm_delta"
   int threads = 1;
   double ns_per_solve = 0.0;
   int solves = 0;
@@ -80,6 +88,176 @@ Row TimeShape(const std::string& name, int threads, double min_seconds,
   return row;
 }
 
+#if defined(GSO_ORCHESTRATOR_HAS_WARM_SOLVE)
+
+// Bit-level equality of the semantic Solution fields — the same contract
+// the warm-solve property test asserts. A bench that times an incremental
+// solver which drifted from the cold solver would be measuring a bug, so
+// any mismatch is fatal.
+bool SameSolution(const Solution& a, const Solution& b) {
+  if (a.iterations != b.iterations || a.total_qoe != b.total_qoe ||
+      a.step1_qoe != b.step1_qoe) {
+    return false;
+  }
+  if (a.publish.size() != b.publish.size() ||
+      a.per_subscriber.size() != b.per_subscriber.size()) {
+    return false;
+  }
+  for (auto pa = a.publish.begin(), pb = b.publish.begin();
+       pa != a.publish.end(); ++pa, ++pb) {
+    if (!(pa->first == pb->first) || pa->second.size() != pb->second.size()) {
+      return false;
+    }
+    for (size_t k = 0; k < pa->second.size(); ++k) {
+      const PublishedStream& sa = pa->second[k];
+      const PublishedStream& sb = pb->second[k];
+      if (!(sa.resolution == sb.resolution) || sa.bitrate != sb.bitrate ||
+          sa.qoe != sb.qoe || sa.receivers != sb.receivers) {
+        return false;
+      }
+    }
+  }
+  for (auto sa = a.per_subscriber.begin(), sb = b.per_subscriber.begin();
+       sa != a.per_subscriber.end(); ++sa, ++sb) {
+    if (!(sa->first == sb->first) || sa->second.size() != sb->second.size()) {
+      return false;
+    }
+    for (auto ia = sa->second.begin(), ib = sb->second.begin();
+         ia != sa->second.end(); ++ia, ++ib) {
+      if (!(ia->first == ib->first) ||
+          !(ia->second.resolution == ib->second.resolution) ||
+          ia->second.bitrate != ib->second.bitrate) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Times SolveWarm under a repeating delta: each measured solve follows one
+// `mutate(i)` of the problem; `restore(i)` (may be a no-op) undoes the
+// mutation with an untimed warm solve so the measured state is periodic.
+// The first few cycles verify warm-vs-cold bit-identity before any timing.
+template <typename MutateFn, typename RestoreFn>
+Row TimeDeltaShape(const std::string& name, double min_seconds,
+                   const Orchestrator& orchestrator,
+                   OrchestrationProblem& problem, MutateFn&& mutate,
+                   RestoreFn&& restore) {
+  Row row;
+  row.shape = name;
+  row.mode = "warm_delta";
+  row.threads = 1;
+
+  DpMckpSolver cold_solver;
+  const Orchestrator cold(&cold_solver);
+  (void)orchestrator.SolveWarm(problem);
+  for (int i = 0; i < 4; ++i) {
+    mutate(i);
+    const Solution& warm = orchestrator.SolveWarm(problem);
+    if (!SameSolution(warm, cold.Solve(problem))) {
+      std::fprintf(stderr, "%s: warm solve diverged from cold solve\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    row.total_qoe = warm.total_qoe;
+    row.iterations = warm.iterations;
+    if (restore(i)) (void)orchestrator.SolveWarm(problem);
+  }
+
+  double best = 1e300;
+  for (int batch = 0; batch < 3; ++batch) {
+    int solves = 0;
+    double elapsed = 0.0;
+    while (elapsed < min_seconds) {
+      mutate(solves);
+      const auto start = std::chrono::steady_clock::now();
+      const Solution& s = orchestrator.SolveWarm(problem);
+      elapsed += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+      if (s.iterations == 0) std::abort();  // keep the call alive
+      ++solves;
+      if (restore(solves - 1)) (void)orchestrator.SolveWarm(problem);
+    }
+    const double per_solve = elapsed / solves * 1e9;
+    if (per_solve < best) {
+      best = per_solve;
+      row.solves = solves;
+    }
+  }
+  row.ns_per_solve = best;
+  return row;
+}
+
+// The three steady-state delta kinds on one base shape. The joining client
+// is subscriber-only (watches every publisher): its arrival and departure
+// leave every existing subscriber's inputs untouched, which is exactly the
+// structural-delta fast path the warm diff is meant to exploit.
+void RunDeltaShapes(const Shape& shape, double min_seconds,
+                    std::vector<Row>* rows) {
+  DpMckpSolver solver;
+
+  {  // delta_report: one client's downlink report moves.
+    Orchestrator orchestrator(&solver);
+    OrchestrationProblem problem = shape.problem;
+    const size_t victim = problem.budgets.size() / 2;
+    const DataRate base = problem.budgets[victim].downlink;
+    rows->push_back(TimeDeltaShape(
+        shape.name + "+delta_report", min_seconds, orchestrator, problem,
+        [&](int i) {
+          problem.budgets[victim].downlink =
+              i % 2 == 0 ? base + DataRate::KilobitsPerSec(500) : base;
+        },
+        [](int) { return false; }));
+  }
+
+  std::vector<SourceId> publishers;
+  for (const auto& cap : shape.problem.capabilities) {
+    publishers.push_back(cap.source);
+  }
+  const ClientId joiner{1000000};
+  const auto add_joiner = [&](OrchestrationProblem& problem) {
+    problem.budgets.push_back({joiner, DataRate::KilobitsPerSec(2000),
+                               DataRate::KilobitsPerSec(6000)});
+    for (const SourceId& source : publishers) {
+      problem.subscriptions.push_back(
+          {joiner, source, kResolution720p, 1.0, 0});
+    }
+  };
+  const auto remove_joiner = [&](OrchestrationProblem& problem) {
+    problem.budgets.pop_back();
+    problem.subscriptions.resize(problem.subscriptions.size() -
+                                 publishers.size());
+  };
+
+  {  // delta_join: the new subscriber appears (timed), departs (untimed).
+    Orchestrator orchestrator(&solver);
+    OrchestrationProblem problem = shape.problem;
+    rows->push_back(TimeDeltaShape(
+        shape.name + "+delta_join", min_seconds, orchestrator, problem,
+        [&](int) { add_joiner(problem); },
+        [&](int) {
+          remove_joiner(problem);
+          return true;
+        }));
+  }
+
+  {  // delta_leave: the subscriber departs (timed), rejoins (untimed).
+    Orchestrator orchestrator(&solver);
+    OrchestrationProblem problem = shape.problem;
+    add_joiner(problem);
+    rows->push_back(TimeDeltaShape(
+        shape.name + "+delta_leave", min_seconds, orchestrator, problem,
+        [&](int) { remove_joiner(problem); },
+        [&](int) {
+          add_joiner(problem);
+          return true;
+        }));
+  }
+}
+
+#endif  // GSO_ORCHESTRATOR_HAS_WARM_SOLVE
+
 // One solve per shape into an obs registry: the control-plane solve-trace
 // series, indexed by shape position on the (virtual) time axis since the
 // bench has no event loop.
@@ -102,10 +280,16 @@ void RecordSolveTraces(obs::MetricsRegistry* registry,
         {"control.solve.knapsacks", "count", double(stats.knapsack_solves)},
         {"control.solve.reductions", "count", double(stats.reductions)},
         {"control.solve.uplink_fixes", "count", double(stats.uplink_fixes)},
+        {"control.solve.dirty_subscribers", "count",
+         double(stats.dirty_subscribers)},
+        {"control.solve.cache_hits", "count", double(stats.step1_cache_hits)},
         {"control.solve.compile_wall", "us", stats.compile_wall_us},
         {"control.solve.step1_wall", "us", stats.step1_wall_us},
+        {"control.solve.step1_parallel_wall", "us",
+         stats.step1_parallel_wall_us},
         {"control.solve.step2_wall", "us", stats.step2_wall_us},
         {"control.solve.step3_wall", "us", stats.step3_wall_us},
+        {"control.solve.warm_diff_wall", "us", stats.warm_diff_wall_us},
         {"control.solve.wall", "us", stats.total_wall_us},
     };
     for (const auto& entry : series) {
@@ -116,13 +300,15 @@ void RecordSolveTraces(obs::MetricsRegistry* registry,
 }
 
 void AppendRow(std::string* json, const Row& row, bool first) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "%s    {\"shape\": \"%s\", \"threads\": %d, "
+                "%s    {\"shape\": \"%s\", \"mode\": \"%s\", "
+                "\"threads\": %d, "
                 "\"ns_per_solve\": %.0f, \"solves\": %d, "
                 "\"total_qoe\": %.6f, \"iterations\": %d}",
-                first ? "" : ",\n", row.shape.c_str(), row.threads,
-                row.ns_per_solve, row.solves, row.total_qoe, row.iterations);
+                first ? "" : ",\n", row.shape.c_str(), row.mode.c_str(),
+                row.threads, row.ns_per_solve, row.solves, row.total_qoe,
+                row.iterations);
   *json += buf;
 }
 
@@ -169,7 +355,7 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   for (const auto& shape : shapes) {
-    for (int threads : {1, 4}) {
+    for (int threads : {1, 2, 4, 8}) {
 #if defined(GSO_ORCHESTRATOR_HAS_OPTIONS)
       DpMckpSolver solver;
       OrchestratorOptions options;
@@ -182,13 +368,31 @@ int main(int argc, char** argv) {
 #endif
       rows.push_back(TimeShape(shape.name, threads, min_seconds,
                                [&] { return orchestrator.Solve(shape.problem); }));
-      std::printf("%-16s threads=%d  %10.0f ns/solve  (%d solves, qoe %.1f)\n",
+      std::printf("%-28s threads=%d  %10.0f ns/solve  (%d solves, qoe %.1f)\n",
                   rows.back().shape.c_str(), threads, rows.back().ns_per_solve,
                   rows.back().solves, rows.back().total_qoe);
     }
   }
 
-  std::string json = "{\n  \"label\": \"" + label + "\",\n  \"unit\": \"ns/solve\",\n  \"results\": [\n";
+#if defined(GSO_ORCHESTRATOR_HAS_WARM_SOLVE)
+  // Warm-start deltas on the two shapes whose cold solves dominate a real
+  // deployment: the largest mesh and the webinar.
+  for (const auto& shape : shapes) {
+    if (shape.name != "mesh_64" && shape.name != "webinar_10x200") continue;
+    const size_t first = rows.size();
+    RunDeltaShapes(shape, min_seconds, &rows);
+    for (size_t i = first; i < rows.size(); ++i) {
+      std::printf("%-28s threads=%d  %10.0f ns/solve  (%d solves, qoe %.1f)\n",
+                  rows[i].shape.c_str(), rows[i].threads, rows[i].ns_per_solve,
+                  rows[i].solves, rows[i].total_qoe);
+    }
+  }
+#endif
+
+  std::string json = "{\n  \"label\": \"" + label +
+                     "\",\n  \"unit\": \"ns/solve\",\n  \"host_cpus\": " +
+                     std::to_string(std::thread::hardware_concurrency()) +
+                     ",\n  \"results\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) AppendRow(&json, rows[i], i == 0);
   json += "\n  ]\n}\n";
   std::FILE* f = std::fopen(out.c_str(), "w");

@@ -24,6 +24,16 @@ class DenseInterner {
     ids_ = std::move(ids);
   }
 
+  // Rebuild in place from a borrowed id list: same result as Build, but
+  // internal storage is reused, so rebuilding with an id set that fits the
+  // existing capacity performs no allocation (the warm re-solve path
+  // recompiles every control round).
+  void Rebuild(const std::vector<Id>& ids) {
+    ids_.assign(ids.begin(), ids.end());
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
   // Dense index of `id`, or -1 when it was not interned.
   int IndexOf(const Id& id) const {
     const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);

@@ -1,26 +1,40 @@
-// A small fixed-size worker pool with a blocking parallel-for.
+// A small fixed-size worker pool with a blocking, allocation-free
+// parallel-for over index ranges.
 //
 // Built for the controller's Step-1 fan-out: the per-subscriber knapsacks
 // share no mutable state, so they can be solved concurrently as long as
-// results land in deterministic slots. ParallelFor hands out indices
-// through an atomic counter (dynamic load balancing — subscriber solve
-// costs vary widely) and passes each call a stable worker id in
-// [0, parallelism()) so callers can keep per-worker scratch (e.g. one
-// MckpWorkspace per worker). The calling thread participates as worker 0,
-// so a pool with parallelism 1 spawns no threads at all and adds no
-// synchronization to the serial path.
+// results land in deterministic slots. Two design points matter for the
+// solve hot path:
 //
-// Each ParallelFor owns its job state behind a shared_ptr: a worker that
-// wakes late only ever touches the job it was dispatched for, where every
-// index is already claimed — it can never steal indices from a later job.
+//  * Zero per-call allocation. The original design heap-allocated a
+//    shared_ptr'd job object and a std::function per ParallelFor; at one
+//    ParallelFor per solve iteration that is measurable noise and breaks
+//    the controller's steady-state no-allocation discipline. Dispatch now
+//    goes through a non-owning trampoline (function pointer + context
+//    pointer into the caller's frame) and a single persistent job slot.
+//
+//  * Chunked, dynamically balanced partitioning. Indices are handed out in
+//    chunks of `grain` through one atomic counter — dynamic because
+//    subscriber solve costs vary widely, chunked because a grain of one
+//    index pays one cache-contended RMW per knapsack. Chunk boundaries
+//    never affect results: every index writes only its own slot, so the
+//    solve is bit-identical at any thread count and any grain.
+//
+// Lifecycle safety without per-job ownership: the caller publishes a job
+// under the mutex (bumping the epoch), participates as worker 0, then
+// blocks until every worker has acknowledged that epoch. A worker that is
+// descheduled mid-chunk simply delays completion of the current epoch; the
+// next job cannot be published until every worker has acked the previous
+// one, so a stale worker can never touch a later job's counters. Workers
+// spin briefly before sleeping so back-to-back iterations (Step 1 of
+// consecutive reduction rounds) do not pay a futex round-trip each.
 #ifndef GSO_COMMON_THREAD_POOL_H_
 #define GSO_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,8 +44,9 @@ namespace gso {
 class ThreadPool {
  public:
   explicit ThreadPool(int parallelism)
-      : parallelism_(parallelism < 1 ? 1 : parallelism) {
-    workers_.reserve(static_cast<size_t>(parallelism_ - 1));
+      : parallelism_(parallelism < 1 ? 1 : parallelism),
+        acks_(static_cast<size_t>(parallelism_ > 1 ? parallelism_ - 1 : 0)) {
+    workers_.reserve(acks_.size());
     for (int w = 1; w < parallelism_; ++w) {
       workers_.emplace_back([this, w] { WorkerLoop(w); });
     }
@@ -43,7 +58,7 @@ class ThreadPool {
   ~ThreadPool() {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
+      stop_.store(true, std::memory_order_relaxed);
     }
     work_cv_.notify_all();
     for (auto& worker : workers_) worker.join();
@@ -52,77 +67,137 @@ class ThreadPool {
   int parallelism() const { return parallelism_; }
 
   // Invokes fn(index, worker) for every index in [0, count), spreading
-  // indices across workers; blocks until all calls returned. `worker` is in
-  // [0, parallelism()). Not reentrant: one ParallelFor at a time.
-  void ParallelFor(int count, std::function<void(int, int)> fn) {
-    if (count <= 0) return;
-    if (parallelism_ == 1 || count == 1) {
-      for (int i = 0; i < count; ++i) fn(i, 0);
-      return;
-    }
-    auto job = std::make_shared<Job>();
-    job->fn = std::move(fn);
-    job->count = count;
-    job->remaining.store(count, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      job_ = job;
-      ++epoch_;
-    }
-    work_cv_.notify_all();
-    Drain(*job, 0);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return job->remaining.load(std::memory_order_acquire) == 0;
-    });
-    job_.reset();
+  // indices across workers in chunks of `grain`; blocks until all calls
+  // returned. `worker` is in [0, parallelism()). grain <= 0 picks a chunk
+  // size that hands each worker a few chunks for dynamic balancing.
+  // Not reentrant: one ParallelFor at a time per pool.
+  template <typename Fn>
+  void ParallelFor(int count, Fn&& fn, int grain = 0) {
+    auto adapter = [&fn](int begin, int end, int worker) {
+      for (int i = begin; i < end; ++i) fn(i, worker);
+    };
+    ParallelForChunked(count, grain, adapter);
+  }
+
+  // Range form: fn(begin, end, worker) over half-open chunks of ~grain
+  // indices. The callable is borrowed for the duration of the call — no
+  // copy, no allocation.
+  template <typename Fn>
+  void ParallelForChunked(int count, int grain, Fn&& fn) {
+    Run(count, grain,
+        [](void* ctx, int begin, int end, int worker) {
+          (*static_cast<std::remove_reference_t<Fn>*>(ctx))(begin, end,
+                                                            worker);
+        },
+        &fn);
   }
 
  private:
-  struct Job {
-    std::function<void(int, int)> fn;
-    int count = 0;
-    std::atomic<int> next{0};
-    std::atomic<int> remaining{0};
+  using RangeFn = void (*)(void* ctx, int begin, int end, int worker);
+
+  // Padded per-worker ack slot: workers publish the last epoch they have
+  // fully drained; false sharing here would serialize the completion path.
+  struct alignas(64) AckSlot {
+    std::atomic<uint64_t> epoch{0};
   };
 
-  void Drain(Job& job, int worker) {
-    int index;
-    while ((index = job.next.fetch_add(1, std::memory_order_relaxed)) <
-           job.count) {
-      job.fn(index, worker);
-      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        // Last index done: wake the caller (lock orders with its wait).
-        std::lock_guard<std::mutex> lock(mu_);
-        done_cv_.notify_all();
-      }
+  void Run(int count, int grain, RangeFn invoke, void* ctx) {
+    if (count <= 0) return;
+    if (parallelism_ == 1 || count == 1) {
+      invoke(ctx, 0, count, 0);
+      return;
+    }
+    if (grain <= 0) {
+      // A few chunks per worker: dynamic balancing without a contended
+      // RMW per index.
+      grain = std::max(1, count / (parallelism_ * 4));
+    }
+    invoke_ = invoke;
+    ctx_ = ctx;
+    count_ = count;
+    grain_ = grain;
+    next_.store(0, std::memory_order_relaxed);
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch = epoch_.fetch_add(1, std::memory_order_release) + 1;
+    }
+    work_cv_.notify_all();
+    Drain(0);
+    // Wait (spin, then sleep) for every worker to ack this epoch. Workers
+    // that find no indices left ack immediately, so this is cheap even
+    // when the caller drained everything itself.
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (AllAcked(epoch)) return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return AllAcked(epoch); });
+  }
+
+  bool AllAcked(uint64_t epoch) const {
+    for (const AckSlot& slot : acks_) {
+      if (slot.epoch.load(std::memory_order_acquire) < epoch) return false;
+    }
+    return true;
+  }
+
+  void Drain(int worker) {
+    const int count = count_;
+    const int grain = grain_;
+    int begin;
+    while ((begin = next_.fetch_add(grain, std::memory_order_relaxed)) <
+           count) {
+      invoke_(ctx_, begin, std::min(begin + grain, count), worker);
     }
   }
 
   void WorkerLoop(int worker) {
-    uint64_t seen_epoch = 0;
+    uint64_t seen = 0;
     for (;;) {
-      std::shared_ptr<Job> job;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-        if (stop_) return;
-        seen_epoch = epoch_;
-        job = job_;
+      uint64_t current = epoch_.load(std::memory_order_acquire);
+      for (int spin = 0; spin < kSpinIterations && current == seen; ++spin) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+        current = epoch_.load(std::memory_order_acquire);
       }
-      if (job != nullptr) Drain(*job, worker);
+      if (current == seen) {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 epoch_.load(std::memory_order_acquire) != seen;
+        });
+        if (stop_.load(std::memory_order_relaxed)) return;
+        current = epoch_.load(std::memory_order_acquire);
+      }
+      seen = current;
+      Drain(worker);
+      acks_[static_cast<size_t>(worker - 1)].epoch.store(
+          seen, std::memory_order_release);
+      {
+        // Empty critical section orders the ack with the caller's wait.
+        std::lock_guard<std::mutex> lock(mu_);
+      }
+      done_cv_.notify_all();
     }
   }
 
+  static constexpr int kSpinIterations = 4000;
+
   const int parallelism_;
+  std::vector<AckSlot> acks_;
   std::vector<std::thread> workers_;
+
+  // Current job; valid only between epoch publication and the last ack.
+  RangeFn invoke_ = nullptr;
+  void* ctx_ = nullptr;
+  int count_ = 0;
+  int grain_ = 1;
+  std::atomic<int> next_{0};
+  std::atomic<uint64_t> epoch_{0};
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  bool stop_ = false;
-  uint64_t epoch_ = 0;
-  std::shared_ptr<Job> job_;
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace gso

@@ -215,6 +215,10 @@ void ConferenceNode::Restart() {
   // A fresh epoch makes every post-restart GTBR distinguishable from
   // anything acked before the crash.
   ++solve_epoch_;
+  // The pre-crash warm state describes a conference that no longer exists
+  // (reports aged, members may have rehomed): drop it so the first
+  // post-restart solve is a full re-solve against reconstructed reports.
+  orchestrator_.ResetWarmState();
   // The dead window is not a call interval (paper Fig. 12 measures solve
   // cadence, not availability gaps).
   has_run_ = false;
@@ -293,7 +297,8 @@ void ConferenceNode::SetSpeaker(std::optional<ClientId> speaker) {
 void ConferenceNode::SetMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     metric_interval_ = metric_iterations_ = metric_knapsacks_ =
-        metric_reductions_ = metric_wall_ = metric_participants_ = nullptr;
+        metric_reductions_ = metric_wall_ = metric_dirty_ =
+            metric_cache_hits_ = metric_participants_ = nullptr;
     metric_gtbr_retries_ = metric_gtbr_timeouts_ = metric_gtbr_stale_ =
         metric_reports_aged_ = nullptr;
     metric_crashes_ = metric_restarts_ = metric_reconstruct_latency_ =
@@ -311,6 +316,10 @@ void ConferenceNode::SetMetrics(obs::MetricsRegistry* registry) {
                                      obs::MetricKind::kSeries, "count");
   metric_wall_ =
       registry->Get("control.solve.wall", obs::MetricKind::kSeries, "us");
+  metric_dirty_ = registry->Get("control.solve.dirty_subscribers",
+                                obs::MetricKind::kSeries, "count");
+  metric_cache_hits_ = registry->Get("control.solve.cache_hits",
+                                     obs::MetricKind::kSeries, "count");
   metric_participants_ = registry->Get("control.conference.participants",
                                        obs::MetricKind::kGauge, "count");
   metric_gtbr_retries_ = registry->Get("control.gtbr.retries",
@@ -483,7 +492,11 @@ void ConferenceNode::Orchestrate() {
   }
 
   last_problem_ = BuildProblem();
-  last_solution_ = orchestrator_.Solve(last_problem_);
+  // Warm solve: the controller re-solves on every report/membership event,
+  // and consecutive problems differ in a handful of subscribers — the
+  // orchestrator diffs against its previous snapshot and re-runs Step 1
+  // only for the dirty ones (bit-identical to a cold solve by contract).
+  last_solution_ = orchestrator_.SolveWarm(last_problem_);
   Disseminate(last_solution_);
 
   const core::SolveStats& stats = last_solution_.stats;
@@ -491,6 +504,8 @@ void ConferenceNode::Orchestrate() {
   obs::Record(metric_knapsacks_, now, stats.knapsack_solves);
   obs::Record(metric_reductions_, now, stats.reductions);
   obs::Record(metric_wall_, now, stats.total_wall_us);
+  obs::Record(metric_dirty_, now, stats.dirty_subscribers);
+  obs::Record(metric_cache_hits_, now, stats.step1_cache_hits);
   obs::Record(metric_participants_, now,
               static_cast<double>(members_.size()));
 }

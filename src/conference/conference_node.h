@@ -281,6 +281,8 @@ class ConferenceNode : public sim::CrashableProcess {
   obs::Metric* metric_knapsacks_ = nullptr;
   obs::Metric* metric_reductions_ = nullptr;
   obs::Metric* metric_wall_ = nullptr;
+  obs::Metric* metric_dirty_ = nullptr;
+  obs::Metric* metric_cache_hits_ = nullptr;
   obs::Metric* metric_participants_ = nullptr;
   obs::Metric* metric_gtbr_retries_ = nullptr;
   obs::Metric* metric_gtbr_timeouts_ = nullptr;

@@ -6,11 +6,16 @@ namespace gso::core {
 
 CompiledProblem CompiledProblem::Compile(const OrchestrationProblem& problem) {
   CompiledProblem compiled;
+  compiled.CompileFrom(problem);
+  return compiled;
+}
 
+void CompiledProblem::CompileFrom(const OrchestrationProblem& problem) {
   // Intern every client id that can appear in a lookup. Indices ascend
   // with ClientId, so index iteration == std::map iteration.
   {
-    std::vector<ClientId> ids;
+    auto& ids = scratch_client_ids_;
+    ids.clear();
     ids.reserve(problem.budgets.size() + problem.capabilities.size() +
                 2 * problem.subscriptions.size());
     for (const auto& b : problem.budgets) ids.push_back(b.client);
@@ -19,39 +24,39 @@ CompiledProblem CompiledProblem::Compile(const OrchestrationProblem& problem) {
       ids.push_back(s.subscriber);
       ids.push_back(s.source.client);
     }
-    compiled.clients_.Build(std::move(ids));
+    clients_.Rebuild(ids);
   }
 
   // Budgets by dense client index; later entries overwrite earlier ones,
   // matching map assignment in the reference.
-  const size_t n_clients = static_cast<size_t>(compiled.clients_.size());
-  compiled.uplink_.assign(n_clients, DataRate::PlusInfinity());
-  compiled.downlink_.assign(n_clients, DataRate::PlusInfinity());
+  const size_t n_clients = static_cast<size_t>(clients_.size());
+  uplink_.assign(n_clients, DataRate::PlusInfinity());
+  downlink_.assign(n_clients, DataRate::PlusInfinity());
   for (const auto& b : problem.budgets) {
-    const int idx = compiled.clients_.IndexOf(b.client);
-    compiled.uplink_[static_cast<size_t>(idx)] = b.uplink;
-    compiled.downlink_[static_cast<size_t>(idx)] = b.downlink;
+    const int idx = clients_.IndexOf(b.client);
+    uplink_[static_cast<size_t>(idx)] = b.uplink;
+    downlink_[static_cast<size_t>(idx)] = b.downlink;
   }
 
   // Sources ascending by SourceId; duplicate capabilities overwrite
   // (last-wins, as map assignment would).
-  DenseInterner<SourceId> source_index;
   {
-    std::vector<SourceId> ids;
+    auto& ids = scratch_source_ids_;
+    ids.clear();
     ids.reserve(problem.capabilities.size());
     for (const auto& c : problem.capabilities) ids.push_back(c.source);
-    source_index.Build(std::move(ids));
+    source_index_.Rebuild(ids);
   }
-  compiled.sources_.resize(static_cast<size_t>(source_index.size()));
+  sources_.resize(static_cast<size_t>(source_index_.size()));
   for (const auto& cap : problem.capabilities) {
-    const int idx = source_index.IndexOf(cap.source);
-    auto& source = compiled.sources_[static_cast<size_t>(idx)];
+    const int idx = source_index_.IndexOf(cap.source);
+    auto& source = sources_[static_cast<size_t>(idx)];
     source.id = cap.source;
-    source.owner = compiled.clients_.IndexOf(cap.source.client);
-    source.ladder = cap.options;
+    source.owner = clients_.IndexOf(cap.source.client);
+    source.ladder = cap.options;  // copy-assign: reuses capacity when warm
   }
   int slot_offset = 0;
-  for (auto& source : compiled.sources_) {
+  for (auto& source : sources_) {
     // Deterministic option order: descending resolution then descending
     // bitrate (identical comparator to the reference sort).
     std::sort(source.ladder.begin(), source.ladder.end(),
@@ -71,48 +76,64 @@ CompiledProblem CompiledProblem::Compile(const OrchestrationProblem& problem) {
     source.slot_offset = slot_offset;
     slot_offset += static_cast<int>(source.resolutions.size());
   }
-  compiled.total_merge_slots_ = slot_offset;
+  total_merge_slots_ = slot_offset;
 
   // Group subscriptions per subscriber, dropping invalid edges (self-
   // subscriptions and edges to unknown sources), preserving problem order
-  // within each subscriber.
-  std::vector<std::vector<CompiledSubscription>> buckets(n_clients);
+  // within each subscriber. Two passes (count, then place) keep the
+  // grouping allocation-free: a counting sort is stable, so within each
+  // subscriber the edges land in problem order, exactly as the per-client
+  // bucket build did.
+  auto& edge_count = scratch_edge_count_;
+  edge_count.assign(n_clients, 0);
   for (const auto& sub : problem.subscriptions) {
     if (sub.subscriber == sub.source.client) continue;  // N_i excludes i
-    const int source = source_index.IndexOf(sub.source);
-    if (source < 0) continue;  // unknown source
-    const int subscriber = compiled.clients_.IndexOf(sub.subscriber);
-    buckets[static_cast<size_t>(subscriber)].push_back(CompiledSubscription{
-        source, sub.max_resolution, sub.priority, sub.slot, &sub});
+    if (source_index_.IndexOf(sub.source) < 0) continue;  // unknown source
+    ++edge_count[static_cast<size_t>(clients_.IndexOf(sub.subscriber))];
   }
-  compiled.subscription_offset_.push_back(0);
+  subscriber_ids_.clear();
+  subscriber_client_.clear();
+  subscription_offset_.clear();
+  subscription_offset_.push_back(0);
+  auto& sub_of_client = scratch_sub_of_client_;
+  sub_of_client.assign(n_clients, -1);
+  size_t total_edges = 0;
   for (size_t c = 0; c < n_clients; ++c) {
-    if (buckets[c].empty()) continue;
-    compiled.subscriber_ids_.push_back(compiled.clients_.id(static_cast<int>(c)));
-    compiled.subscriber_client_.push_back(static_cast<int>(c));
-    for (auto& edge : buckets[c]) {
-      compiled.subscriptions_.push_back(edge);
-    }
-    compiled.subscription_offset_.push_back(compiled.subscriptions_.size());
+    if (edge_count[c] == 0) continue;
+    sub_of_client[c] = static_cast<int>(subscriber_ids_.size());
+    subscriber_ids_.push_back(clients_.id(static_cast<int>(c)));
+    subscriber_client_.push_back(static_cast<int>(c));
+    total_edges += static_cast<size_t>(edge_count[c]);
+    subscription_offset_.push_back(total_edges);
+  }
+  subscriptions_.resize(total_edges);
+  scratch_cursor_.assign(subscription_offset_.begin(),
+                         subscription_offset_.end() - 1);
+  for (const auto& sub : problem.subscriptions) {
+    if (sub.subscriber == sub.source.client) continue;
+    const int source = source_index_.IndexOf(sub.source);
+    if (source < 0) continue;
+    const int sub_idx = sub_of_client[static_cast<size_t>(
+        clients_.IndexOf(sub.subscriber))];
+    subscriptions_[scratch_cursor_[static_cast<size_t>(sub_idx)]++] =
+        CompiledSubscription{source, sub.max_resolution, sub.priority,
+                             sub.slot, &sub};
   }
 
   // Reverse index: which subscribers watch each source (ascending).
-  compiled.watchers_.assign(compiled.sources_.size(), {});
-  for (size_t sub = 0; sub < compiled.subscriber_ids_.size(); ++sub) {
-    int last_source = -1;
-    std::vector<int> seen;
-    for (size_t e = compiled.subscription_offset_[sub];
-         e < compiled.subscription_offset_[sub + 1]; ++e) {
-      const int source = compiled.subscriptions_[e].source;
-      if (source == last_source) continue;
-      last_source = source;
-      if (std::find(seen.begin(), seen.end(), source) != seen.end()) continue;
-      seen.push_back(source);
-      compiled.watchers_[static_cast<size_t>(source)].push_back(
-          static_cast<int>(sub));
+  // Subscribers are visited in ascending order, so a duplicate edge to the
+  // same source shows up as the list's current tail — no `seen` set needed.
+  watchers_.resize(sources_.size());
+  for (auto& w : watchers_) w.clear();
+  for (size_t sub = 0; sub < subscriber_ids_.size(); ++sub) {
+    for (size_t e = subscription_offset_[sub];
+         e < subscription_offset_[sub + 1]; ++e) {
+      auto& w = watchers_[static_cast<size_t>(subscriptions_[e].source)];
+      if (w.empty() || w.back() != static_cast<int>(sub)) {
+        w.push_back(static_cast<int>(sub));
+      }
     }
   }
-  return compiled;
 }
 
 }  // namespace gso::core

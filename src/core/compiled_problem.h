@@ -17,6 +17,7 @@
 #ifndef GSO_CORE_COMPILED_PROBLEM_H_
 #define GSO_CORE_COMPILED_PROBLEM_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/interner.h"
@@ -59,6 +60,13 @@ class CompiledProblem {
   // `problem` must outlive the compiled form (subscription edges are
   // referenced, not copied).
   static CompiledProblem Compile(const OrchestrationProblem& problem);
+
+  // Recompiles `problem` into this object, reusing all internal storage.
+  // Produces exactly the same compiled form as Compile(); when the new
+  // problem has the same shape as the previous one (the steady state of a
+  // control loop — only budget/ladder *values* changed), no allocation is
+  // performed. The warm re-solve path recompiles every round through this.
+  void CompileFrom(const OrchestrationProblem& problem);
 
   int num_clients() const { return clients_.size(); }
   int num_sources() const { return static_cast<int>(sources_.size()); }
@@ -106,8 +114,24 @@ class CompiledProblem {
     return watchers_[static_cast<size_t>(source)];
   }
 
+  // Dense source index of `id`, or -1 when unknown (warm-start diffing).
+  int SourceIndexOf(const SourceId& id) const {
+    return source_index_.IndexOf(id);
+  }
+  // Subscriber index of `id`, or -1 when `id` subscribes to nothing.
+  int SubscriberIndexOf(const ClientId& id) const {
+    const auto it =
+        std::lower_bound(subscriber_ids_.begin(), subscriber_ids_.end(), id);
+    if (it == subscriber_ids_.end() || !(*it == id)) return -1;
+    return static_cast<int>(it - subscriber_ids_.begin());
+  }
+  const std::vector<ClientId>& subscriber_ids() const {
+    return subscriber_ids_;
+  }
+
  private:
   DenseInterner<ClientId> clients_;
+  DenseInterner<SourceId> source_index_;
   std::vector<DataRate> uplink_;
   std::vector<DataRate> downlink_;
   std::vector<CompiledSource> sources_;
@@ -117,6 +141,13 @@ class CompiledProblem {
   std::vector<size_t> subscription_offset_;  // per subscriber + sentinel
   std::vector<std::vector<int>> watchers_;
   int total_merge_slots_ = 0;
+
+  // Grow-only compilation scratch (reused by CompileFrom).
+  std::vector<ClientId> scratch_client_ids_;
+  std::vector<SourceId> scratch_source_ids_;
+  std::vector<int> scratch_edge_count_;    // valid edges per dense client
+  std::vector<int> scratch_sub_of_client_; // dense client -> subscriber idx
+  std::vector<size_t> scratch_cursor_;     // per-subscriber placement cursor
 };
 
 }  // namespace gso::core

@@ -23,8 +23,30 @@ MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
                                int64_t capacity,
                                MckpWorkspace* ws) const {
   MckpResult result;
-  result.choice.assign(classes.size(), -1);
-  if (classes.empty()) return result;
+  Solve(classes.data(), classes.size(), capacity, ws, &result);
+  return result;
+}
+
+void DpMckpSolver::Solve(const MckpClass* classes_ptr, size_t num_classes,
+                         int64_t capacity, MckpWorkspace* ws,
+                         MckpResult* result_ptr) const {
+  // A thin span view keeps the original body unchanged below.
+  struct ClassSpan {
+    const MckpClass* data;
+    size_t count;
+    const MckpClass* begin() const { return data; }
+    const MckpClass* end() const { return data + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const MckpClass& operator[](size_t i) const { return data[i]; }
+  };
+  const ClassSpan classes{classes_ptr, num_classes};
+  MckpResult& result = *result_ptr;
+  result.choice.assign(classes.size(), -1);  // reuses capacity when warm
+  result.total_value = 0.0;
+  result.total_weight = 0;
+  result.feasible = true;
+  if (classes.empty()) return;
 
   // Value grid: each item's value is floored to multiples of `quantum`.
   double value_sum = 0.0;
@@ -169,7 +191,7 @@ MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
       // A mandatory class admits no feasible item: every later pass would
       // stay unreachable, so the reference loop also ends up infeasible.
       result.feasible = false;
-      return result;
+      return;
     }
   }
 
@@ -183,7 +205,7 @@ MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
   }
   if (best_v < 0) {
     result.feasible = false;
-    return result;
+    return;
   }
 
   // Backtrack through the per-class choice tables.
@@ -199,7 +221,7 @@ MckpResult DpMckpSolver::Solve(const std::vector<MckpClass>& classes,
       GSO_CHECK_GE(v, 0);
     }
   }
-  return result;
+  return;
 }
 
 MckpResult ExhaustiveMckpSolver::Solve(const std::vector<MckpClass>& classes,

@@ -63,6 +63,17 @@ class MckpSolver {
     (void)workspace;
     return Solve(classes, capacity);
   }
+  // Hot-path entry: pointer+count input (lets callers keep a grow-only
+  // class array larger than the instance) and an out-param result whose
+  // buffers are reused across calls. DpMckpSolver implements this with
+  // zero steady-state allocations; the default shims through the
+  // allocating overloads for baseline solvers.
+  virtual void Solve(const MckpClass* classes, size_t num_classes,
+                     int64_t capacity, MckpWorkspace* workspace,
+                     MckpResult* result) const {
+    const std::vector<MckpClass> copy(classes, classes + num_classes);
+    *result = Solve(copy, capacity, workspace);
+  }
 };
 
 // Pseudo-polynomial DP over the *value* dimension: dp[v] = minimum weight
@@ -92,6 +103,8 @@ class DpMckpSolver : public MckpSolver {
                    int64_t capacity) const override;
   MckpResult Solve(const std::vector<MckpClass>& classes, int64_t capacity,
                    MckpWorkspace* workspace) const override;
+  void Solve(const MckpClass* classes, size_t num_classes, int64_t capacity,
+             MckpWorkspace* workspace, MckpResult* result) const override;
 
  private:
   double value_quantum_;

@@ -15,11 +15,14 @@
 namespace gso::core {
 namespace {
 
-// Step-1 result for one subscription edge: the chosen option. The option is
-// copied (not indexed) because requests are cached across iterations while
-// Reduction shrinks the active ladders underneath them.
+// Step-1 result for one subscription edge: the edge's index within the
+// subscriber's run plus the chosen option. The option is copied (not
+// indexed) because requests are cached across iterations — and, on the
+// warm path, across solves — while Reduction shrinks the active ladders
+// underneath them. Indices (not pointers) keep cached results valid across
+// recompiles: the edge is re-resolved against the current compiled form.
 struct Step1Request {
-  const CompiledSubscription* edge = nullptr;
+  int k = 0;  // index into the subscriber's subscription run
   StreamOption option;
 };
 
@@ -34,11 +37,33 @@ struct MergeSlot {
 
 // Per-worker Step-1 scratch: each thread builds its knapsack instance and
 // solves it in its own buffers, so the parallel fan-out shares nothing
-// mutable and every buffer is reused across solves.
+// mutable and every buffer is reused across solves. Grow-only: classes are
+// never shrunk (shrinking would free the per-class item buffers), the live
+// prefix is passed to the solver as (pointer, count).
 struct Step1Scratch {
   std::vector<MckpClass> classes;
   std::vector<std::vector<int>> class_options;  // indices into active[source]
   MckpWorkspace mckp;
+  MckpResult result;
+  // Per-solve trace counters, summed serially after the fan-out so the
+  // totals are deterministic at any thread count.
+  int cache_hits = 0;
+  int mckp_solves = 0;
+};
+
+// Cached Step-1 results for one subscriber. `full` is the result with no
+// Reduction removals in any watched ladder (the common case: most solves
+// finish in one iteration); `red` remembers the most recent reduced state,
+// keyed by the per-edge removal masks. A cached result is a pure function
+// of (edge list, downlink, watched ladders, removal masks): the warm diff
+// invalidates both entries whenever any of the first three changed, and
+// the mask key guards the fourth.
+struct SubCache {
+  bool full_valid = false;
+  bool red_valid = false;
+  std::vector<Step1Request> full;
+  std::vector<Step1Request> red;
+  std::vector<uint64_t> red_key;  // removal mask per edge at cache time
 };
 
 DataRate BudgetOr(const std::map<ClientId, ClientBudget>& budgets,
@@ -62,6 +87,11 @@ double ElapsedUs(SolveClock::time_point since) {
 struct Orchestrator::Workspace {
   // Active feasible stream sets per source, shrunk by Reduction steps.
   std::vector<std::vector<StreamOption>> active;
+  // Per source: bitmask of removed resolution slots this solve, and a flag
+  // for the (pathological) case of a removal beyond bit 63, which makes
+  // the mask ambiguous — watchers of such a source bypass the cache.
+  std::vector<uint64_t> removed_mask;
+  std::vector<uint8_t> mask_overflow;
   // Step-1 cache: requests per subscriber, recomputed only when dirty.
   std::vector<std::vector<Step1Request>> requests;
   std::vector<uint8_t> dirty;   // per subscriber
@@ -71,10 +101,39 @@ struct Orchestrator::Workspace {
   std::vector<std::vector<std::pair<int, int>>> per_publisher;
   std::vector<int> used_publishers;  // clients with >= 1 stream, ascending
   std::vector<Step1Scratch> scratch;  // one per worker
+  bool scratch_prewarmed = false;     // see the pool-creation warm-up
   // Step-3 repair knapsack scratch (serial; violations are rare).
   std::vector<MckpClass> fix_classes;
   std::vector<std::vector<StreamOption>> fix_class_options;
   MckpWorkspace fix_mckp;
+  MckpResult fix_result;
+
+  // ---- Warm-start state (SolveWarm) ----
+  // Ping-pong compiled snapshots: `warm_cur` indexes the one the caches
+  // refer to; each SolveWarm recompiles into the other slot, diffs, then
+  // flips. The retained snapshot is only ever compared by value — its
+  // `Subscription*` back-pointers are never dereferenced.
+  CompiledProblem warm_compiled[2];
+  int warm_cur = -1;
+  bool warm_valid = false;
+  std::vector<SubCache> caches;       // per subscriber of current snapshot
+  std::vector<SubCache> caches_prev;  // remap scratch on membership change
+  std::vector<uint8_t> source_changed;  // diff scratch, per new source
+
+  // ---- Persistent output (zero-alloc assembly) ----
+  // The Solution returned by reference from every solve. Maps are updated
+  // in place: existing nodes are overwritten, stale keys erased via the
+  // sorted key-list diff below — in the steady state (same key set as the
+  // previous solve) no map node is allocated or freed.
+  Solution solution;
+  std::vector<SourceId> cur_publish_keys;
+  std::vector<std::tuple<ClientId, int, SourceId>> cur_assign_keys;
+  // Recycled PublishedStream elements. When a source publishes fewer
+  // streams than last solve, the trailing elements are moved here instead
+  // of destroyed; when it publishes more, elements are moved back. Their
+  // `receivers` buffers keep their capacity across the round trip, so a
+  // delta that oscillates a source's stream count stays allocation-free.
+  std::vector<PublishedStream> stream_pool;
 };
 
 Orchestrator::Orchestrator(const MckpSolver* step1_solver,
@@ -82,33 +141,177 @@ Orchestrator::Orchestrator(const MckpSolver* step1_solver,
     : step1_solver_(step1_solver),
       options_(options),
       ws_(std::make_unique<Workspace>()) {
-  if (options_.step1_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.step1_threads);
-  }
-  ws_->scratch.resize(
-      static_cast<size_t>(pool_ != nullptr ? pool_->parallelism() : 1));
+  // The pool is created lazily (PoolFor): a process hosting many tiny
+  // conferences never pays for idle worker threads.
+  ws_->scratch.resize(1);
 }
 
 Orchestrator::~Orchestrator() = default;
+
+ThreadPool* Orchestrator::PoolFor(int num_subscribers) const {
+  if (options_.step1_threads <= 1) return nullptr;
+  if (num_subscribers < options_.min_parallel_subscribers) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.step1_threads);
+    ws_->scratch.resize(static_cast<size_t>(pool_->parallelism()));
+  }
+  return pool_.get();
+}
 
 Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
   const auto start = SolveClock::now();
   const CompiledProblem compiled = CompiledProblem::Compile(problem);
   const double compile_us = ElapsedUs(start);
-  Solution solution = SolveCompiled(compiled);
+  Solution solution = RunSolve(compiled, /*use_cache=*/false);
   solution.stats.compile_wall_us = compile_us;
   solution.stats.total_wall_us = ElapsedUs(start);
   return solution;
 }
 
-void Orchestrator::SolveSubscriber(const CompiledProblem& compiled,
-                                   int subscriber, int worker) const {
+const Solution& Orchestrator::SolveCompiled(
+    const CompiledProblem& compiled) const {
+  return RunSolve(compiled, /*use_cache=*/false);
+}
+
+const Solution& Orchestrator::SolveWarm(
+    const OrchestrationProblem& problem) const {
+  const auto start = SolveClock::now();
+  Workspace& ws = *ws_;
+  const int next = ws.warm_cur < 0 ? 0 : 1 - ws.warm_cur;
+  ws.warm_compiled[next].CompileFrom(problem);
+  const double compile_us = ElapsedUs(start);
+
+  const auto diff_start = SolveClock::now();
+  const int dirty = PrepareWarmCaches(next);
+  const double diff_us = ElapsedUs(diff_start);
+
+  const Solution& solution = RunSolve(ws.warm_compiled[next],
+                                      /*use_cache=*/true);
+  ws.warm_cur = next;
+  ws.warm_valid = true;
+  ws.solution.stats.compile_wall_us = compile_us;
+  ws.solution.stats.warm_diff_wall_us = diff_us;
+  ws.solution.stats.dirty_subscribers = dirty;
+  ws.solution.stats.total_wall_us = ElapsedUs(start);
+  return solution;
+}
+
+void Orchestrator::ResetWarmState() const {
+  Workspace& ws = *ws_;
+  ws.warm_valid = false;
+  ws.warm_cur = -1;
+  for (auto& cache : ws.caches) {
+    cache.full_valid = false;
+    cache.red_valid = false;
+  }
+}
+
+int Orchestrator::PrepareWarmCaches(int next) const {
+  Workspace& ws = *ws_;
+  const CompiledProblem& cur = ws.warm_compiled[next];
+  const int num_subscribers = cur.num_subscribers();
+
+  if (!ws.warm_valid) {
+    ws.caches.resize(static_cast<size_t>(num_subscribers));
+    for (auto& cache : ws.caches) {
+      cache.full_valid = false;
+      cache.red_valid = false;
+    }
+    return num_subscribers;
+  }
+
+  const CompiledProblem& prev = ws.warm_compiled[ws.warm_cur];
+
+  // Which sources changed? A source is changed when it is new or its full
+  // ladder differs (content compare; the ladder is sorted deterministically
+  // by compilation, so equal sets compare equal). Every watcher of a
+  // changed source must re-solve: its knapsack classes were built from the
+  // old ladder.
+  const int num_sources = cur.num_sources();
+  ws.source_changed.resize(static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    const CompiledSource& source = cur.sources()[static_cast<size_t>(s)];
+    const int old = prev.SourceIndexOf(source.id);
+    bool changed = old < 0;
+    if (!changed) {
+      changed = !(prev.sources()[static_cast<size_t>(old)].ladder ==
+                  source.ladder);
+    }
+    ws.source_changed[static_cast<size_t>(s)] = changed ? 1 : 0;
+  }
+
+  // Remap caches when the subscriber membership changed (joins/leaves
+  // shift dense indices); the steady state is an identical list, which
+  // skips the remap entirely.
+  const bool same_members = prev.subscriber_ids() == cur.subscriber_ids();
+  if (!same_members) {
+    ws.caches_prev.swap(ws.caches);
+    ws.caches.resize(static_cast<size_t>(num_subscribers));
+    for (int sub = 0; sub < num_subscribers; ++sub) {
+      SubCache& cache = ws.caches[static_cast<size_t>(sub)];
+      const int old = prev.SubscriberIndexOf(cur.subscriber_id(sub));
+      if (old >= 0) {
+        cache = std::move(ws.caches_prev[static_cast<size_t>(old)]);
+      } else {
+        cache.full_valid = false;
+        cache.red_valid = false;
+      }
+    }
+  }
+
+  // Per-subscriber validity: the cached Step-1 result is reusable iff the
+  // subscriber's downlink, its edge list (source identity, cap, priority,
+  // slot — compared by value, positionally) and every watched ladder are
+  // unchanged.
+  int dirty = 0;
+  for (int sub = 0; sub < num_subscribers; ++sub) {
+    SubCache& cache = ws.caches[static_cast<size_t>(sub)];
+    bool valid = cache.full_valid || cache.red_valid;
+    const int old_sub =
+        valid ? (same_members ? sub : prev.SubscriberIndexOf(
+                                          cur.subscriber_id(sub)))
+              : -1;
+    if (valid) {
+      valid = old_sub >= 0 &&
+              prev.subscriber_downlink(old_sub) ==
+                  cur.subscriber_downlink(sub) &&
+              prev.subscription_count(old_sub) == cur.subscription_count(sub);
+    }
+    if (valid) {
+      const CompiledSubscription* old_edges =
+          prev.subscriptions_begin(old_sub);
+      const CompiledSubscription* new_edges = cur.subscriptions_begin(sub);
+      const int n = cur.subscription_count(sub);
+      for (int k = 0; k < n && valid; ++k) {
+        const CompiledSubscription& a = old_edges[k];
+        const CompiledSubscription& b = new_edges[k];
+        valid =
+            prev.sources()[static_cast<size_t>(a.source)].id ==
+                cur.sources()[static_cast<size_t>(b.source)].id &&
+            a.max_resolution == b.max_resolution &&
+            a.priority == b.priority && a.slot == b.slot &&
+            !ws.source_changed[static_cast<size_t>(b.source)];
+      }
+    }
+    if (!valid) {
+      cache.full_valid = false;
+      cache.red_valid = false;
+      ++dirty;
+    }
+  }
+  return dirty;
+}
+
+void Orchestrator::SolveSubscriberMckp(const CompiledProblem& compiled,
+                                       int subscriber, int worker) const {
   Workspace& ws = *ws_;
   Step1Scratch& scratch = ws.scratch[static_cast<size_t>(worker)];
   const CompiledSubscription* edges = compiled.subscriptions_begin(subscriber);
   const size_t n = static_cast<size_t>(compiled.subscription_count(subscriber));
 
-  scratch.classes.resize(n);
+  // Grow-only: never shrink `classes` (that would free per-class item
+  // buffers); the live prefix [0, n) is what the solver sees.
+  if (scratch.classes.size() < n) scratch.classes.resize(n);
   if (scratch.class_options.size() < n) scratch.class_options.resize(n);
   for (size_t k = 0; k < n; ++k) {
     const CompiledSubscription& edge = edges[k];
@@ -132,33 +335,97 @@ void Orchestrator::SolveSubscriber(const CompiledProblem& compiled,
   const int64_t capacity = downlink.IsFinite()
                                ? downlink.bps()
                                : std::numeric_limits<int64_t>::max() / 4;
-  const MckpResult result =
-      step1_solver_->Solve(scratch.classes, capacity, &scratch.mckp);
+  step1_solver_->Solve(scratch.classes.data(), n, capacity, &scratch.mckp,
+                       &scratch.result);
+  ++scratch.mckp_solves;
 
   auto& requests = ws.requests[static_cast<size_t>(subscriber)];
   requests.clear();
   for (size_t k = 0; k < n; ++k) {
-    if (result.choice[k] < 0) continue;
-    const int option_index =
-        scratch.class_options[k][static_cast<size_t>(result.choice[k])];
+    if (scratch.result.choice[k] < 0) continue;
+    const int option_index = scratch.class_options[k][static_cast<size_t>(
+        scratch.result.choice[k])];
     requests.push_back(Step1Request{
-        &edges[k], ws.active[static_cast<size_t>(edges[k].source)]
-                            [static_cast<size_t>(option_index)]});
+        static_cast<int>(k), ws.active[static_cast<size_t>(edges[k].source)]
+                                      [static_cast<size_t>(option_index)]});
   }
 }
 
-Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
+void Orchestrator::Step1ForSubscriber(const CompiledProblem& compiled,
+                                      int subscriber, int worker,
+                                      bool use_cache) const {
+  Workspace& ws = *ws_;
+  if (!use_cache) {
+    SolveSubscriberMckp(compiled, subscriber, worker);
+    return;
+  }
+
+  // Probe the warm cache. The removal state of the watched sources is the
+  // remaining input dimension: all-zero masks hit the `full` entry, a
+  // nonzero state hits `red` iff the per-edge masks match its key. A
+  // cached result replayed here is bit-identical to re-solving: the diff
+  // guaranteed identical edges, downlink and ladders, and the mask pins
+  // the identical active subset.
+  SubCache& cache = ws.caches[static_cast<size_t>(subscriber)];
+  const CompiledSubscription* edges = compiled.subscriptions_begin(subscriber);
+  const size_t n = static_cast<size_t>(compiled.subscription_count(subscriber));
+  bool cacheable = true;
+  bool all_zero = true;
+  bool red_match = cache.red_valid && cache.red_key.size() == n;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t source = static_cast<size_t>(edges[k].source);
+    if (ws.mask_overflow[source]) cacheable = false;
+    const uint64_t mask = ws.removed_mask[source];
+    if (mask != 0) all_zero = false;
+    if (red_match && cache.red_key[k] != mask) red_match = false;
+  }
+  Step1Scratch& scratch = ws.scratch[static_cast<size_t>(worker)];
+  if (cacheable) {
+    if (all_zero && cache.full_valid) {
+      ws.requests[static_cast<size_t>(subscriber)] = cache.full;
+      ++scratch.cache_hits;
+      return;
+    }
+    if (!all_zero && red_match) {
+      ws.requests[static_cast<size_t>(subscriber)] = cache.red;
+      ++scratch.cache_hits;
+      return;
+    }
+  }
+
+  SolveSubscriberMckp(compiled, subscriber, worker);
+  if (!cacheable) return;
+  const auto& requests = ws.requests[static_cast<size_t>(subscriber)];
+  if (all_zero) {
+    cache.full = requests;
+    cache.full_valid = true;
+  } else {
+    cache.red_key.clear();
+    for (size_t k = 0; k < n; ++k) {
+      cache.red_key.push_back(
+          ws.removed_mask[static_cast<size_t>(edges[k].source)]);
+    }
+    cache.red = requests;
+    cache.red_valid = true;
+  }
+}
+
+const Solution& Orchestrator::RunSolve(const CompiledProblem& compiled,
+                                       bool use_cache) const {
   const auto solve_start = SolveClock::now();
   SolveStats stats;
   Workspace& ws = *ws_;
   const auto& sources = compiled.sources();
   const int num_sources = compiled.num_sources();
   const int num_subscribers = compiled.num_subscribers();
+  if (!use_cache) stats.dirty_subscribers = num_subscribers;
 
   ws.active.resize(static_cast<size_t>(num_sources));
   for (int s = 0; s < num_sources; ++s) {
     ws.active[static_cast<size_t>(s)] = sources[static_cast<size_t>(s)].ladder;
   }
+  ws.removed_mask.assign(static_cast<size_t>(num_sources), 0);
+  ws.mask_overflow.assign(static_cast<size_t>(num_sources), 0);
   ws.requests.resize(static_cast<size_t>(num_subscribers));
   for (auto& requests : ws.requests) requests.clear();
   ws.dirty.assign(static_cast<size_t>(num_subscribers), 1);
@@ -166,35 +433,72 @@ Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
   ws.per_publisher.resize(static_cast<size_t>(compiled.num_clients()));
   for (auto& streams : ws.per_publisher) streams.clear();
   ws.used_publishers.clear();
+  for (auto& scratch : ws.scratch) {
+    scratch.cache_hits = 0;
+    scratch.mckp_solves = 0;
+  }
+
+  ThreadPool* pool = PoolFor(num_subscribers);
+  if (pool != nullptr && !ws.scratch_prewarmed) {
+    // Deterministic scratch warm-up. Dynamic chunking means which worker
+    // solves which subscriber depends on OS scheduling, so the per-worker
+    // grow-only buffers would otherwise reach steady-state capacity at an
+    // unpredictable point (a starved worker can first touch its scratch
+    // many solves in). Running every full-ladder instance through every
+    // worker's scratch once — serially, at pool creation — bounds all
+    // later growth for this problem shape: Reduction only shrinks Step-1
+    // instances, so pooled steady-state solves are allocation-free no
+    // matter how chunks land on workers.
+    for (size_t w = 0; w < ws.scratch.size(); ++w) {
+      for (int sub = 0; sub < num_subscribers; ++sub) {
+        Step1ForSubscriber(compiled, sub, static_cast<int>(w),
+                           /*use_cache=*/false);
+      }
+    }
+    for (auto& scratch : ws.scratch) {
+      scratch.cache_hits = 0;
+      scratch.mckp_solves = 0;
+    }
+    ws.scratch_prewarmed = true;
+  }
 
   // Each resolution can be removed at most once; one extra pass terminates.
   const int max_iterations = compiled.total_merge_slots() + 1;
 
-  Solution solution;
+  Solution& solution = ws.solution;
+  solution.total_qoe = 0.0;
+  solution.step1_qoe = 0.0;
+  solution.iterations = 0;
   for (int iteration = 1; iteration <= max_iterations; ++iteration) {
     stats.iterations = iteration;
 
     // ---- Step 1: per-subscriber Multiple-Choice Knapsack ----
     // Dirty subscribers are independent: each solve reads only the active
     // ladders (immutable within an iteration) and writes its own request
-    // slot, so the fan-out is deterministic at any thread count.
+    // slot, so the fan-out is deterministic at any thread count and grain.
     const auto step1_start = SolveClock::now();
     ws.dirty_list.clear();
     for (int sub = 0; sub < num_subscribers; ++sub) {
       if (ws.dirty[static_cast<size_t>(sub)]) ws.dirty_list.push_back(sub);
     }
     const int num_dirty = static_cast<int>(ws.dirty_list.size());
-    if (pool_ != nullptr && num_dirty > 1) {
-      pool_->ParallelFor(num_dirty, [&](int i, int worker) {
-        SolveSubscriber(compiled, ws.dirty_list[static_cast<size_t>(i)],
-                        worker);
-      });
+    if (pool != nullptr && num_dirty > 1) {
+      const auto parallel_start = SolveClock::now();
+      pool->ParallelFor(
+          num_dirty,
+          [&](int i, int worker) {
+            Step1ForSubscriber(compiled,
+                               ws.dirty_list[static_cast<size_t>(i)], worker,
+                               use_cache);
+          },
+          options_.step1_grain);
+      stats.step1_parallel_wall_us += ElapsedUs(parallel_start);
     } else {
       for (int i = 0; i < num_dirty; ++i) {
-        SolveSubscriber(compiled, ws.dirty_list[static_cast<size_t>(i)], 0);
+        Step1ForSubscriber(compiled, ws.dirty_list[static_cast<size_t>(i)], 0,
+                           use_cache);
       }
     }
-    stats.knapsack_solves += num_dirty;
     std::fill(ws.dirty.begin(), ws.dirty.end(), static_cast<uint8_t>(0));
     stats.step1_wall_us += ElapsedUs(step1_start);
 
@@ -206,9 +510,12 @@ Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
     }
     for (int sub = 0; sub < num_subscribers; ++sub) {
       const ClientId subscriber = compiled.subscriber_id(sub);
+      const CompiledSubscription* edges = compiled.subscriptions_begin(sub);
       for (const auto& req : ws.requests[static_cast<size_t>(sub)]) {
+        const CompiledSubscription& edge =
+            edges[static_cast<size_t>(req.k)];
         const CompiledSource& source =
-            sources[static_cast<size_t>(req.edge->source)];
+            sources[static_cast<size_t>(edge.source)];
         const size_t slot_index = static_cast<size_t>(
             source.slot_offset + source.SlotOf(req.option.resolution));
         MergeSlot& slot = ws.merged[slot_index];
@@ -218,7 +525,7 @@ Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
         }
         slot.used = true;
         slot.receivers.push_back(
-            PublishedStream::Receiver{subscriber, req.edge->slot});
+            PublishedStream::Receiver{subscriber, edge.slot});
       }
     }
 
@@ -258,7 +565,9 @@ Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
       // Eq. (17): fixable iff the per-resolution minimum bitrates fit.
       DataRate floor_total;
       bool floor_ok = true;
-      ws.fix_classes.resize(streams.size());
+      if (ws.fix_classes.size() < streams.size()) {
+        ws.fix_classes.resize(streams.size());
+      }
       if (ws.fix_class_options.size() < streams.size()) {
         ws.fix_class_options.resize(streams.size());
       }
@@ -292,8 +601,9 @@ Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
 
       if (floor_ok && floor_total <= uplink) {
         // Fix by the small mandatory knapsack over B_u (Eq. 15-16).
-        const MckpResult fix =
-            fix_solver_.Solve(ws.fix_classes, uplink.bps(), &ws.fix_mckp);
+        fix_solver_.Solve(ws.fix_classes.data(), streams.size(),
+                          uplink.bps(), &ws.fix_mckp, &ws.fix_result);
+        const MckpResult& fix = ws.fix_result;
         ++stats.knapsack_solves;
         if (fix.feasible) {
           ++stats.uplink_fixes;
@@ -317,41 +627,109 @@ Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
 
     if (reduce_client < 0) {
       stats.step3_wall_us += ElapsedUs(step3_start);
-      // Every constraint satisfied: assemble the final solution.
+      // Every constraint satisfied: assemble the final solution into the
+      // persistent Solution. Map values are overwritten in place and the
+      // key lists collected here drive stale-entry cleanup below, so a
+      // steady-state re-solve allocates nothing.
+      ws.cur_publish_keys.clear();
       for (int s = 0; s < num_sources; ++s) {
         const CompiledSource& source = sources[static_cast<size_t>(s)];
         std::vector<PublishedStream>* publish = nullptr;
+        size_t used = 0;
         for (size_t r = 0; r < source.resolutions.size(); ++r) {
           MergeSlot& slot =
               ws.merged[static_cast<size_t>(source.slot_offset) + r];
           if (!slot.used) continue;
-          PublishedStream stream;
+          if (publish == nullptr) {
+            publish = &solution.publish[source.id];
+            ws.cur_publish_keys.push_back(source.id);
+          }
+          if (used == publish->size()) {
+            if (!ws.stream_pool.empty()) {
+              publish->push_back(std::move(ws.stream_pool.back()));
+              ws.stream_pool.pop_back();
+            } else {
+              publish->emplace_back();
+            }
+          }
+          PublishedStream& stream = (*publish)[used++];
           stream.resolution = source.resolutions[r];
           stream.bitrate = slot.bitrate;
           stream.qoe = slot.qoe;
           stream.receivers = slot.receivers;
           std::sort(stream.receivers.begin(), stream.receivers.end());
-          if (publish == nullptr) publish = &solution.publish[source.id];
-          publish->push_back(std::move(stream));
+        }
+        while (publish != nullptr && publish->size() > used) {
+          ws.stream_pool.push_back(std::move(publish->back()));
+          publish->pop_back();
         }
       }
+      // Erase publishers that no longer publish. Both the map and the key
+      // list ascend, and every collected key is present in the map, so a
+      // single merge walk finds exactly the stale entries.
+      {
+        auto it = solution.publish.begin();
+        auto key = ws.cur_publish_keys.begin();
+        while (it != solution.publish.end()) {
+          if (key != ws.cur_publish_keys.end() && it->first == *key) {
+            ++it;
+            ++key;
+          } else {
+            for (auto& s : it->second) ws.stream_pool.push_back(std::move(s));
+            it = solution.publish.erase(it);
+          }
+        }
+      }
+
+      ws.cur_assign_keys.clear();
       for (int sub = 0; sub < num_subscribers; ++sub) {
         const ClientId subscriber = compiled.subscriber_id(sub);
+        const CompiledSubscription* edges = compiled.subscriptions_begin(sub);
         for (const auto& req : ws.requests[static_cast<size_t>(sub)]) {
-          solution.step1_qoe += req.option.qoe * req.edge->priority;
+          const CompiledSubscription& edge =
+              edges[static_cast<size_t>(req.k)];
+          solution.step1_qoe += req.option.qoe * edge.priority;
           const CompiledSource& source =
-              sources[static_cast<size_t>(req.edge->source)];
+              sources[static_cast<size_t>(edge.source)];
           const int r = source.SlotOf(req.option.resolution);
           GSO_CHECK_GE(r, 0);
           const MergeSlot& slot = ws.merged[static_cast<size_t>(
               source.slot_offset + r)];
           GSO_CHECK(slot.used);
-          solution.per_subscriber[{subscriber, req.edge->slot}][source.id] =
+          solution.per_subscriber[{subscriber, edge.slot}][source.id] =
               Solution::Assigned{req.option.resolution, slot.bitrate};
-          solution.total_qoe += slot.qoe * req.edge->priority;
+          solution.total_qoe += slot.qoe * edge.priority;
+          ws.cur_assign_keys.emplace_back(subscriber, edge.slot, source.id);
         }
       }
+      // Sweep assignments that no longer exist (sorted key-list diff; the
+      // sort is in-place and the lookups allocate nothing).
+      std::sort(ws.cur_assign_keys.begin(), ws.cur_assign_keys.end());
+      for (auto outer = solution.per_subscriber.begin();
+           outer != solution.per_subscriber.end();) {
+        auto& inner = outer->second;
+        for (auto it = inner.begin(); it != inner.end();) {
+          const auto key = std::make_tuple(outer->first.first,
+                                           outer->first.second, it->first);
+          if (std::binary_search(ws.cur_assign_keys.begin(),
+                                 ws.cur_assign_keys.end(), key)) {
+            ++it;
+          } else {
+            it = inner.erase(it);
+          }
+        }
+        if (inner.empty()) {
+          outer = solution.per_subscriber.erase(outer);
+        } else {
+          ++outer;
+        }
+      }
+
       solution.iterations = iteration;
+      for (const auto& scratch : ws.scratch) {
+        stats.knapsack_solves += scratch.mckp_solves;
+        stats.step1_cache_hits += scratch.cache_hits;
+      }
       solution.stats = stats;
       solution.stats.total_wall_us = ElapsedUs(solve_start);
       return solution;
@@ -380,6 +758,16 @@ Solution Orchestrator::SolveCompiled(const CompiledProblem& compiled) const {
                                    return o.resolution == highest;
                                  }),
                   options.end());
+    {
+      const CompiledSource& source = sources[static_cast<size_t>(victim)];
+      const int r = source.SlotOf(highest);
+      GSO_CHECK_GE(r, 0);
+      if (r < 64) {
+        ws.removed_mask[static_cast<size_t>(victim)] |= uint64_t{1} << r;
+      } else {
+        ws.mask_overflow[static_cast<size_t>(victim)] = 1;
+      }
+    }
     for (const int sub : compiled.watchers(victim)) {
       ws.dirty[static_cast<size_t>(sub)] = 1;
     }

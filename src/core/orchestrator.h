@@ -22,6 +22,17 @@
 // loop touches only flat vectors, reusable MCKP workspaces and bitmaps.
 // Step-1 knapsacks are independent per subscriber and can optionally run
 // on a thread pool; results are bit-identical at any thread count.
+//
+// Warm-start (SolveWarm): the orchestrator retains the previous compiled
+// problem and per-subscriber Step-1 results across solves. Each warm call
+// recompiles the new snapshot into reused storage, value-diffs it against
+// the previous one, and invalidates only the subscribers whose Step-1
+// inputs (edge list, downlink, watched ladders) actually changed — every
+// other subscriber's knapsack is answered from the cache. A cached result
+// is a pure function of those inputs plus the Reduction removal state, so
+// replaying it is bit-identical to re-solving; Steps 2/3 and solution
+// assembly always run in full, preserving the reference float-accumulation
+// order. After warm-up, a warm solve performs zero heap allocations.
 #ifndef GSO_CORE_ORCHESTRATOR_H_
 #define GSO_CORE_ORCHESTRATOR_H_
 
@@ -35,6 +46,9 @@
 // Feature-test macro for code that must also build against the pre-options
 // orchestrator API (e.g. the scaling bench comparing seed checkouts).
 #define GSO_ORCHESTRATOR_HAS_OPTIONS 1
+// Feature-test macro for the incremental re-solve API (SolveWarm,
+// ResetWarmState) and the warm/parallel SolveStats extensions.
+#define GSO_ORCHESTRATOR_HAS_WARM_SOLVE 1
 
 namespace gso {
 class ThreadPool;
@@ -48,11 +62,21 @@ using OrchestratorStats = SolveStats;
 
 struct OrchestratorOptions {
   // Number of threads solving the Step-1 per-subscriber knapsacks. 1 keeps
-  // the solve fully serial (no pool, no synchronization); >1 spins up a
+  // the solve fully serial (no pool, no synchronization); >1 allows a
   // pool owned by the orchestrator. Solutions are bit-identical at any
   // thread count: each subscriber's knapsack reads only immutable
   // iteration state and writes its own result slot.
   int step1_threads = 1;
+  // The pool is created lazily, on the first solve whose subscriber count
+  // reaches this threshold — processes hosting many tiny conferences never
+  // hold idle worker threads. Solves below the threshold run serially
+  // even after the pool exists (the fan-out would cost more than it saves).
+  int min_parallel_subscribers = 8;
+  // Chunk size for the Step-1 fan-out: each worker grabs `step1_grain`
+  // subscribers per atomic fetch. 0 derives a grain that hands every
+  // worker a few chunks (dynamic balancing without per-index contention).
+  // Grain never affects results, only scheduling.
+  int step1_grain = 0;
 };
 
 class Orchestrator {
@@ -67,25 +91,51 @@ class Orchestrator {
   Orchestrator(const Orchestrator&) = delete;
   Orchestrator& operator=(const Orchestrator&) = delete;
 
-  // The one entry point: compiles `problem` to the dense-index form and
-  // delegates to SolveCompiled. The returned Solution carries the full
-  // solve trace in `Solution::stats` (work counts + per-step wall time).
+  // Cold solve: compiles `problem` to the dense-index form and solves it
+  // from scratch. The returned Solution carries the full solve trace in
+  // `Solution::stats` (work counts + per-step wall time).
   Solution Solve(const OrchestrationProblem& problem) const;
+
   // Delegate fast path for callers that keep the compiled form alive
   // across rounds (the OrchestrationProblem it was compiled from must
   // outlive the call). `stats.compile_wall_us` is zero on this path.
-  Solution SolveCompiled(const CompiledProblem& compiled) const;
+  // The returned reference lives in the orchestrator and is valid until
+  // the next solve call.
+  const Solution& SolveCompiled(const CompiledProblem& compiled) const;
+
+  // Incremental solve: recompiles `problem` into retained storage, diffs
+  // it against the previous warm snapshot, and re-runs Step 1 only for
+  // subscribers whose inputs changed. Bit-identical to Solve(problem) —
+  // same publish policy, same QoE sums, same iteration count — at every
+  // thread count; only the `stats` trace differs (fewer knapsack solves).
+  // `problem` must outlive the call; the snapshot retained for the *next*
+  // diff is compared by value only, so the caller may mutate or destroy
+  // the problem afterwards. The returned reference is valid until the
+  // next solve call.
+  const Solution& SolveWarm(const OrchestrationProblem& problem) const;
+
+  // Drops all warm state (previous snapshot + Step-1 caches); the next
+  // SolveWarm behaves like a first call. Storage is kept for reuse.
+  void ResetWarmState() const;
 
  private:
   struct Workspace;  // grow-only per-solve scratch, defined in the .cpp
 
-  void SolveSubscriber(const CompiledProblem& compiled, int subscriber,
-                       int worker) const;
+  const Solution& RunSolve(const CompiledProblem& compiled,
+                           bool use_cache) const;
+  void Step1ForSubscriber(const CompiledProblem& compiled, int subscriber,
+                          int worker, bool use_cache) const;
+  void SolveSubscriberMckp(const CompiledProblem& compiled, int subscriber,
+                           int worker) const;
+  // Diffs the previous warm snapshot against warm_compiled[next],
+  // invalidating caches whose inputs changed; returns the dirty count.
+  int PrepareWarmCaches(int next) const;
+  ThreadPool* PoolFor(int num_subscribers) const;
 
   const MckpSolver* step1_solver_;
   DpMckpSolver fix_solver_;
   OrchestratorOptions options_;
-  std::unique_ptr<ThreadPool> pool_;
+  mutable std::unique_ptr<ThreadPool> pool_;
   mutable std::unique_ptr<Workspace> ws_;
 };
 

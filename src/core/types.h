@@ -128,11 +128,22 @@ struct PublishedStream {
 // controller implementation itself, not simulated behaviour.
 struct SolveStats {
   int iterations = 0;
-  int knapsack_solves = 0;
+  int knapsack_solves = 0;  // MCKP instances actually solved (not cached)
   int reductions = 0;
   int uplink_fixes = 0;
+  // Warm-start trace: subscribers whose cached Step-1 result was
+  // invalidated by the input delta, and Step-1 solves answered from the
+  // warm cache instead of re-running the knapsack. Cold solves report
+  // dirty_subscribers == all subscribers and zero cache hits.
+  int dirty_subscribers = 0;
+  int step1_cache_hits = 0;
   double compile_wall_us = 0.0;  // problem -> dense-index compilation
+  double warm_diff_wall_us = 0.0;  // old-vs-new diff on the warm path
   double step1_wall_us = 0.0;    // per-subscriber knapsacks
+  // Portion of step1_wall_us spent inside the multi-threaded fan-out;
+  // zero when Step 1 ran serially. step1_wall_us - step1_parallel_wall_us
+  // is the serial share (dirty-list build, cache probes, small batches).
+  double step1_parallel_wall_us = 0.0;
   double step2_wall_us = 0.0;    // per-source merges
   double step3_wall_us = 0.0;    // uplink checks / fixes / reductions
   double total_wall_us = 0.0;    // whole solve including compilation

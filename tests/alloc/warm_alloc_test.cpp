@@ -1,0 +1,204 @@
+// Hot-path allocation discipline: after warm-up, a warm SolveCompiled and
+// a delta re-solve (SolveWarm) must perform zero heap allocations. Global
+// operator new/delete are replaced with counting versions, so this test
+// lives in its own executable (gso_alloc_tests) and is skipped under
+// sanitizers, whose interceptors own the allocator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/mckp.h"
+#include "core/orchestrator.h"
+#include "core/types.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GSO_ALLOC_TEST_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define GSO_ALLOC_TEST_DISABLED 1
+#endif
+#endif
+
+#ifndef GSO_ALLOC_TEST_DISABLED
+
+namespace {
+std::atomic<int64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  std::abort();
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size ? size : 1) != 0) {
+    std::abort();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // !GSO_ALLOC_TEST_DISABLED
+
+namespace gso::core {
+namespace {
+
+#ifndef GSO_ALLOC_TEST_DISABLED
+// Runs `fn` with allocation counting enabled; returns the number of
+// operator-new calls it performed.
+template <typename Fn>
+int64_t CountAllocations(Fn&& fn) {
+  const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  fn();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+#endif
+
+// An all-subscribe mesh with mixed budgets: slow clients force uplink
+// fixes and reductions, so the counted solves exercise Steps 1-3 plus the
+// reduction/re-dirty path, not just the single-iteration fast case.
+OrchestrationProblem MeshWithReductions(int clients) {
+  OrchestrationProblem problem;
+  const auto ladder = BuildLadder(
+      {{kResolution720p, DataRate::KilobitsPerSec(900),
+        DataRate::KilobitsPerSec(1800), 4},
+       {kResolution360p, DataRate::KilobitsPerSec(350),
+        DataRate::KilobitsPerSec(800), 4},
+       {kResolution180p, DataRate::KilobitsPerSec(80),
+        DataRate::KilobitsPerSec(300), 4}});
+  for (int i = 1; i <= clients; ++i) {
+    const ClientId id{static_cast<uint32_t>(i)};
+    const bool slow = i % 3 == 0;
+    problem.budgets.push_back(
+        {id,
+         slow ? DataRate::KilobitsPerSec(400)
+              : DataRate::KilobitsPerSec(6000),
+         slow ? DataRate::KilobitsPerSec(900)
+              : DataRate::KilobitsPerSec(8000)});
+    problem.capabilities.push_back({{id, SourceKind::kCamera}, ladder});
+  }
+  for (int s = 1; s <= clients; ++s) {
+    for (int p = 1; p <= clients; ++p) {
+      if (s == p) continue;
+      problem.subscriptions.push_back(
+          {ClientId{static_cast<uint32_t>(s)},
+           {ClientId{static_cast<uint32_t>(p)}, SourceKind::kCamera},
+           kResolution720p,
+           1.0,
+           0});
+    }
+  }
+  return problem;
+}
+
+TEST(WarmAlloc, SolveCompiledIsAllocationFreeAfterWarmup) {
+#ifdef GSO_ALLOC_TEST_DISABLED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#else
+  const DpMckpSolver solver;
+  const Orchestrator orchestrator(&solver);
+  const auto problem = MeshWithReductions(12);
+  const CompiledProblem compiled = CompiledProblem::Compile(problem);
+
+  for (int i = 0; i < 3; ++i) (void)orchestrator.SolveCompiled(compiled);
+  const int64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 5; ++i) (void)orchestrator.SolveCompiled(compiled);
+  });
+  EXPECT_EQ(allocs, 0) << "steady-state SolveCompiled allocated";
+#endif
+}
+
+TEST(WarmAlloc, SolveCompiledIsAllocationFreeWithThreadPool) {
+#ifdef GSO_ALLOC_TEST_DISABLED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#else
+  const DpMckpSolver solver;
+  OrchestratorOptions options;
+  options.step1_threads = 4;
+  options.min_parallel_subscribers = 2;
+  const Orchestrator orchestrator(&solver, options);
+  const auto problem = MeshWithReductions(12);
+  const CompiledProblem compiled = CompiledProblem::Compile(problem);
+
+  // Warm-up also creates the lazy pool and its per-worker scratch.
+  for (int i = 0; i < 3; ++i) (void)orchestrator.SolveCompiled(compiled);
+  const int64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 5; ++i) (void)orchestrator.SolveCompiled(compiled);
+  });
+  EXPECT_EQ(allocs, 0) << "parallel SolveCompiled allocated";
+#endif
+}
+
+TEST(WarmAlloc, DeltaResolveIsAllocationFreeAfterWarmup) {
+#ifdef GSO_ALLOC_TEST_DISABLED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#else
+  const DpMckpSolver solver;
+  const Orchestrator orchestrator(&solver);
+  OrchestrationProblem problem = MeshWithReductions(12);
+
+  // Warm up both toggle states so every grow-only buffer reaches its
+  // steady-state capacity before counting starts.
+  const DataRate kA = DataRate::KilobitsPerSec(900);
+  const DataRate kB = DataRate::KilobitsPerSec(5000);
+  for (int i = 0; i < 6; ++i) {
+    problem.budgets[4].downlink = i % 2 == 0 ? kA : kB;
+    (void)orchestrator.SolveWarm(problem);
+  }
+  const int64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 6; ++i) {
+      problem.budgets[4].downlink = i % 2 == 0 ? kA : kB;
+      (void)orchestrator.SolveWarm(problem);
+    }
+  });
+  EXPECT_EQ(allocs, 0) << "steady-state delta re-solve allocated";
+#endif
+}
+
+}  // namespace
+}  // namespace gso::core

@@ -68,6 +68,59 @@ TEST(ThreadPool, ZeroAndNegativeCountsAreNoOps) {
   EXPECT_EQ(calls, 0);
 }
 
+TEST(ThreadPool, ChunkedCoversEveryIndexOnceAtAnyGrain) {
+  ThreadPool pool(4);
+  constexpr int kCount = 337;  // prime: never divides evenly into chunks
+  for (int grain : {1, 2, 7, 64, 400}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelForChunked(kCount, grain,
+                            [&](int begin, int end, int worker) {
+                              ASSERT_GE(worker, 0);
+                              ASSERT_LT(worker, pool.parallelism());
+                              ASSERT_LE(end, kCount);
+                              for (int i = begin; i < end; ++i) {
+                                hits[static_cast<size_t>(i)].fetch_add(
+                                    1, std::memory_order_relaxed);
+                              }
+                            });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, SlotWritesAreDeterministicAcrossGrains) {
+  // Each index writes a pure function of itself into its own slot, so the
+  // result must be identical at every parallelism and grain.
+  auto run = [](int parallelism, int grain) {
+    ThreadPool pool(parallelism);
+    std::vector<int64_t> out(1000);
+    pool.ParallelForChunked(1000, grain, [&](int begin, int end, int) {
+      for (int i = begin; i < end; ++i) {
+        out[static_cast<size_t>(i)] = static_cast<int64_t>(i) * i + 7;
+      }
+    });
+    return out;
+  };
+  const auto reference = run(1, 1);
+  for (int parallelism : {2, 4, 8}) {
+    for (int grain : {0, 1, 13, 250}) {
+      EXPECT_EQ(run(parallelism, grain), reference)
+          << "parallelism " << parallelism << " grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPool, MorePoolThreadsThanIndices) {
+  // Workers that find no chunk left must still ack so the caller returns.
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(2, [&](int index, int) {
+      total.fetch_add(index + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 3);
+}
+
 TEST(ThreadPool, PerWorkerScratchIsRaceFree) {
   // The orchestrator keys scratch buffers by worker id; two concurrent
   // calls must never observe the same worker id. Detect collisions by

@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "core/mckp.h"
 #include "core/orchestrator.h"
+#include "solution_testutil.h"
 #include "core/types.h"
 
 namespace gso::core {
@@ -335,90 +336,9 @@ Solution Solve(const OrchestrationProblem& problem, const RefDpSolver& step1,
 
 namespace {
 
-struct ShapeParams {
-  int clients;
-  int levels_per_resolution;
-  double slow_fraction;
-  double edge_probability;
-};
-
-OrchestrationProblem RandomProblem(const ShapeParams& params, uint64_t seed) {
-  Rng rng(seed);
-  OrchestrationProblem problem;
-  const auto ladder = BuildLadder(
-      {{kResolution720p, DataRate::KilobitsPerSec(900),
-        DataRate::KilobitsPerSec(1800), params.levels_per_resolution},
-       {kResolution360p, DataRate::KilobitsPerSec(350),
-        DataRate::KilobitsPerSec(800), params.levels_per_resolution},
-       {kResolution180p, DataRate::KilobitsPerSec(80),
-        DataRate::KilobitsPerSec(300), params.levels_per_resolution}});
-  for (int i = 1; i <= params.clients; ++i) {
-    const ClientId id{static_cast<uint32_t>(i)};
-    const bool slow = rng.Bernoulli(params.slow_fraction);
-    ClientBudget budget;
-    budget.client = id;
-    budget.uplink = slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 700))
-                         : DataRate::KilobitsPerSec(rng.UniformInt(800, 8000));
-    budget.downlink =
-        slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 900))
-             : DataRate::KilobitsPerSec(rng.UniformInt(1000, 12000));
-    problem.budgets.push_back(budget);
-    problem.capabilities.push_back({{id, SourceKind::kCamera}, ladder});
-  }
-  const Resolution caps[] = {kResolution180p, kResolution360p,
-                             kResolution720p};
-  for (int s = 1; s <= params.clients; ++s) {
-    for (int p = 1; p <= params.clients; ++p) {
-      if (s == p || !rng.Bernoulli(params.edge_probability)) continue;
-      problem.subscriptions.push_back(
-          {ClientId{static_cast<uint32_t>(s)},
-           {ClientId{static_cast<uint32_t>(p)}, SourceKind::kCamera},
-           caps[rng.UniformInt(0, 2)],
-           rng.Bernoulli(0.1) ? 3.0 : 1.0,
-           rng.Bernoulli(0.1) ? 1 : 0});
-    }
-  }
-  return problem;
-}
-
-void ExpectBitIdentical(const Solution& a, const Solution& b,
-                        const char* label, uint64_t seed) {
-  SCOPED_TRACE(testing::Message() << label << " seed " << seed);
-  EXPECT_EQ(a.iterations, b.iterations);
-  EXPECT_EQ(a.total_qoe, b.total_qoe);  // exact: same accumulation order
-  EXPECT_EQ(a.step1_qoe, b.step1_qoe);
-
-  ASSERT_EQ(a.publish.size(), b.publish.size());
-  auto pa = a.publish.begin();
-  auto pb = b.publish.begin();
-  for (; pa != a.publish.end(); ++pa, ++pb) {
-    ASSERT_TRUE(pa->first == pb->first);
-    ASSERT_EQ(pa->second.size(), pb->second.size());
-    for (size_t k = 0; k < pa->second.size(); ++k) {
-      const PublishedStream& sa = pa->second[k];
-      const PublishedStream& sb = pb->second[k];
-      EXPECT_TRUE(sa.resolution == sb.resolution);
-      EXPECT_EQ(sa.bitrate, sb.bitrate);
-      EXPECT_EQ(sa.qoe, sb.qoe);
-      EXPECT_EQ(sa.receivers, sb.receivers);
-    }
-  }
-
-  ASSERT_EQ(a.per_subscriber.size(), b.per_subscriber.size());
-  auto sa = a.per_subscriber.begin();
-  auto sb = b.per_subscriber.begin();
-  for (; sa != a.per_subscriber.end(); ++sa, ++sb) {
-    ASSERT_TRUE(sa->first == sb->first);
-    ASSERT_EQ(sa->second.size(), sb->second.size());
-    auto ia = sa->second.begin();
-    auto ib = sb->second.begin();
-    for (; ia != sa->second.end(); ++ia, ++ib) {
-      ASSERT_TRUE(ia->first == ib->first);
-      EXPECT_TRUE(ia->second.resolution == ib->second.resolution);
-      EXPECT_EQ(ia->second.bitrate, ib->second.bitrate);
-    }
-  }
-}
+using testutil::ExpectBitIdentical;
+using testutil::RandomProblem;
+using testutil::ShapeParams;
 
 const ShapeParams kShapes[] = {
     {3, 3, 0.3, 0.7},  {5, 5, 0.3, 0.7},  {8, 5, 0.5, 0.7},

@@ -1,0 +1,110 @@
+// Shared helpers for orchestrator equivalence-style tests: a randomized
+// problem generator and a bit-level Solution comparison. Used by the
+// cold-path equivalence test (fast path vs frozen reference) and the
+// warm-start property test (incremental vs cold re-solve).
+#ifndef GSO_TESTS_CORE_SOLUTION_TESTUTIL_H_
+#define GSO_TESTS_CORE_SOLUTION_TESTUTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/types.h"
+
+namespace gso::core::testutil {
+
+struct ShapeParams {
+  int clients;
+  int levels_per_resolution;
+  double slow_fraction;
+  double edge_probability;
+};
+
+inline OrchestrationProblem RandomProblem(const ShapeParams& params,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  OrchestrationProblem problem;
+  const auto ladder = BuildLadder(
+      {{kResolution720p, DataRate::KilobitsPerSec(900),
+        DataRate::KilobitsPerSec(1800), params.levels_per_resolution},
+       {kResolution360p, DataRate::KilobitsPerSec(350),
+        DataRate::KilobitsPerSec(800), params.levels_per_resolution},
+       {kResolution180p, DataRate::KilobitsPerSec(80),
+        DataRate::KilobitsPerSec(300), params.levels_per_resolution}});
+  for (int i = 1; i <= params.clients; ++i) {
+    const ClientId id{static_cast<uint32_t>(i)};
+    const bool slow = rng.Bernoulli(params.slow_fraction);
+    ClientBudget budget;
+    budget.client = id;
+    budget.uplink = slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 700))
+                         : DataRate::KilobitsPerSec(rng.UniformInt(800, 8000));
+    budget.downlink =
+        slow ? DataRate::KilobitsPerSec(rng.UniformInt(50, 900))
+             : DataRate::KilobitsPerSec(rng.UniformInt(1000, 12000));
+    problem.budgets.push_back(budget);
+    problem.capabilities.push_back({{id, SourceKind::kCamera}, ladder});
+  }
+  const Resolution caps[] = {kResolution180p, kResolution360p,
+                             kResolution720p};
+  for (int s = 1; s <= params.clients; ++s) {
+    for (int p = 1; p <= params.clients; ++p) {
+      if (s == p || !rng.Bernoulli(params.edge_probability)) continue;
+      problem.subscriptions.push_back(
+          {ClientId{static_cast<uint32_t>(s)},
+           {ClientId{static_cast<uint32_t>(p)}, SourceKind::kCamera},
+           caps[rng.UniformInt(0, 2)],
+           rng.Bernoulli(0.1) ? 3.0 : 1.0,
+           rng.Bernoulli(0.1) ? 1 : 0});
+    }
+  }
+  return problem;
+}
+
+// Compares the semantic Solution fields bit-for-bit: publish policies,
+// receiver lists, per-subscriber assignments, QoE sums (exact — the same
+// floating-point accumulation order is part of the contract) and iteration
+// counts. `stats` is intentionally not compared: it is a solve trace and
+// legitimately differs between e.g. a warm and a cold solve.
+inline void ExpectBitIdentical(const Solution& a, const Solution& b,
+                               const char* label, uint64_t seed) {
+  SCOPED_TRACE(testing::Message() << label << " seed " << seed);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.total_qoe, b.total_qoe);  // exact: same accumulation order
+  EXPECT_EQ(a.step1_qoe, b.step1_qoe);
+
+  ASSERT_EQ(a.publish.size(), b.publish.size());
+  auto pa = a.publish.begin();
+  auto pb = b.publish.begin();
+  for (; pa != a.publish.end(); ++pa, ++pb) {
+    ASSERT_TRUE(pa->first == pb->first);
+    ASSERT_EQ(pa->second.size(), pb->second.size());
+    for (size_t k = 0; k < pa->second.size(); ++k) {
+      const PublishedStream& sa = pa->second[k];
+      const PublishedStream& sb = pb->second[k];
+      EXPECT_TRUE(sa.resolution == sb.resolution);
+      EXPECT_EQ(sa.bitrate, sb.bitrate);
+      EXPECT_EQ(sa.qoe, sb.qoe);
+      EXPECT_EQ(sa.receivers, sb.receivers);
+    }
+  }
+
+  ASSERT_EQ(a.per_subscriber.size(), b.per_subscriber.size());
+  auto sa = a.per_subscriber.begin();
+  auto sb = b.per_subscriber.begin();
+  for (; sa != a.per_subscriber.end(); ++sa, ++sb) {
+    ASSERT_TRUE(sa->first == sb->first);
+    ASSERT_EQ(sa->second.size(), sb->second.size());
+    auto ia = sa->second.begin();
+    auto ib = sb->second.begin();
+    for (; ia != sa->second.end(); ++ia, ++ib) {
+      ASSERT_TRUE(ia->first == ib->first);
+      EXPECT_TRUE(ia->second.resolution == ib->second.resolution);
+      EXPECT_EQ(ia->second.bitrate, ib->second.bitrate);
+    }
+  }
+}
+
+}  // namespace gso::core::testutil
+
+#endif  // GSO_TESTS_CORE_SOLUTION_TESTUTIL_H_

@@ -100,6 +100,8 @@ TEST(ExportSchema, ConferenceExportSpansThreePlanes) {
       {"control.solve.knapsacks", "count"},
       {"control.solve.reductions", "count"},
       {"control.solve.wall", "us"},
+      {"control.solve.dirty_subscribers", "count"},
+      {"control.solve.cache_hits", "count"},
       {"control.conference.participants", "count"},
       {"gso.robustness.controller_crashes", "count"},
       {"gso.robustness.controller_restarts", "count"},

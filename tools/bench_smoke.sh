@@ -40,22 +40,41 @@ import sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
-for key in ("label", "unit", "results"):
+for key in ("label", "unit", "host_cpus", "results"):
     if key not in doc:
         sys.exit(f"bench_smoke: missing key {key!r}")
 if doc["unit"] != "ns/solve":
     sys.exit(f"bench_smoke: unexpected unit {doc['unit']!r}")
 if not doc["results"]:
     sys.exit("bench_smoke: empty results")
+modes = set()
 for row in doc["results"]:
-    for key in ("shape", "threads", "ns_per_solve", "solves", "total_qoe",
-                "iterations"):
+    for key in ("shape", "mode", "threads", "ns_per_solve", "solves",
+                "total_qoe", "iterations"):
         if key not in row:
             sys.exit(f"bench_smoke: result row missing {key!r}: {row}")
     if row["ns_per_solve"] <= 0 or row["solves"] <= 0:
         sys.exit(f"bench_smoke: non-positive measurement: {row}")
+    modes.add(row["mode"])
+# The bench must have exercised both the cold thread sweep and the
+# warm-start delta shapes (the latter self-verify against cold solves).
+if modes != {"cold", "warm_delta"}:
+    sys.exit(f"bench_smoke: expected cold and warm_delta rows, got {modes}")
 print(f"bench_smoke: OK ({len(doc['results'])} measurements in {sys.argv[1]})")
 EOF
+
+# --- Perf-regression gate ----------------------------------------------
+# The smoke measurement doubles as the regression check against the
+# committed trajectory: any (shape, mode, threads) row more than 10%
+# slower than the baseline — after normalizing out host speed via the
+# median ratio — fails the build. GSO_PERF_GATE=off skips it (refresh
+# BENCH_controller.json in the same PR and say why).
+BASELINE="$(dirname "$0")/../BENCH_controller.json"
+if [[ -s "${BASELINE}" ]]; then
+  python3 "$(dirname "$0")/perf_gate.py" "${BASELINE}" "${OUT}"
+else
+  echo "bench_smoke: no committed baseline at ${BASELINE}, skipping perf gate" >&2
+fi
 
 # --- Observability export validation -----------------------------------
 # Shared checker for the gso.metrics JSONL schema: every line parses, the

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the controller scaling bench.
+
+Compares a freshly measured BENCH_controller-style JSON against the
+committed baseline (BENCH_controller.json at the repo root) per
+(shape, mode, threads) row and fails — exit 1 — when any row regressed
+more than the tolerance.
+
+CI hosts are not the host the baseline was measured on, so raw
+ns-per-solve ratios conflate host speed with code speed. The gate
+therefore normalizes by host speed first: for every row present in both
+documents it computes ratio = new/old, takes the median ratio as the
+host-speed factor, and flags rows whose ratio exceeds
+median * (1 + tolerance). A uniform slowdown (slower CI machine) moves
+the median and trips nothing; a single shape regressing relative to the
+others trips the gate even on a faster machine.
+
+Environment overrides (documented in DESIGN.md):
+  GSO_PERF_GATE=off          skip the gate entirely (exit 0). Use when a
+                             PR knowingly trades solver speed for
+                             something else — say so in the PR and
+                             refresh the baseline in the same change.
+  GSO_PERF_GATE_ABSOLUTE=1   compare raw ratios against 1 + tolerance
+                             instead of host-normalized ratios (for
+                             measuring on the same machine that produced
+                             the baseline).
+
+Usage: perf_gate.py BASELINE.json CURRENT.json [--tolerance=0.10]
+"""
+
+import json
+import os
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("results", []):
+        key = (row["shape"], row.get("mode", "cold"), row["threads"])
+        rows[key] = float(row["ns_per_solve"])
+    return doc, rows
+
+
+def main(argv):
+    if os.environ.get("GSO_PERF_GATE", "").lower() in ("off", "0", "false"):
+        print("perf_gate: skipped (GSO_PERF_GATE=off)")
+        return 0
+
+    tolerance = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline_doc, baseline = load_rows(paths[0])
+    current_doc, current = load_rows(paths[1])
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("perf_gate: no shared (shape, mode, threads) rows — "
+              "baseline predates the current bench format? Refresh "
+              f"{paths[0]} from a full run.", file=sys.stderr)
+        return 1
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"perf_gate: rows missing from current run: {missing}",
+              file=sys.stderr)
+        return 1
+
+    ratios = {key: current[key] / baseline[key] for key in shared}
+    absolute = os.environ.get("GSO_PERF_GATE_ABSOLUTE") == "1"
+    host_factor = 1.0 if absolute else statistics.median(ratios.values())
+    limit = host_factor * (1.0 + tolerance)
+
+    base_cpus = baseline_doc.get("host_cpus")
+    cur_cpus = current_doc.get("host_cpus")
+    print(f"perf_gate: {len(shared)} rows, host factor "
+          f"{host_factor:.3f} ({'absolute' if absolute else 'median'}), "
+          f"tolerance {tolerance:.0%}, cpus baseline={base_cpus} "
+          f"current={cur_cpus}")
+
+    failures = []
+    for key in shared:
+        ratio = ratios[key]
+        flag = ratio > limit
+        if flag:
+            failures.append(key)
+        shape, mode, threads = key
+        print(f"  {'REGRESSED' if flag else 'ok':<9} "
+              f"{shape:<28} {mode:<10} threads={threads}  "
+              f"{baseline[key]:>12.0f} -> {current[key]:>12.0f} ns/solve  "
+              f"(x{ratio:.3f}, limit x{limit:.3f})")
+
+    if failures:
+        print(f"perf_gate: {len(failures)} row(s) regressed more than "
+              f"{tolerance:.0%} beyond the host factor. Either fix the "
+              "regression or, if it is an accepted trade-off, rerun the "
+              "full bench, commit the refreshed baseline, and explain in "
+              "the PR (GSO_PERF_GATE=off skips this gate).",
+              file=sys.stderr)
+        return 1
+    print("perf_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
