@@ -37,8 +37,7 @@ int CountResolutionFlips(bool hysteresis) {
   // boundary: exactly the fluctuation §7 says must not flap the quality.
   Rng rng(7);
   conference->loop().Every(TimeDelta::MillisF(1500), [&] {
-    conference->SetDownlinkCapacity(
-        ClientId(2), DataRate::KilobitsPerSec(rng.UniformInt(760, 930)));
+    conference->participant(ClientId(2)).SetDownlinkCapacity(DataRate::KilobitsPerSec(rng.UniformInt(760, 930)));
     return true;
   });
 
@@ -74,9 +73,9 @@ double RecoveredFraction(bool probing) {
   auto conference = BuildMeeting(config, 2);
   conference->Start();
   conference->RunFor(TimeDelta::Seconds(15));
-  conference->SetDownlinkCapacity(ClientId(2), DataRate::KilobitsPerSec(400));
+  conference->participant(ClientId(2)).SetDownlinkCapacity(DataRate::KilobitsPerSec(400));
   conference->RunFor(TimeDelta::Seconds(15));
-  conference->SetDownlinkCapacity(ClientId(2), DataRate::MegabitsPerSec(20));
+  conference->participant(ClientId(2)).SetDownlinkCapacity(DataRate::MegabitsPerSec(20));
   conference->RunFor(TimeDelta::Seconds(15));
   // How much of the publisher's 1.8 Mbps ceiling does the subscriber see
   // 15 s after recovery?

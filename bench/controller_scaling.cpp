@@ -150,18 +150,18 @@ Row TimeDeltaShape(const std::string& name, double min_seconds,
 
   DpMckpSolver cold_solver;
   const Orchestrator cold(&cold_solver);
-  (void)orchestrator.SolveWarm(problem);
+  (void)orchestrator.Solve(SolveRequest::Warm(problem));
   for (int i = 0; i < 4; ++i) {
     mutate(i);
-    const Solution& warm = orchestrator.SolveWarm(problem);
-    if (!SameSolution(warm, cold.Solve(problem))) {
+    const Solution& warm = orchestrator.Solve(SolveRequest::Warm(problem));
+    if (!SameSolution(warm, cold.Solve(SolveRequest::Cold(problem)))) {
       std::fprintf(stderr, "%s: warm solve diverged from cold solve\n",
                    name.c_str());
       std::exit(1);
     }
     row.total_qoe = warm.total_qoe;
     row.iterations = warm.iterations;
-    if (restore(i)) (void)orchestrator.SolveWarm(problem);
+    if (restore(i)) (void)orchestrator.Solve(SolveRequest::Warm(problem));
   }
 
   double best = 1e300;
@@ -171,13 +171,13 @@ Row TimeDeltaShape(const std::string& name, double min_seconds,
     while (elapsed < min_seconds) {
       mutate(solves);
       const auto start = std::chrono::steady_clock::now();
-      const Solution& s = orchestrator.SolveWarm(problem);
+      const Solution& s = orchestrator.Solve(SolveRequest::Warm(problem));
       elapsed += std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start)
                      .count();
       if (s.iterations == 0) std::abort();  // keep the call alive
       ++solves;
-      if (restore(solves - 1)) (void)orchestrator.SolveWarm(problem);
+      if (restore(solves - 1)) (void)orchestrator.Solve(SolveRequest::Warm(problem));
     }
     const double per_solve = elapsed / solves * 1e9;
     if (per_solve < best) {
@@ -267,7 +267,7 @@ void RecordSolveTraces(obs::MetricsRegistry* registry,
   DpMckpSolver solver;
   Orchestrator orchestrator(&solver);
   for (size_t i = 0; i < shapes.size(); ++i) {
-    const Solution s = orchestrator.Solve(shapes[i].problem);
+    const Solution s = orchestrator.Solve(SolveRequest::Cold(shapes[i].problem));
     const SolveStats& stats = s.stats;
     const Timestamp t = Timestamp::Micros(static_cast<int64_t>(i));
     const obs::Labels labels = {{"shape", shapes[i].name}};
@@ -367,7 +367,7 @@ int main(int argc, char** argv) {
       Orchestrator orchestrator(&solver);
 #endif
       rows.push_back(TimeShape(shape.name, threads, min_seconds,
-                               [&] { return orchestrator.Solve(shape.problem); }));
+                               [&] { return orchestrator.Solve(SolveRequest::Cold(shape.problem)); }));
       std::printf("%-28s threads=%d  %10.0f ns/solve  (%d solves, qoe %.1f)\n",
                   rows.back().shape.c_str(), threads, rows.back().ns_per_solve,
                   rows.back().solves, rows.back().total_qoe);

@@ -32,9 +32,9 @@ int main() {
     const DataRate rate =
         DataRate::KilobitsPerSec(rng.UniformInt(400, 12000));
     if (rng.Bernoulli(0.5)) {
-      conference->SetDownlinkCapacity(victim, rate);
+      conference->participant(victim).SetDownlinkCapacity(rate);
     } else {
-      conference->SetUplinkCapacity(victim, rate);
+      conference->participant(victim).SetUplinkCapacity(rate);
     }
     return true;
   });

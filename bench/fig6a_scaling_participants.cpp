@@ -39,7 +39,7 @@ int main() {
       Orchestrator gso_orch(&dp);
       Solution gso_solution;
       row.gso_time += gso::bench::TimeSeconds(
-          [&] { gso_solution = gso_orch.Solve(problem); });
+          [&] { gso_solution = gso_orch.Solve(SolveRequest::Cold(problem)); });
       BruteForceOrchestrator bf;
       Solution bf_solution;
       row.bf_time += gso::bench::TimeSeconds(

@@ -32,7 +32,7 @@ int main() {
     DpMckpSolver dp;
     Orchestrator orchestrator(&dp);
     const double seconds = gso::bench::TimeSeconds(
-        [&] { (void)orchestrator.Solve(problem); }, /*repeats=*/3);
+        [&] { (void)orchestrator.Solve(SolveRequest::Cold(problem)); }, /*repeats=*/3);
     times.push_back(seconds);
   }
 

@@ -41,9 +41,9 @@ Series RunTransient(ControlMode mode, DataRate limit) {
   });
 
   conference->RunFor(TimeDelta::Seconds(20));
-  conference->SetDownlinkCapacity(ClientId(2), limit);
+  conference->participant(ClientId(2)).SetDownlinkCapacity(limit);
   conference->RunFor(TimeDelta::Seconds(37));
-  conference->SetDownlinkCapacity(ClientId(2), DataRate::MegabitsPerSec(20));
+  conference->participant(ClientId(2)).SetDownlinkCapacity(DataRate::MegabitsPerSec(20));
   conference->RunFor(TimeDelta::Seconds(23));
   return series;
 }

@@ -77,18 +77,18 @@ Result RunCase(const SystemUnderTest& sut, const Case& c) {
   // Let the meeting reach steady state before impairing.
   conference->RunFor(TimeDelta::Seconds(10));
   if (c.uplink) {
-    if (!c.jitter.IsZero()) conference->SetUplinkJitter(ClientId(1), c.jitter);
-    if (c.loss > 0) conference->SetUplinkLoss(ClientId(1), c.loss);
+    if (!c.jitter.IsZero()) conference->participant(ClientId(1)).SetUplinkJitter(c.jitter);
+    if (c.loss > 0) conference->participant(ClientId(1)).SetUplinkLoss(c.loss);
     if (!c.bandwidth.IsZero()) {
-      conference->SetUplinkCapacity(ClientId(1), c.bandwidth);
+      conference->participant(ClientId(1)).SetUplinkCapacity(c.bandwidth);
     }
   } else {
     if (!c.jitter.IsZero()) {
-      conference->SetDownlinkJitter(ClientId(2), c.jitter);
+      conference->participant(ClientId(2)).SetDownlinkJitter(c.jitter);
     }
-    if (c.loss > 0) conference->SetDownlinkLoss(ClientId(2), c.loss);
+    if (c.loss > 0) conference->participant(ClientId(2)).SetDownlinkLoss(c.loss);
     if (!c.bandwidth.IsZero()) {
-      conference->SetDownlinkCapacity(ClientId(2), c.bandwidth);
+      conference->participant(ClientId(2)).SetDownlinkCapacity(c.bandwidth);
     }
   }
   const Timestamp measure_start = conference->loop().Now();

@@ -59,7 +59,7 @@ CpuResult RunScenario(ControlMode mode, Scenario scenario) {
                         1.0,
                         0});
       }
-      conference->SetSubscriptions(ClientId(sub), std::move(subs));
+      conference->participant(ClientId(sub)).Subscribe(std::move(subs));
     }
   }
   conference->Start();

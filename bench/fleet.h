@@ -3,19 +3,20 @@
 // Substitution (see DESIGN.md): the paper reports production telemetry
 // from ~1M conferences/day during a staged rollout. We reproduce the ramp
 // mechanism: per simulated day, a batch of synthetic conferences runs —
-// participant counts and access-network qualities drawn from heavy-tailed
-// distributions — and each conference is assigned GSO or Non-GSO by the
-// day's deployment fraction. Common random numbers (a per-(day, index)
-// seed controls the network draw) keep day-to-day variation meaningful.
+// participant counts and access-network qualities drawn from the shared
+// fleet population model (src/service/fleet_model.h) — and each
+// conference is assigned GSO or Non-GSO by the day's deployment fraction.
+// Common random numbers (a per-(day, index) seed controls the network
+// draw) keep day-to-day variation meaningful.
 #ifndef GSO_BENCH_FLEET_H_
 #define GSO_BENCH_FLEET_H_
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "bench/support.h"
+#include "service/fleet_model.h"
 
 namespace gso::bench {
 
@@ -26,44 +27,11 @@ struct ConferenceOutcome {
   double satisfaction = 0;
 };
 
-// Draws a participant's access network from three quality classes.
-inline sim::DuplexLinkConfig DrawAccess(Rng& rng) {
-  const double u = rng.NextDouble();
-  sim::DuplexLinkConfig link;
-  if (u < 0.70) {  // good
-    link = conference::Access(
-        DataRate::KilobitsPerSec(rng.UniformInt(2000, 10000)),
-        DataRate::KilobitsPerSec(rng.UniformInt(5000, 20000)));
-    link.uplink.loss_rate = rng.Uniform(0.0, 0.01);
-    link.downlink.loss_rate = rng.Uniform(0.0, 0.01);
-  } else if (u < 0.90) {  // medium
-    link = conference::Access(
-        DataRate::KilobitsPerSec(rng.UniformInt(600, 2000)),
-        DataRate::KilobitsPerSec(rng.UniformInt(1000, 5000)));
-    link.uplink.loss_rate = rng.Uniform(0.0, 0.03);
-    link.downlink.loss_rate = rng.Uniform(0.0, 0.03);
-    link.downlink.jitter_stddev = TimeDelta::Millis(rng.UniformInt(0, 10));
-  } else {  // slow link
-    link = conference::Access(
-        DataRate::KilobitsPerSec(rng.UniformInt(300, 800)),
-        DataRate::KilobitsPerSec(rng.UniformInt(400, 1200)));
-    link.uplink.loss_rate = rng.Uniform(0.01, 0.08);
-    link.downlink.loss_rate = rng.Uniform(0.02, 0.08);
-    link.downlink.jitter_stddev = TimeDelta::Millis(rng.UniformInt(5, 40));
-  }
-  return link;
-}
-
-inline int DrawParticipants(Rng& rng) {
-  const double u = rng.NextDouble();
-  if (u < 0.35) return 2;
-  if (u < 0.60) return 3;
-  if (u < 0.75) return 4;
-  if (u < 0.85) return 5;
-  if (u < 0.92) return 6;
-  if (u < 0.97) return 7;
-  return 8;
-}
+// The population draws live in the service library so the orchestration
+// service's churn generator and these benches simulate one fleet.
+using service::ConfsPerDayFromEnv;
+using service::DrawAccess;
+using service::DrawParticipants;
 
 // Runs one synthetic conference for `duration` of virtual time and
 // returns its QoE outcome. The same seed draws the same meeting shape and
@@ -97,13 +65,8 @@ inline ConferenceOutcome RunSyntheticConference(uint64_t seed, bool gso,
   outcome.video_stall = report.mean_video_stall_rate;
   outcome.voice_stall = report.mean_voice_stall_rate;
   outcome.framerate = report.mean_framerate;
-  // Satisfaction model: positive feedback falls with stalls and rises
-  // with smooth playback (monotone in the paper's core metrics).
-  double satisfaction = 1.0 - 0.35 * outcome.video_stall -
-                        0.7 * outcome.voice_stall;
-  if (satisfaction < 0) satisfaction = 0;
-  satisfaction *= 0.9 + 0.1 * std::min(outcome.framerate / 25.0, 1.0);
-  outcome.satisfaction = satisfaction;
+  outcome.satisfaction = service::Satisfaction(
+      outcome.video_stall, outcome.voice_stall, outcome.framerate);
   return outcome;
 }
 
@@ -129,13 +92,6 @@ inline std::string DateLabel(int day) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%s-%02d", months[m], d + 1);
   return buf;
-}
-
-inline int ConfsPerDayFromEnv(int fallback) {
-  const char* env = std::getenv("GSO_FLEET_CONFS_PER_DAY");
-  if (env == nullptr) return fallback;
-  const int value = std::atoi(env);
-  return value > 0 ? value : fallback;
 }
 
 }  // namespace gso::bench

@@ -1,0 +1,264 @@
+// Fleet-scale orchestration-service benchmark (BENCH_fleet.json).
+//
+// Runs churn storms against the OrchestrationService: ramp to a target of
+// concurrent conferences, sustain it under join/leave churn plus periodic
+// fault waves (link flaps, control-channel loss, controller crashes,
+// in-meeting participant churn), and measure
+//  - service throughput (wall ns per committed solve),
+//  - p99 solve-queue latency (wall clock, Push -> drain),
+//  - fleet QoE under the storm (mean and 5th-percentile satisfaction).
+//
+// Two storm sizes run: a 200-conference warmup shape and the 1000-
+// conference acceptance shape. The JSON uses the BENCH_controller row
+// format — (shape, mode, threads) + ns_per_solve — so tools/perf_gate.py
+// gates regressions with the same host normalization; queue p99 latency
+// is emitted as its own row (ns) for the same reason. The bench itself
+// fails (non-zero exit) when the fleet cannot sustain the target
+// concurrency or the QoE floor drops below kQoeFloorMin: load shedding
+// that starves meetings must fail the build, not just slow a metric.
+//
+// Usage: fleet_service [--out=FILE] [--label=NAME] [--trace-out=FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "service/churn.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace gso;
+
+// Minimum acceptable 5th-percentile satisfaction across completed
+// conferences. Storm victims (flapped links, crashed controllers) sit in
+// this tail; the GSO control loop must still recover them above this line.
+constexpr double kQoeFloorMin = 0.30;
+
+struct StormShape {
+  std::string name;
+  int target_concurrent = 0;
+  int num_shards = 1;
+  int solver_threads = 1;
+  TimeDelta mean_lifetime = TimeDelta::Seconds(12);
+  TimeDelta duration = TimeDelta::Seconds(20);
+};
+
+struct StormResult {
+  StormShape shape;
+  double wall_seconds = 0;
+  double ns_per_solve = 0;
+  double queue_p50_us = 0;
+  double queue_p99_us = 0;
+  uint64_t solves = 0;
+  uint64_t shed = 0;
+  int sustained_concurrent = 0;
+  int completed = 0;
+  double completed_per_wall_sec = 0;
+  double mean_satisfaction = 0;
+  double qoe_floor = 0;  // p5 satisfaction
+  uint64_t digest = 0;
+  service::ChurnStats churn;
+};
+
+StormResult RunStorm(const StormShape& shape, obs::MetricsRegistry* registry) {
+  service::ServiceConfig config;
+  config.num_shards = shape.num_shards;
+  config.solver_threads_per_shard = shape.solver_threads;
+  config.max_conferences = shape.target_concurrent;
+  config.solve_backlog = 64;
+  config.metrics = registry;
+  service::OrchestrationService svc(config);
+
+  service::ChurnConfig churn_config;
+  churn_config.target_concurrent = shape.target_concurrent;
+  churn_config.mean_lifetime = shape.mean_lifetime;
+  churn_config.seed = 17;
+  service::ChurnStorm storm(&svc, churn_config);
+
+  const auto start = std::chrono::steady_clock::now();
+  storm.RunFor(shape.duration);
+  const auto end = std::chrono::steady_clock::now();
+
+  StormResult result;
+  result.shape = shape;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  result.sustained_concurrent = svc.conference_count();
+
+  service::FleetReport report = svc.Report();
+  result.solves = report.solves;
+  result.shed = report.solves_shed;
+  result.completed = report.completed;
+  result.completed_per_wall_sec =
+      static_cast<double>(report.completed) / result.wall_seconds;
+  result.mean_satisfaction = report.mean_satisfaction;
+  result.qoe_floor = report.p5_satisfaction;
+  result.digest = report.digest;
+  result.churn = storm.stats();
+  if (report.solves > 0) {
+    result.ns_per_solve = result.wall_seconds * 1e9 /
+                          static_cast<double>(report.solves);
+  }
+  // Queue latency: report the worst shard's percentiles — the gate cares
+  // about the slowest queue, which is exactly the max.
+  for (int i = 0; i < svc.num_shards(); ++i) {
+    SampleSet& shard_latency = svc.shard(i).queue_stats().queue_latency_us;
+    if (shard_latency.empty()) continue;
+    result.queue_p50_us =
+        std::max(result.queue_p50_us, shard_latency.Percentile(50));
+    result.queue_p99_us =
+        std::max(result.queue_p99_us, shard_latency.Percentile(99));
+  }
+  return result;
+}
+
+void PrintResult(const StormResult& r) {
+  std::printf(
+      "%s: %d concurrent sustained, %d completed (%.1f conf/s wall), "
+      "%llu solves (%.2f ms/solve wall), %llu shed,\n"
+      "    queue p50 %.0f us p99 %.0f us, satisfaction mean %.3f floor(p5) "
+      "%.3f, wall %.1fs\n"
+      "    churn: %llu joins %llu leaves %llu waves (%llu flaps, %llu loss, "
+      "%llu outages, %llu member churns)\n",
+      r.shape.name.c_str(), r.sustained_concurrent, r.completed,
+      r.completed_per_wall_sec,
+      static_cast<unsigned long long>(r.solves), r.ns_per_solve / 1e6,
+      static_cast<unsigned long long>(r.shed), r.queue_p50_us, r.queue_p99_us,
+      r.mean_satisfaction, r.qoe_floor, r.wall_seconds,
+      static_cast<unsigned long long>(r.churn.joins),
+      static_cast<unsigned long long>(r.churn.leaves),
+      static_cast<unsigned long long>(r.churn.waves),
+      static_cast<unsigned long long>(r.churn.link_flaps),
+      static_cast<unsigned long long>(r.churn.loss_episodes),
+      static_cast<unsigned long long>(r.churn.controller_outages),
+      static_cast<unsigned long long>(r.churn.participant_churn));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_fleet.json";
+  std::string label = "fleet-service";
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(8);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleet_service [--out=FILE] [--label=NAME] "
+                   "[--trace-out=FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<StormShape> shapes;
+  {
+    StormShape small;
+    small.name = "fleet_storm_200";
+    small.target_concurrent = 200;
+    small.num_shards = 2;
+    small.solver_threads = 2;
+    small.mean_lifetime = TimeDelta::Seconds(10);
+    small.duration = TimeDelta::Seconds(12);
+    shapes.push_back(small);
+
+    StormShape large;
+    large.name = "fleet_storm_1000";
+    large.target_concurrent = 1000;
+    large.num_shards = 4;
+    large.solver_threads = 2;
+    large.mean_lifetime = TimeDelta::Seconds(12);
+    large.duration = TimeDelta::Seconds(20);
+    shapes.push_back(large);
+  }
+
+  std::printf("fleet_service: churn storms against the orchestration "
+              "service\n\n");
+
+  std::vector<StormResult> results;
+  bool failed = false;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    // The small storm carries the metrics registry so the service.shard.*
+    // series land in the (validated) JSONL trace without inflating the
+    // acceptance storm.
+    obs::MetricsRegistry registry;
+    const bool traced = i == 0 && !trace_out.empty();
+    StormResult result = RunStorm(shapes[i], traced ? &registry : nullptr);
+    PrintResult(result);
+    results.push_back(result);
+    if (traced && !obs::WriteFile(trace_out, obs::ToJsonLines(registry))) {
+      return 1;
+    }
+
+    if (result.sustained_concurrent < shapes[i].target_concurrent) {
+      std::fprintf(stderr,
+                   "FAIL %s: sustained %d < target %d concurrent "
+                   "conferences\n",
+                   shapes[i].name.c_str(), result.sustained_concurrent,
+                   shapes[i].target_concurrent);
+      failed = true;
+    }
+    if (result.qoe_floor < kQoeFloorMin) {
+      std::fprintf(stderr,
+                   "FAIL %s: QoE floor (p5 satisfaction) %.3f < %.3f under "
+                   "the churn storm\n",
+                   shapes[i].name.c_str(), result.qoe_floor, kQoeFloorMin);
+      failed = true;
+    }
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"unit\": \"ns/solve\",\n");
+  std::fprintf(f, "  \"qoe_floor_min\": %.2f,\n", kQoeFloorMin);
+  std::fprintf(f, "  \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const StormResult& r = results[i];
+    const int threads = r.shape.num_shards * r.shape.solver_threads;
+    std::fprintf(
+        f,
+        "    {\"shape\": \"%s\", \"mode\": \"service\", \"threads\": %d, "
+        "\"ns_per_solve\": %.0f, \"solves\": %llu, \"shed\": %llu, "
+        "\"concurrent\": %d, \"completed\": %d, "
+        "\"conferences_per_sec\": %.2f, \"mean_satisfaction\": %.6f, "
+        "\"qoe_floor\": %.6f, \"digest\": \"%016llx\"},\n",
+        r.shape.name.c_str(), threads, r.ns_per_solve,
+        static_cast<unsigned long long>(r.solves),
+        static_cast<unsigned long long>(r.shed), r.sustained_concurrent,
+        r.completed, r.completed_per_wall_sec, r.mean_satisfaction,
+        r.qoe_floor, static_cast<unsigned long long>(r.digest));
+    std::fprintf(
+        f,
+        "    {\"shape\": \"%s_queue_p99\", \"mode\": \"service\", "
+        "\"threads\": %d, \"ns_per_solve\": %.0f, \"solves\": %llu}%s\n",
+        r.shape.name.c_str(), threads, r.queue_p99_us * 1e3,
+        static_cast<unsigned long long>(r.solves),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return failed ? 1 : 0;
+}

@@ -46,7 +46,7 @@ void BM_OrchestratorMesh(benchmark::State& state) {
   DpMckpSolver solver;
   Orchestrator orchestrator(&solver);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(orchestrator.Solve(problem));
+    benchmark::DoNotOptimize(orchestrator.Solve(SolveRequest::Cold(problem)));
   }
 }
 BENCHMARK(BM_OrchestratorMesh)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
@@ -59,7 +59,7 @@ void BM_OrchestratorLargeMeeting(benchmark::State& state) {
   DpMckpSolver solver;
   Orchestrator orchestrator(&solver);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(orchestrator.Solve(problem));
+    benchmark::DoNotOptimize(orchestrator.Solve(SolveRequest::Cold(problem)));
   }
 }
 BENCHMARK(BM_OrchestratorLargeMeeting)->Arg(50)->Arg(100)->Arg(200)->Arg(400);

@@ -40,7 +40,7 @@ OrchestrationProblem MakeCase(DataRate a_up, DataRate a_down, DataRate b_up,
 void PrintCase(const char* name, const OrchestrationProblem& p) {
   DpMckpSolver solver;
   Orchestrator orchestrator(&solver);
-  const Solution s = orchestrator.Solve(p);
+  const Solution s = orchestrator.Solve(SolveRequest::Cold(p));
   const std::string err = ValidateSolution(p, s);
   std::printf("%s  (iterations=%d, total QoE=%.0f, constraints=%s)\n", name,
               s.iterations, s.total_qoe, err.empty() ? "OK" : err.c_str());

@@ -48,7 +48,7 @@ void Subscribe(Conference& conference, ClientId speaker) {
                       /*slot=*/0});
       ++thumbnails;
     }
-    conference.SetSubscriptions(subscriber, std::move(subs));
+    conference.participant(subscriber).Subscribe(std::move(subs));
   }
   conference.control().SetSpeaker(speaker);
 }

@@ -54,7 +54,7 @@ int main() {
                       1.0,
                       0});
     }
-    conference.SetSubscriptions(ClientId(sub), std::move(subs));
+    conference.participant(ClientId(sub)).Subscribe(std::move(subs));
   }
   // The presenter watches the viewers.
   {
@@ -66,7 +66,7 @@ int main() {
                       1.0,
                       0});
     }
-    conference.SetSubscriptions(presenter, std::move(subs));
+    conference.participant(presenter).Subscribe(std::move(subs));
   }
 
   conference.Start();

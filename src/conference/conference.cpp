@@ -40,12 +40,18 @@ void ParticipantHandle::SetDownlinkJitter(TimeDelta stddev) const {
 }
 
 Conference::Conference(ConferenceConfig config)
-    : config_(config), rng_(config.seed) {
-  control_ = std::make_unique<ConferenceNode>(&loop_, config_.controller);
+    : owned_loop_(config.loop == nullptr ? std::make_unique<sim::EventLoop>()
+                                         : nullptr),
+      loop_(config.loop != nullptr ? config.loop : owned_loop_.get()),
+      owner_(loop_->NewOwner()),
+      config_(config),
+      rng_(config.seed) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
+  control_ = std::make_unique<ConferenceNode>(loop_, config_.controller);
   GSO_CHECK(config_.num_accessing_nodes >= 1);
   for (int i = 0; i < config_.num_accessing_nodes; ++i) {
     auto node = std::make_unique<AccessingNode>(
-        &loop_, NodeId(static_cast<uint32_t>(i)), config_.mode,
+        loop_, NodeId(static_cast<uint32_t>(i)), config_.mode,
         control_->directory(), rng_.Fork());
     node->SetControlPlane(control_.get());
     node->SetProbingEnabled(config_.enable_probing);
@@ -59,7 +65,7 @@ Conference::Conference(ConferenceConfig config)
     for (int j = 0; j < config_.num_accessing_nodes; ++j) {
       if (i == j) continue;
       auto link = std::make_unique<sim::Link>(
-          &loop_, config_.inter_node_link, rng_.Fork(),
+          loop_, config_.inter_node_link, rng_.Fork(),
           "node" + std::to_string(i) + "->node" + std::to_string(j));
       AccessingNode* from = nodes_[static_cast<size_t>(i)].get();
       AccessingNode* to = nodes_[static_cast<size_t>(j)].get();
@@ -80,9 +86,14 @@ Conference::Conference(ConferenceConfig config)
   }
 }
 
-Conference::~Conference() = default;
+Conference::~Conference() {
+  // On a shared loop the queue outlives us: closures referencing this
+  // conference's clients, links, and timers must never run again.
+  if (owned_loop_ == nullptr) loop_->Cancel(owner_);
+}
 
 ParticipantHandle Conference::AddParticipant(const ParticipantConfig& config) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   GSO_CHECK(config.node_index >= 0 &&
             config.node_index < config_.num_accessing_nodes);
   auto client_config = config.client;
@@ -92,9 +103,9 @@ ParticipantHandle Conference::AddParticipant(const ParticipantConfig& config) {
   Participant participant;
   participant.node_index = config.node_index;
   participant.client =
-      std::make_unique<Client>(&loop_, client_config, rng_.Fork());
+      std::make_unique<Client>(loop_, client_config, rng_.Fork());
   participant.access = std::make_unique<sim::DuplexLink>(
-      &loop_, config.access, &rng_,
+      loop_, config.access, &rng_,
       "client" + std::to_string(client_config.id.value()));
 
   Client* client = participant.client.get();
@@ -128,7 +139,14 @@ ParticipantHandle Conference::AddParticipant(const ParticipantConfig& config) {
   return ParticipantHandle(this, client->id(), client);
 }
 
+ParticipantHandle Conference::participant(ClientId id) {
+  const auto it = participants_.find(id);
+  GSO_CHECK(it != participants_.end());
+  return ParticipantHandle(this, id, it->second.client.get());
+}
+
 void Conference::RemoveParticipant(ClientId client) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   const auto it = participants_.find(client);
   if (it == participants_.end()) return;
 
@@ -157,6 +175,7 @@ void Conference::RemoveParticipant(ClientId client) {
 }
 
 void Conference::HandleNodeFailure(NodeId dead) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   // First surviving node takes the orphans (deterministic choice).
   AccessingNode* survivor = nullptr;
   int survivor_index = -1;
@@ -235,6 +254,7 @@ void Conference::SubscribeAllCameras(Resolution max_resolution) {
 
 void Conference::SetSubscriptions(
     ClientId subscriber, std::vector<core::Subscription> subscriptions) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   // Template mode: the SFU needs the local interest list for its greedy
   // selector; GSO mode feeds the controller.
   const auto it = participants_.find(subscriber);
@@ -267,9 +287,10 @@ void Conference::SetSubscriptions(
 }
 
 void Conference::Start() {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   GSO_CHECK(!started_);
   started_ = true;
-  start_time_ = loop_.Now();
+  start_time_ = loop_->Now();
   for (auto& node : nodes_) node->Start();
   for (auto& [_, participant] : participants_) participant.client->Start();
   if (config_.mode == ControlMode::kGso) control_->Start();
@@ -303,8 +324,8 @@ void Conference::WireMetrics() {
     WireParticipantMetrics(id, participant);
   }
 
-  loop_.Every(config_.metrics_sample_period, [this] {
-    config_.metrics->SampleProbes(loop_.Now());
+  loop_->Every(config_.metrics_sample_period, [this] {
+    config_.metrics->SampleProbes(loop_->Now());
     return true;
   });
 }
@@ -359,7 +380,7 @@ void Conference::WireParticipantMetrics(ClientId id,
         registry->Get("media.receive.rate", MetricKind::kGauge, "bps", labels),
         [this, client] {
           return static_cast<double>(
-              client->TotalReceiveRate(loop_.Now()).bps());
+              client->TotalReceiveRate(loop_->Now()).bps());
         });
     registry->AddProbe(
         registry->Get("control.gtbr.received", MetricKind::kCounter,
@@ -376,12 +397,17 @@ void Conference::WireParticipantMetrics(ClientId id,
                       "us", labels),
         [this, client] {
           return static_cast<double>(
-              client->TimeInDegraded(loop_.Now()).us());
+              client->TimeInDegraded(loop_->Now()).us());
         });
   }
 }
 
-void Conference::RunFor(TimeDelta duration) { loop_.RunFor(duration); }
+void Conference::RunFor(TimeDelta duration) {
+  // On a shared loop the host drives time: a single conference advancing
+  // the clock would silently advance every other conference too.
+  GSO_CHECK(owned_loop_ != nullptr);
+  loop_->RunFor(duration);
+}
 
 Client* Conference::client(ClientId id) {
   const auto it = participants_.find(id);
@@ -409,28 +435,37 @@ sim::Link* Conference::inter_node_link(int from, int to) {
   return inter_node_links_[static_cast<size_t>(index)].get();
 }
 
+// The scripted setters run under the conference's owner: capacity changes
+// can schedule link-drain wakeups, which must die with the conference on a
+// shared loop.
 void Conference::SetUplinkCapacity(ClientId client, DataRate rate) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   participants_.at(client).access->uplink().SetCapacity(rate);
 }
 void Conference::SetDownlinkCapacity(ClientId client, DataRate rate) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   participants_.at(client).access->downlink().SetCapacity(rate);
 }
 void Conference::SetUplinkLoss(ClientId client, double loss) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   participants_.at(client).access->uplink().SetLossRate(loss);
 }
 void Conference::SetDownlinkLoss(ClientId client, double loss) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   participants_.at(client).access->downlink().SetLossRate(loss);
 }
 void Conference::SetUplinkJitter(ClientId client, TimeDelta stddev) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   participants_.at(client).access->uplink().SetJitter(stddev);
 }
 void Conference::SetDownlinkJitter(ClientId client, TimeDelta stddev) {
+  const sim::EventLoop::OwnerScope scope(loop_, owner_);
   participants_.at(client).access->downlink().SetJitter(stddev);
 }
 
 MeetingReport Conference::Report() {
   MeetingReport report;
-  const Timestamp end = loop_.Now();
+  const Timestamp end = loop_->Now();
   RunningStats all_stall;
   RunningStats all_voice;
   RunningStats all_fps;

@@ -27,6 +27,13 @@ namespace gso::conference {
 struct ConferenceConfig {
   ControlMode mode = ControlMode::kGso;
   int num_accessing_nodes = 1;
+  // External event loop (service mode). When set, the conference schedules
+  // everything on this shared loop under its own owner id — thousands of
+  // conferences multiplex one virtual clock, and destroying one cancels
+  // its queued closures without touching the others. The loop must outlive
+  // the conference, and the host (not Conference::RunFor) drives time.
+  // When null (the default) the conference owns a private loop.
+  sim::EventLoop* loop = nullptr;
   ControllerConfig controller;
   // Bandwidth probing at clients and accessing nodes (ablation switch).
   bool enable_probing = true;
@@ -134,28 +141,30 @@ class Conference {
 
   // Everyone subscribes to everyone else's camera at `max_resolution`.
   void SubscribeAllCameras(Resolution max_resolution);
-  // Custom subscriptions for one subscriber (GSO mode; in template mode
-  // the publisher set is extracted as local interest).
-  void SetSubscriptions(ClientId subscriber,
-                        std::vector<core::Subscription> subscriptions);
+
+  // Handle for an existing participant (checked: the client must be a
+  // current member). Per-participant operations — subscriptions, scripted
+  // network changes — go through the handle; the Conference itself no
+  // longer exposes ClientId-keyed setter duplicates.
+  ParticipantHandle participant(ClientId id);
 
   void Start();
+  // Advances virtual time. Only valid when the conference owns its loop
+  // (ConferenceConfig::loop == nullptr); on a shared loop the host drives
+  // time for all conferences at once.
   void RunFor(TimeDelta duration);
   // Resets the measurement window: Report() metrics cover the span from
   // the last call (or Start()) to now. Used to exclude the join/ramp-up
   // transient from steady-state QoE measurements.
-  void MarkMeasurementStart() { start_time_ = loop_.Now(); }
-
-  // --- Scripted network changes (Table 2 / Fig. 7 scenarios) ------------
-  void SetUplinkCapacity(ClientId client, DataRate rate);
-  void SetDownlinkCapacity(ClientId client, DataRate rate);
-  void SetUplinkLoss(ClientId client, double loss);
-  void SetDownlinkLoss(ClientId client, double loss);
-  void SetUplinkJitter(ClientId client, TimeDelta stddev);
-  void SetDownlinkJitter(ClientId client, TimeDelta stddev);
+  void MarkMeasurementStart() { start_time_ = loop_->Now(); }
 
   // --- Access ------------------------------------------------------------
-  sim::EventLoop& loop() { return loop_; }
+  sim::EventLoop& loop() { return *loop_; }
+  // Event-loop owner id of this conference. On a shared loop, hosts that
+  // schedule work on behalf of the conference (fault plans, churn scripts)
+  // wrap the scheduling calls in sim::EventLoop::OwnerScope(&loop, owner())
+  // so those closures die with the conference.
+  uint64_t owner() const { return owner_; }
   ConferenceNode& control() { return *control_; }
   Client* client(ClientId id);
   AccessingNode* node(int index) { return nodes_[static_cast<size_t>(index)].get(); }
@@ -172,6 +181,11 @@ class Conference {
   MeetingReport Report();
 
  private:
+  // The ClientId-keyed mutators live behind ParticipantHandle: scenario
+  // code addresses a participant through the handle returned by
+  // AddParticipant() / participant(), never by threading raw ids back in.
+  friend class ParticipantHandle;
+
   struct Participant {
     std::unique_ptr<Client> client;
     std::unique_ptr<sim::DuplexLink> access;
@@ -180,6 +194,20 @@ class Conference {
     std::set<std::pair<ClientId, core::SourceKind>> subscribed_views;
   };
 
+  // Custom subscriptions for one subscriber (GSO mode; in template mode
+  // the publisher set is extracted as local interest).
+  void SetSubscriptions(ClientId subscriber,
+                        std::vector<core::Subscription> subscriptions);
+
+  // Scripted network changes (Table 2 / Fig. 7 scenarios), reached through
+  // ParticipantHandle.
+  void SetUplinkCapacity(ClientId client, DataRate rate);
+  void SetDownlinkCapacity(ClientId client, DataRate rate);
+  void SetUplinkLoss(ClientId client, double loss);
+  void SetDownlinkLoss(ClientId client, double loss);
+  void SetUplinkJitter(ClientId client, TimeDelta stddev);
+  void SetDownlinkJitter(ClientId client, TimeDelta stddev);
+
   void WireMetrics();
   void WireParticipantMetrics(ClientId id, Participant& participant);
   // Installed as the controller's node-failure handler: re-homes every
@@ -187,7 +215,13 @@ class Conference {
   // SSRCs, rewired media paths, rebuilt interest), then forces a solve.
   void HandleNodeFailure(NodeId dead);
 
-  sim::EventLoop loop_;
+  // Private loop in standalone mode; null when running on an external one.
+  std::unique_ptr<sim::EventLoop> owned_loop_;
+  sim::EventLoop* loop_ = nullptr;  // the loop actually in use
+  // Owner id on `loop_`: every closure the conference (or its components)
+  // schedules is tagged with it, and the destructor cancels the lot when
+  // the loop is external and outlives us.
+  uint64_t owner_ = 0;
   ConferenceConfig config_;
   Rng rng_;
   std::unique_ptr<ConferenceNode> control_;

@@ -469,6 +469,12 @@ void ConferenceNode::OrchestrateNow() {
 }
 
 void ConferenceNode::Orchestrate() {
+  if (solve_in_flight_) {
+    // One solve per conference at a time: re-arm the trigger so the next
+    // tick after the commit picks it up.
+    event_pending_ = true;
+    return;
+  }
   const Timestamp now = loop_->Now();
   if (has_run_) {
     call_intervals_.push_back(now - last_run_);
@@ -492,11 +498,40 @@ void ConferenceNode::Orchestrate() {
   }
 
   last_problem_ = BuildProblem();
+  if (solve_executor_) {
+    // Service mode: hand the solve to the host's solver pool. On shed the
+    // trigger is re-armed — the orchestration is deferred, not dropped.
+    if (solve_executor_(this)) {
+      solve_in_flight_ = true;
+    } else {
+      ++solves_shed_;
+      event_pending_ = true;
+    }
+    return;
+  }
   // Warm solve: the controller re-solves on every report/membership event,
   // and consecutive problems differ in a handful of subscribers — the
   // orchestrator diffs against its previous snapshot and re-runs Step 1
   // only for the dirty ones (bit-identical to a cold solve by contract).
-  last_solution_ = orchestrator_.SolveWarm(last_problem_);
+  last_solution_ = orchestrator_.Solve(core::SolveRequest::Warm(last_problem_));
+  FinishSolve();
+}
+
+void ConferenceNode::RunDeferredSolve() {
+  last_solution_ = orchestrator_.Solve(core::SolveRequest::Warm(last_problem_));
+}
+
+void ConferenceNode::CommitDeferredSolve() {
+  GSO_CHECK(solve_in_flight_);
+  solve_in_flight_ = false;
+  // Crashed while the solve was queued: the result describes a picture the
+  // restarted controller no longer holds.
+  if (!alive_) return;
+  FinishSolve();
+}
+
+void ConferenceNode::FinishSolve() {
+  const Timestamp now = loop_->Now();
   Disseminate(last_solution_);
 
   const core::SolveStats& stats = last_solution_.stats;

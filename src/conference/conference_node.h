@@ -122,6 +122,42 @@ class ConferenceNode : public sim::CrashableProcess {
   // Forces an immediate orchestration (used by tests).
   void OrchestrateNow();
 
+  // --- Deferred solve (service mode) --------------------------------------
+  // By default Orchestrate() solves inline on the loop thread. A host that
+  // multiplexes many conferences installs an executor instead: when a
+  // trigger fires, the node builds the problem and hands itself to the
+  // executor, which enqueues the solve on a solver pool. The executor
+  // returns false to shed the request (queue full): the node re-arms its
+  // event trigger so the solve happens at a later tick. Accepted solves
+  // run RunDeferredSolve() on a worker thread (pure compute on this node's
+  // orchestrator — the host guarantees the loop is quiescent and no two
+  // threads touch the same node), then CommitDeferredSolve() back on the
+  // loop thread, which disseminates at commit-time virtual time (modeling
+  // the solve's queueing latency deterministically).
+  void SetSolveExecutor(std::function<bool(ConferenceNode*)> executor) {
+    solve_executor_ = std::move(executor);
+  }
+  // Worker thread: solves last_problem() into last_solution(). Touches
+  // only this node's orchestrator state.
+  void RunDeferredSolve();
+  // Loop thread, after RunDeferredSolve returned: disseminates and records
+  // the solve trace. Skips dissemination if the controller crashed while
+  // the solve was in flight.
+  void CommitDeferredSolve();
+  // Host notification that an accepted solve was displaced from the queue
+  // before running (a higher-priority request took its slot): clears the
+  // in-flight flag and re-arms the event trigger so the orchestration
+  // happens at a later tick instead of vanishing.
+  void OnSolveShed() {
+    solve_in_flight_ = false;
+    ++solves_shed_;
+    event_pending_ = true;
+  }
+  bool solve_in_flight() const { return solve_in_flight_; }
+  // Solve requests the executor refused (load shed); each re-arms the
+  // event trigger rather than dropping the orchestration on the floor.
+  int solves_shed() const { return solves_shed_; }
+
   // --- Crash / restart (sim::CrashableProcess) ----------------------------
   // Crash wipes the volatile global picture: bandwidth reports, pending
   // GTBR configs, node heartbeats. Signaling state (membership, SSRC
@@ -153,6 +189,7 @@ class ConferenceNode : public sim::CrashableProcess {
   std::vector<Ssrc> ReHome(ClientId client, AccessingNode* new_node);
 
   // --- Introspection ------------------------------------------------------
+  int member_count() const { return static_cast<int>(members_.size()); }
   int orchestration_count() const { return orchestration_count_; }
   const std::vector<TimeDelta>& call_intervals() const {
     return call_intervals_;
@@ -215,6 +252,9 @@ class ConferenceNode : public sim::CrashableProcess {
 
   void Tick();
   void Orchestrate();
+  // Shared tail of inline and deferred solves: dissemination + solve-trace
+  // metric records, at the current virtual time.
+  void FinishSolve();
   core::OrchestrationProblem BuildProblem();
   void Disseminate(const core::Solution& solution);
   void CheckPendingConfigs();
@@ -297,6 +337,10 @@ class ConferenceNode : public sim::CrashableProcess {
   core::Solution last_solution_;
   core::OrchestrationProblem last_problem_;
   bool started_ = false;
+  // Deferred-solve state (service mode; see SetSolveExecutor).
+  std::function<bool(ConferenceNode*)> solve_executor_;
+  bool solve_in_flight_ = false;
+  int solves_shed_ = 0;
 };
 
 }  // namespace gso::conference

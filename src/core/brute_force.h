@@ -16,7 +16,7 @@ class BruteForceOrchestrator {
  public:
   Solution Solve(const OrchestrationProblem& problem) const {
     Orchestrator orchestrator(&solver_);
-    return orchestrator.Solve(problem);
+    return orchestrator.Solve(SolveRequest::Cold(problem));
   }
 
  private:

@@ -158,19 +158,24 @@ ThreadPool* Orchestrator::PoolFor(int num_subscribers) const {
   return pool_.get();
 }
 
-Solution Orchestrator::Solve(const OrchestrationProblem& problem) const {
+const Solution& Orchestrator::Solve(const SolveRequest& request) const {
+  GSO_CHECK((request.problem != nullptr) != (request.compiled != nullptr));
+  if (request.compiled != nullptr) {
+    return RunSolve(*request.compiled, /*use_cache=*/false);
+  }
+  return request.warm ? SolveWarm(*request.problem)
+                      : SolveCold(*request.problem);
+}
+
+const Solution& Orchestrator::SolveCold(
+    const OrchestrationProblem& problem) const {
   const auto start = SolveClock::now();
   const CompiledProblem compiled = CompiledProblem::Compile(problem);
   const double compile_us = ElapsedUs(start);
-  Solution solution = RunSolve(compiled, /*use_cache=*/false);
-  solution.stats.compile_wall_us = compile_us;
-  solution.stats.total_wall_us = ElapsedUs(start);
+  const Solution& solution = RunSolve(compiled, /*use_cache=*/false);
+  ws_->solution.stats.compile_wall_us = compile_us;
+  ws_->solution.stats.total_wall_us = ElapsedUs(start);
   return solution;
-}
-
-const Solution& Orchestrator::SolveCompiled(
-    const CompiledProblem& compiled) const {
-  return RunSolve(compiled, /*use_cache=*/false);
 }
 
 const Solution& Orchestrator::SolveWarm(

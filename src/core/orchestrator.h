@@ -23,8 +23,8 @@
 // Step-1 knapsacks are independent per subscriber and can optionally run
 // on a thread pool; results are bit-identical at any thread count.
 //
-// Warm-start (SolveWarm): the orchestrator retains the previous compiled
-// problem and per-subscriber Step-1 results across solves. Each warm call
+// Warm-start (SolveRequest::Warm): the orchestrator retains the previous
+// compiled problem and per-subscriber Step-1 results across solves. Each warm
 // recompiles the new snapshot into reused storage, value-diffs it against
 // the previous one, and invalidates only the subscribers whose Step-1
 // inputs (edge list, downlink, watched ladders) actually changed — every
@@ -46,9 +46,12 @@
 // Feature-test macro for code that must also build against the pre-options
 // orchestrator API (e.g. the scaling bench comparing seed checkouts).
 #define GSO_ORCHESTRATOR_HAS_OPTIONS 1
-// Feature-test macro for the incremental re-solve API (SolveWarm,
+// Feature-test macro for the incremental re-solve path (SolveRequest::Warm,
 // ResetWarmState) and the warm/parallel SolveStats extensions.
 #define GSO_ORCHESTRATOR_HAS_WARM_SOLVE 1
+// Feature-test macro for the unified Solve(SolveRequest) entry point that
+// replaced the Solve / SolveCompiled / SolveWarm triple.
+#define GSO_ORCHESTRATOR_HAS_SOLVE_REQUEST 1
 
 namespace gso {
 class ThreadPool;
@@ -79,6 +82,47 @@ struct OrchestratorOptions {
   int step1_grain = 0;
 };
 
+// The single argument of Orchestrator::Solve. Exactly one of `problem` /
+// `compiled` is set; the orchestrator picks the execution strategy from
+// the request:
+//  - Cold(problem):        compile from scratch, solve everything.
+//  - Warm(problem):        recompile into retained storage, diff against
+//                          the previous warm snapshot, and re-run Step 1
+//                          only for subscribers whose inputs changed.
+//                          Bit-identical to Cold(problem) at every thread
+//                          count; only the `stats` trace differs.
+//  - Precompiled(compiled): solve a caller-retained CompiledProblem (the
+//                          OrchestrationProblem it was compiled from must
+//                          outlive the call); `stats.compile_wall_us` is
+//                          zero on this path.
+// The referenced problem must outlive the Solve call; the snapshot a warm
+// request retains for the *next* diff is compared by value only, so the
+// caller may mutate or destroy the problem afterwards.
+struct SolveRequest {
+  const OrchestrationProblem* problem = nullptr;
+  const CompiledProblem* compiled = nullptr;
+  // With `problem`: reuse warm state from the previous warm solve (delta
+  // re-solve). Ignored for precompiled requests.
+  bool warm = false;
+
+  static SolveRequest Cold(const OrchestrationProblem& problem) {
+    SolveRequest request;
+    request.problem = &problem;
+    return request;
+  }
+  static SolveRequest Warm(const OrchestrationProblem& problem) {
+    SolveRequest request;
+    request.problem = &problem;
+    request.warm = true;
+    return request;
+  }
+  static SolveRequest Precompiled(const CompiledProblem& compiled) {
+    SolveRequest request;
+    request.compiled = &compiled;
+    return request;
+  }
+};
+
 class Orchestrator {
  public:
   // `step1_solver` solves the per-subscriber MCKP; pass DpMckpSolver for
@@ -91,36 +135,23 @@ class Orchestrator {
   Orchestrator(const Orchestrator&) = delete;
   Orchestrator& operator=(const Orchestrator&) = delete;
 
-  // Cold solve: compiles `problem` to the dense-index form and solves it
-  // from scratch. The returned Solution carries the full solve trace in
-  // `Solution::stats` (work counts + per-step wall time).
-  Solution Solve(const OrchestrationProblem& problem) const;
-
-  // Delegate fast path for callers that keep the compiled form alive
-  // across rounds (the OrchestrationProblem it was compiled from must
-  // outlive the call). `stats.compile_wall_us` is zero on this path.
-  // The returned reference lives in the orchestrator and is valid until
-  // the next solve call.
-  const Solution& SolveCompiled(const CompiledProblem& compiled) const;
-
-  // Incremental solve: recompiles `problem` into retained storage, diffs
-  // it against the previous warm snapshot, and re-runs Step 1 only for
-  // subscribers whose inputs changed. Bit-identical to Solve(problem) —
-  // same publish policy, same QoE sums, same iteration count — at every
-  // thread count; only the `stats` trace differs (fewer knapsack solves).
-  // `problem` must outlive the call; the snapshot retained for the *next*
-  // diff is compared by value only, so the caller may mutate or destroy
-  // the problem afterwards. The returned reference is valid until the
-  // next solve call.
-  const Solution& SolveWarm(const OrchestrationProblem& problem) const;
+  // The one solve entry point (see SolveRequest for strategy selection).
+  // The returned Solution carries the full solve trace in `Solution::stats`
+  // (work counts + per-step wall time). The reference lives in the
+  // orchestrator and is valid until the next solve call; copy it to keep
+  // it across solves.
+  const Solution& Solve(const SolveRequest& request) const;
 
   // Drops all warm state (previous snapshot + Step-1 caches); the next
-  // SolveWarm behaves like a first call. Storage is kept for reuse.
+  // warm request behaves like a first call. Storage is kept for reuse.
   void ResetWarmState() const;
 
  private:
   struct Workspace;  // grow-only per-solve scratch, defined in the .cpp
 
+  // Strategy bodies behind Solve(); see SolveRequest for their contracts.
+  const Solution& SolveCold(const OrchestrationProblem& problem) const;
+  const Solution& SolveWarm(const OrchestrationProblem& problem) const;
   const Solution& RunSolve(const CompiledProblem& compiled,
                            bool use_cache) const;
   void Step1ForSubscriber(const CompiledProblem& compiled, int subscriber,

@@ -12,6 +12,10 @@ Labels LabelNode(uint32_t node_id) {
   return {{"node", std::to_string(node_id)}};
 }
 
+Labels LabelShard(uint32_t shard_index) {
+  return {{"shard", std::to_string(shard_index)}};
+}
+
 std::string_view ToString(MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:

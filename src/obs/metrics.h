@@ -43,6 +43,7 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 // Convenience: a single-label set, the common case ({"client", "7"}).
 Labels LabelClient(uint32_t client_id);
 Labels LabelNode(uint32_t node_id);
+Labels LabelShard(uint32_t shard_index);
 
 enum class MetricKind : uint8_t {
   kCounter = 0,  // cumulative, monotone non-decreasing

@@ -1,0 +1,111 @@
+// Fleet workload model: the synthetic-population distributions behind the
+// deployment figures (Figs. 10-11) and the orchestration service's churn
+// generator.
+//
+// Substitution (see DESIGN.md): the paper reports production telemetry
+// from ~1M conferences/day. We model that population with heavy-tailed
+// draws — participant counts concentrated at 2-4 with a tail to 8, access
+// networks split into good/medium/slow classes — and a satisfaction model
+// that is monotone in the paper's core QoE metrics. The draws live here
+// (not in bench/) so the service library and the benches share one
+// population.
+#ifndef GSO_SERVICE_FLEET_MODEL_H_
+#define GSO_SERVICE_FLEET_MODEL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+#include "common/rng.h"
+#include "conference/scenarios.h"
+
+namespace gso::service {
+
+// Draws a participant's access network from three quality classes.
+inline sim::DuplexLinkConfig DrawAccess(Rng& rng) {
+  const double u = rng.NextDouble();
+  sim::DuplexLinkConfig link;
+  if (u < 0.70) {  // good
+    link = conference::Access(
+        DataRate::KilobitsPerSec(rng.UniformInt(2000, 10000)),
+        DataRate::KilobitsPerSec(rng.UniformInt(5000, 20000)));
+    link.uplink.loss_rate = rng.Uniform(0.0, 0.01);
+    link.downlink.loss_rate = rng.Uniform(0.0, 0.01);
+  } else if (u < 0.90) {  // medium
+    link = conference::Access(
+        DataRate::KilobitsPerSec(rng.UniformInt(600, 2000)),
+        DataRate::KilobitsPerSec(rng.UniformInt(1000, 5000)));
+    link.uplink.loss_rate = rng.Uniform(0.0, 0.03);
+    link.downlink.loss_rate = rng.Uniform(0.0, 0.03);
+    link.downlink.jitter_stddev = TimeDelta::Millis(rng.UniformInt(0, 10));
+  } else {  // slow link
+    link = conference::Access(
+        DataRate::KilobitsPerSec(rng.UniformInt(300, 800)),
+        DataRate::KilobitsPerSec(rng.UniformInt(400, 1200)));
+    link.uplink.loss_rate = rng.Uniform(0.01, 0.08);
+    link.downlink.loss_rate = rng.Uniform(0.02, 0.08);
+    link.downlink.jitter_stddev = TimeDelta::Millis(rng.UniformInt(5, 40));
+  }
+  return link;
+}
+
+// Meeting-size distribution: concentrated at 2-4 with a tail to 8.
+inline int DrawParticipants(Rng& rng) {
+  const double u = rng.NextDouble();
+  if (u < 0.35) return 2;
+  if (u < 0.60) return 3;
+  if (u < 0.75) return 4;
+  if (u < 0.85) return 5;
+  if (u < 0.92) return 6;
+  if (u < 0.97) return 7;
+  return 8;
+}
+
+// Satisfaction model: positive feedback falls with stalls and rises with
+// smooth playback (monotone in the paper's core metrics).
+inline double Satisfaction(double video_stall, double voice_stall,
+                           double framerate) {
+  double satisfaction = 1.0 - 0.35 * video_stall - 0.7 * voice_stall;
+  if (satisfaction < 0) satisfaction = 0;
+  satisfaction *= 0.9 + 0.1 * std::min(framerate / 25.0, 1.0);
+  return satisfaction;
+}
+
+// Parses a strictly positive decimal integer; rejects empty strings,
+// signs, trailing junk, zero, negatives, and overflow. Split out from
+// ConfsPerDayFromEnv so the validation is unit-testable.
+inline std::optional<int> ParsePositiveInt(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+    if (value > 1000000000L) return std::nullopt;
+  }
+  if (value <= 0) return std::nullopt;
+  return static_cast<int>(value);
+}
+
+// GSO_FLEET_CONFS_PER_DAY override for the fleet benches. An unset
+// variable means `fallback`; a set-but-invalid one (non-numeric, zero,
+// negative, overflow) is a hard error — silently falling back would make
+// a typo run the wrong experiment size without a trace.
+inline int ConfsPerDayFromEnv(int fallback) {
+  const char* env = std::getenv("GSO_FLEET_CONFS_PER_DAY");
+  if (env == nullptr) return fallback;
+  const std::optional<int> value = ParsePositiveInt(env);
+  if (!value.has_value()) {
+    std::fprintf(stderr,
+                 "GSO_FLEET_CONFS_PER_DAY='%s' is not a positive integer "
+                 "(expected e.g. GSO_FLEET_CONFS_PER_DAY=200)\n",
+                 env);
+    std::exit(2);
+  }
+  return *value;
+}
+
+}  // namespace gso::service
+
+#endif  // GSO_SERVICE_FLEET_MODEL_H_

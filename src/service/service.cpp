@@ -1,0 +1,215 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace gso::service {
+namespace {
+
+// FNV-1a over raw bytes; doubles hash by bit pattern so the digest is an
+// exact-equality check, not an approximate one.
+uint64_t HashBytes(uint64_t h, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return HashBytes(h, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+OrchestrationService::OrchestrationService(const ServiceConfig& config)
+    : config_(config) {
+  GSO_CHECK(config_.num_shards >= 1);
+  GSO_CHECK(config_.max_conferences >= 1);
+  for (int i = 0; i < config_.num_shards; ++i) {
+    ShardConfig shard_config;
+    shard_config.index = i;
+    shard_config.solver_threads = config_.solver_threads_per_shard;
+    shard_config.solve_backlog = config_.solve_backlog;
+    shard_config.large_meeting_threshold = config_.large_meeting_threshold;
+    shards_.push_back(std::make_unique<Shard>(shard_config));
+  }
+  if (config_.metrics != nullptr) WireMetrics();
+}
+
+OrchestrationService::~OrchestrationService() = default;
+
+std::optional<uint64_t> OrchestrationService::Admit(
+    const ConferenceSpec& spec) {
+  if (conference_count() >= config_.max_conferences) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  // Least-loaded shard, lowest index on ties: deterministic placement.
+  int best = 0;
+  for (int i = 1; i < num_shards(); ++i) {
+    if (shards_[static_cast<size_t>(i)]->conference_count() <
+        shards_[static_cast<size_t>(best)]->conference_count()) {
+      best = i;
+    }
+  }
+  const uint64_t id = next_id_++;
+  shards_[static_cast<size_t>(best)]->Host(id, spec);
+  conference_shard_[id] = best;
+  ++admitted_;
+  return id;
+}
+
+void OrchestrationService::Remove(uint64_t id) {
+  const auto it = conference_shard_.find(id);
+  if (it == conference_shard_.end()) return;
+  shards_[static_cast<size_t>(it->second)]->Remove(id);
+  conference_shard_.erase(it);
+}
+
+void OrchestrationService::RunFor(TimeDelta duration) {
+  const Timestamp end = Now() + duration;
+  while (Now() < end) {
+    const TimeDelta step = std::min(config_.slice, end - Now());
+    if (config_.parallel_shards && shards_.size() > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(shards_.size());
+      for (auto& shard : shards_) {
+        Shard* raw = shard.get();
+        threads.emplace_back([raw, step] { raw->RunSlice(step); });
+      }
+      for (auto& thread : threads) thread.join();
+    } else {
+      for (auto& shard : shards_) shard->RunSlice(step);
+    }
+    // Shards are quiescent between slices: safe to touch the registry.
+    if (config_.metrics != nullptr) config_.metrics->SampleProbes(Now());
+  }
+}
+
+Timestamp OrchestrationService::Now() const { return shards_[0]->Now(); }
+
+conference::Conference* OrchestrationService::Get(uint64_t id) {
+  const auto it = conference_shard_.find(id);
+  if (it == conference_shard_.end()) return nullptr;
+  return shards_[static_cast<size_t>(it->second)]->Get(id);
+}
+
+sim::FaultPlan* OrchestrationService::fault_plan(uint64_t id) {
+  const auto it = conference_shard_.find(id);
+  if (it == conference_shard_.end()) return nullptr;
+  return shards_[static_cast<size_t>(it->second)]->fault_plan(id);
+}
+
+std::vector<uint64_t> OrchestrationService::live_ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(conference_shard_.size());
+  for (const auto& [id, _] : conference_shard_) ids.push_back(id);
+  return ids;
+}
+
+int OrchestrationService::conference_count() const {
+  return static_cast<int>(conference_shard_.size());
+}
+
+FleetReport OrchestrationService::Report() {
+  FleetReport report;
+  report.live = conference_count();
+  SampleSet satisfaction;
+  uint64_t digest = 1469598103934665603ull;  // FNV offset basis
+  double satisfaction_sum = 0;
+  double video_sum = 0;
+  double voice_sum = 0;
+  for (const auto& shard : shards_) {
+    report.solves += shard->queue_stats().solved;
+    report.solves_shed += shard->queue_stats().shed_rejected +
+                          shard->queue_stats().shed_displaced;
+    for (const ConferenceOutcome& outcome : shard->completed()) {
+      ++report.completed;
+      satisfaction.Add(outcome.satisfaction);
+      satisfaction_sum += outcome.satisfaction;
+      video_sum += outcome.video_stall;
+      voice_sum += outcome.voice_stall;
+      digest = HashBytes(digest, &outcome.id, sizeof(outcome.id));
+      digest = HashBytes(digest, &outcome.participants,
+                         sizeof(outcome.participants));
+      digest = HashDouble(digest, outcome.video_stall);
+      digest = HashDouble(digest, outcome.voice_stall);
+      digest = HashDouble(digest, outcome.framerate);
+      digest = HashDouble(digest, outcome.satisfaction);
+      digest = HashBytes(digest, &outcome.solves, sizeof(outcome.solves));
+    }
+  }
+  if (report.completed > 0) {
+    const double n = static_cast<double>(report.completed);
+    report.mean_satisfaction = satisfaction_sum / n;
+    report.mean_video_stall = video_sum / n;
+    report.mean_voice_stall = voice_sum / n;
+    report.p5_satisfaction = satisfaction.Percentile(5);
+    report.min_satisfaction = satisfaction.Percentile(0);
+  }
+  report.digest = digest;
+  return report;
+}
+
+void OrchestrationService::WireMetrics() {
+  obs::MetricsRegistry* registry = config_.metrics;
+  using obs::MetricKind;
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    const obs::Labels labels =
+        obs::LabelShard(static_cast<uint32_t>(shard->config().index));
+    registry->AddProbe(
+        registry->Get("service.shard.conferences", MetricKind::kGauge,
+                      "conferences", labels),
+        [shard] { return static_cast<double>(shard->conference_count()); });
+    registry->AddProbe(
+        registry->Get("service.shard.queue_depth", MetricKind::kGauge,
+                      "requests", labels),
+        [shard] { return static_cast<double>(shard->queue_depth()); });
+    registry->AddProbe(
+        registry->Get("service.shard.solves", MetricKind::kCounter, "solves",
+                      labels),
+        [shard] { return static_cast<double>(shard->queue_stats().solved); });
+    registry->AddProbe(
+        registry->Get("service.shard.shed", MetricKind::kCounter, "requests",
+                      labels),
+        [shard] {
+          return static_cast<double>(shard->queue_stats().shed_rejected +
+                                     shard->queue_stats().shed_displaced);
+        });
+    registry->AddProbe(
+        registry->Get("service.shard.solves_per_sec", MetricKind::kGauge,
+                      "solves/s", labels),
+        [shard] { return shard->solves_per_virtual_sec(); });
+    registry->AddProbe(
+        registry->Get("service.shard.queue_latency_p50", MetricKind::kGauge,
+                      "us", labels),
+        [shard] {
+          return shard->queue_stats().queue_latency_us.Percentile(50);
+        });
+    registry->AddProbe(
+        registry->Get("service.shard.queue_latency_p99", MetricKind::kGauge,
+                      "us", labels),
+        [shard] {
+          return shard->queue_stats().queue_latency_us.Percentile(99);
+        });
+  }
+  registry->AddProbe(
+      registry->Get("service.admission.rejected", MetricKind::kCounter,
+                    "conferences", {}),
+      [this] { return static_cast<double>(rejected_); });
+  registry->AddProbe(
+      registry->Get("service.conferences", MetricKind::kGauge, "conferences",
+                    {}),
+      [this] { return static_cast<double>(conference_count()); });
+}
+
+}  // namespace gso::service

@@ -1,0 +1,121 @@
+// Fleet-scale orchestration service: one process owning many conferences.
+//
+// The paper's controller orchestrates a single conference; production runs
+// ~1M conferences/day through shared orchestration infrastructure. This
+// service models that layer: conferences are admitted (bounded — beyond
+// max_conferences the join is rejected, not queued), assigned to shards
+// (least-loaded, deterministic tie-break), and advanced in lock-step
+// virtual-time slices. Each shard multiplexes its conferences on one
+// event loop, batches their solve requests in a priority queue (degraded
+// and large meetings drain first), and fans the batch out across its own
+// solver pool at each slice boundary.
+//
+// Observability: per-shard `service.shard.*` series (queue depth, p50/p99
+// queue latency, solves/sec, shed counts) on an optional registry, sampled
+// on the main thread between slices — the registry is not thread-safe and
+// the shards are quiescent then.
+#ifndef GSO_SERVICE_SERVICE_H_
+#define GSO_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/shard.h"
+
+namespace gso::service {
+
+struct ServiceConfig {
+  int num_shards = 2;
+  int solver_threads_per_shard = 2;
+  // Admission bound: Admit() rejects once this many conferences are live.
+  int max_conferences = 64;
+  // Per-shard solve-queue backlog (see SolveQueue).
+  int solve_backlog = 32;
+  int large_meeting_threshold = 6;
+  // Virtual-time slice between solve-batch drains; also the granularity
+  // at which metrics are sampled.
+  TimeDelta slice = TimeDelta::Millis(200);
+  // Run shard slices on parallel threads. Off, the slices run sequentially
+  // on the caller's thread — same results (shards share nothing), useful
+  // for debugging.
+  bool parallel_shards = true;
+  // Optional service-level observability; must outlive the service.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Fleet-wide aggregate over completed conferences. Every field derives
+// from virtual-time simulation state, so two runs with the same seeds and
+// admission sequence agree bit-for-bit.
+struct FleetReport {
+  int completed = 0;
+  int live = 0;
+  double mean_satisfaction = 0;
+  // QoE floor: 5th-percentile satisfaction across completed conferences —
+  // the churn-storm gate watches this, not the mean, because load shedding
+  // that starves a few meetings moves the floor long before the mean.
+  double p5_satisfaction = 0;
+  double min_satisfaction = 0;
+  double mean_video_stall = 0;
+  double mean_voice_stall = 0;
+  uint64_t solves = 0;
+  uint64_t solves_shed = 0;
+  // Order-sensitive hash of every outcome's bits: two runs produced the
+  // same fleet history iff the digests match (per-shard determinism gate).
+  uint64_t digest = 0;
+};
+
+class OrchestrationService {
+ public:
+  explicit OrchestrationService(const ServiceConfig& config);
+  ~OrchestrationService();
+
+  OrchestrationService(const OrchestrationService&) = delete;
+  OrchestrationService& operator=(const OrchestrationService&) = delete;
+
+  // Admission control: hosts the conference on the least-loaded shard and
+  // returns its service-wide id, or nullopt (counted in rejected()) when
+  // max_conferences are already live.
+  std::optional<uint64_t> Admit(const ConferenceSpec& spec);
+
+  // Completes a conference: its outcome joins the fleet report and its
+  // event-loop closures are cancelled. No-op for unknown ids.
+  void Remove(uint64_t id);
+
+  // Advances every shard by `duration`, slice by slice. Within a slice the
+  // shards run concurrently (see ServiceConfig::parallel_shards); between
+  // slices the service samples metrics on the calling thread.
+  void RunFor(TimeDelta duration);
+
+  Timestamp Now() const;
+
+  // --- Introspection / churn access (between RunFor calls) ---------------
+  conference::Conference* Get(uint64_t id);
+  sim::FaultPlan* fault_plan(uint64_t id);
+  // Live conference ids in ascending order (deterministic victim picks).
+  std::vector<uint64_t> live_ids() const;
+  int conference_count() const;
+  uint64_t admitted() const { return admitted_; }
+  uint64_t rejected() const { return rejected_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Shard& shard(int index) { return *shards_[static_cast<size_t>(index)]; }
+
+  FleetReport Report();
+
+ private:
+  void WireMetrics();
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<uint64_t, int> conference_shard_;  // id -> shard index
+  uint64_t next_id_ = 1;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace gso::service
+
+#endif  // GSO_SERVICE_SERVICE_H_

@@ -1,0 +1,131 @@
+#include "service/shard.h"
+
+#include "common/logging.h"
+#include "service/fleet_model.h"
+
+namespace gso::service {
+
+Shard::Shard(const ShardConfig& config)
+    : config_(config),
+      pool_(config.solver_threads),
+      queue_(config.solve_backlog) {}
+
+Shard::~Shard() = default;
+
+void Shard::Host(uint64_t id, const ConferenceSpec& spec) {
+  GSO_CHECK(hosted_.find(id) == hosted_.end());
+  GSO_CHECK(spec.participants >= 2);
+
+  conference::ConferenceConfig config;
+  config.loop = &loop_;
+  config.mode = spec.gso ? conference::ControlMode::kGso
+                         : conference::ControlMode::kTemplate;
+  config.seed = spec.seed;
+  // No per-conference registry: the MetricsRegistry is not thread-safe and
+  // slices run on shard threads; observability stays at the shard level
+  // (service.shard.* probes sampled between slices).
+  config.metrics = nullptr;
+
+  Hosted hosted;
+  hosted.spec = spec;
+  hosted.conference = std::make_unique<conference::Conference>(config);
+  hosted.plan = std::make_unique<sim::FaultPlan>(&loop_);
+
+  conference::Conference* conf = hosted.conference.get();
+  Rng draw(spec.seed);
+  for (int i = 1; i <= spec.participants; ++i) {
+    conference::ParticipantConfig pc;
+    pc.client = conference::DefaultClient(static_cast<uint32_t>(i));
+    pc.access = DrawAccess(draw);
+    conf->AddParticipant(pc);
+  }
+  // Large meetings view peers as thumbnails plus one bigger view, small
+  // meetings use full resolution — approximated by a resolution cap.
+  conf->SubscribeAllCameras(spec.participants <= 4 ? kResolution720p
+                                                   : kResolution360p);
+
+  // The executor routes this conference's orchestrations through the
+  // shard's batched queue; Classify re-ranks at every submission, so a
+  // conference entering a fault episode jumps to the degraded class.
+  Hosted* slot = &(hosted_[id] = std::move(hosted));
+  conference::Conference* owned = slot->conference.get();
+  owned->control().SetSolveExecutor(
+      [this, slot, owned](conference::ConferenceNode* node) {
+        return queue_.Push(node, Classify(*slot, node), owned->owner());
+      });
+
+  // Start under the conference's owner (Start self-scopes, but the
+  // measurement-start timer below is scheduled by us, the host).
+  owned->Start();
+  {
+    const sim::EventLoop::OwnerScope scope(&loop_, owned->owner());
+    // Exclude the join/BWE ramp-up from the steady-state QoE outcome.
+    loop_.After(TimeDelta::Seconds(5),
+                [owned] { owned->MarkMeasurementStart(); });
+  }
+}
+
+void Shard::Remove(uint64_t id) {
+  const auto it = hosted_.find(id);
+  GSO_CHECK(it != hosted_.end());
+  GSO_CHECK(queue_.depth() == 0);  // between slices the batch is drained
+
+  Hosted& hosted = it->second;
+  conference::Conference* conf = hosted.conference.get();
+  const auto report = conf->Report();
+
+  ConferenceOutcome outcome;
+  outcome.id = id;
+  outcome.participants = hosted.spec.participants;
+  outcome.gso = hosted.spec.gso;
+  outcome.video_stall = report.mean_video_stall_rate;
+  outcome.voice_stall = report.mean_voice_stall_rate;
+  outcome.framerate = report.mean_framerate;
+  outcome.satisfaction = Satisfaction(outcome.video_stall,
+                                      outcome.voice_stall, outcome.framerate);
+  outcome.solves = conf->control().orchestration_count();
+  outcome.solves_shed = conf->control().solves_shed();
+  completed_.push_back(outcome);
+
+  // Destroying the conference cancels its owner: every queued closure —
+  // media timers, metric-free probes, fault episodes scheduled on its
+  // behalf — becomes a no-op.
+  hosted_.erase(it);
+}
+
+void Shard::RunSlice(TimeDelta slice) {
+  loop_.RunFor(slice);
+  // Slice boundary: the batch drains across the solver pool; commits land
+  // at the current virtual instant, which models the solve's queueing
+  // delay (up to one slice) deterministically.
+  queue_.Drain(pool_, &loop_);
+}
+
+conference::Conference* Shard::Get(uint64_t id) {
+  const auto it = hosted_.find(id);
+  return it == hosted_.end() ? nullptr : it->second.conference.get();
+}
+
+sim::FaultPlan* Shard::fault_plan(uint64_t id) {
+  const auto it = hosted_.find(id);
+  return it == hosted_.end() ? nullptr : it->second.plan.get();
+}
+
+double Shard::solves_per_virtual_sec() const {
+  const double elapsed = loop_.Now().seconds();
+  if (elapsed <= 0) return 0;
+  return static_cast<double>(queue_.stats().solved) / elapsed;
+}
+
+SolveClass Shard::Classify(const Hosted& hosted,
+                           const conference::ConferenceNode* node) const {
+  // Degraded first: a meeting inside an active fault episode (outage,
+  // loss, crash window) needs its re-configuration soonest.
+  if (hosted.plan->active_episodes() > 0) return SolveClass::kDegraded;
+  if (node->member_count() >= config_.large_meeting_threshold) {
+    return SolveClass::kLarge;
+  }
+  return SolveClass::kNormal;
+}
+
+}  // namespace gso::service

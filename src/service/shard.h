@@ -1,0 +1,119 @@
+// One shard of the orchestration service: a private virtual-time event
+// loop hosting many conferences, a solver thread pool, and a batched solve
+// queue draining at slice boundaries.
+//
+// Threading contract: the service runs the shards' slices on parallel
+// threads (shards share nothing), but within a shard everything except
+// SolveQueue::Drain's ParallelFor happens on the thread that called
+// RunSlice. Between slices the shard is quiescent and the service mutates
+// it (Host/Remove, metrics sampling) from the main thread. Determinism:
+// with conference metrics off, a shard's completed outcomes depend only on
+// its seeds and the virtual clock — bit-identical at any solver thread
+// count and regardless of how the other shards are scheduled.
+#ifndef GSO_SERVICE_SHARD_H_
+#define GSO_SERVICE_SHARD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "conference/conference.h"
+#include "service/solve_queue.h"
+#include "sim/fault_plan.h"
+
+namespace gso::service {
+
+struct ShardConfig {
+  int index = 0;
+  int solver_threads = 2;
+  int solve_backlog = 32;
+  // Meetings with at least this many participants rank as SolveClass::kLarge.
+  int large_meeting_threshold = 6;
+};
+
+// What the service needs to host one conference.
+struct ConferenceSpec {
+  int participants = 2;
+  bool gso = true;
+  // Seeds the conference simulation and the per-participant access draws.
+  uint64_t seed = 1;
+};
+
+// QoE outcome of one completed (removed) conference. All fields derive
+// from the virtual-time simulation, so fleet aggregates are reproducible.
+struct ConferenceOutcome {
+  uint64_t id = 0;
+  int participants = 0;
+  bool gso = true;
+  double video_stall = 0;
+  double voice_stall = 0;
+  double framerate = 0;
+  double satisfaction = 0;
+  int solves = 0;
+  int solves_shed = 0;
+};
+
+class Shard {
+ public:
+  explicit Shard(const ShardConfig& config);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Builds, wires (deferred-solve executor, fault plan) and starts a
+  // conference under service-wide id `id`. Main thread, between slices.
+  void Host(uint64_t id, const ConferenceSpec& spec);
+
+  // Finalizes the conference's outcome (appended to completed()) and
+  // destroys it; its queued closures die via owner cancellation. Main
+  // thread, between slices — the solve queue is empty then, so no solve
+  // can be in flight for it.
+  void Remove(uint64_t id);
+
+  // Advances the shard by one slice: runs the loop, then drains the solve
+  // batch across the solver pool. Safe to call concurrently with other
+  // shards' RunSlice.
+  void RunSlice(TimeDelta slice);
+
+  // --- Between-slice access (main thread) --------------------------------
+  conference::Conference* Get(uint64_t id);
+  // Per-conference fault plan for scripted churn; schedule episodes under
+  // sim::EventLoop::OwnerScope(&loop(), Get(id)->owner()).
+  sim::FaultPlan* fault_plan(uint64_t id);
+  sim::EventLoop& loop() { return loop_; }
+  Timestamp Now() const { return loop_.Now(); }
+  int conference_count() const { return static_cast<int>(hosted_.size()); }
+  const std::vector<ConferenceOutcome>& completed() const {
+    return completed_;
+  }
+  int queue_depth() const { return queue_.depth(); }
+  SolveQueueStats& queue_stats() { return queue_.stats(); }
+  const ShardConfig& config() const { return config_; }
+  // Solves committed per virtual second since the shard started (virtual
+  // time, so the rate is deterministic).
+  double solves_per_virtual_sec() const;
+
+ private:
+  struct Hosted {
+    std::unique_ptr<conference::Conference> conference;
+    std::unique_ptr<sim::FaultPlan> plan;
+    ConferenceSpec spec;
+  };
+
+  SolveClass Classify(const Hosted& hosted,
+                      const conference::ConferenceNode* node) const;
+
+  ShardConfig config_;
+  sim::EventLoop loop_;
+  ThreadPool pool_;
+  SolveQueue queue_;
+  std::map<uint64_t, Hosted> hosted_;
+  std::vector<ConferenceOutcome> completed_;
+};
+
+}  // namespace gso::service
+
+#endif  // GSO_SERVICE_SHARD_H_

@@ -1,0 +1,149 @@
+// Batched solve queue for the orchestration service.
+//
+// Conferences submit deferred orchestrations during a virtual-time slice
+// (through ConferenceNode::SetSolveExecutor); at the slice boundary the
+// shard drains the batch: solves fan out across the shard's solver pool,
+// then commit back on the loop thread in priority order. Three design
+// points keep the service deterministic:
+//
+//  * Priority classes, not priority preemption. Entries are sorted by
+//    (class, arrival seq) at drain time — degraded and large meetings
+//    start first on the pool (ThreadPool hands out low indices first) and
+//    commit first, so their re-configurations reach clients earliest.
+//
+//  * Bounded backlog with displacement shedding. Push refuses the lowest-
+//    priority work when full; an arriving higher-class request displaces
+//    the worst queued entry instead of being dropped. Shed conferences
+//    re-arm their event trigger (OnSolveShed), so shedding trades latency,
+//    never correctness.
+//
+//  * Virtual determinism, wall-clock observability. Accept/shed decisions
+//    depend only on arrival order within the slice (virtual time), so a
+//    fleet run is bit-reproducible; the wall-clock queue latency recorded
+//    per entry feeds metrics only, never the simulation.
+#ifndef GSO_SERVICE_SOLVE_QUEUE_H_
+#define GSO_SERVICE_SOLVE_QUEUE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "conference/conference_node.h"
+
+namespace gso::service {
+
+// Drain order: degraded meetings (active fault episodes / recovering)
+// first, then large meetings (most participants affected per solve), then
+// the rest.
+enum class SolveClass { kDegraded = 0, kLarge = 1, kNormal = 2 };
+
+struct SolveQueueStats {
+  uint64_t accepted = 0;
+  uint64_t shed_rejected = 0;   // Push refused: queue full, lowest priority
+  uint64_t shed_displaced = 0;  // queued entry bumped by a higher class
+  uint64_t solved = 0;
+  uint64_t batches = 0;
+  // Wall clock from Push to the start of the drain that ran the solve.
+  SampleSet queue_latency_us;
+};
+
+class SolveQueue {
+ public:
+  explicit SolveQueue(int backlog) : backlog_(backlog < 1 ? 1 : backlog) {}
+
+  SolveQueue(const SolveQueue&) = delete;
+  SolveQueue& operator=(const SolveQueue&) = delete;
+
+  // Accepts `node`'s pending orchestration (problem already built) into
+  // the current batch; `owner` is the conference's event-loop owner id,
+  // restored around the commit so dissemination closures die with the
+  // conference. Returns false when the queue is full and the request ranks
+  // at or below everything queued; when a queued entry ranks strictly
+  // lower it is displaced (its node re-arms via OnSolveShed) and the new
+  // request takes the slot.
+  bool Push(conference::ConferenceNode* node, SolveClass cls,
+            uint64_t owner) {
+    const Entry entry{node, cls, next_seq_++, owner,
+                      std::chrono::steady_clock::now()};
+    if (static_cast<int>(entries_.size()) < backlog_) {
+      entries_.push_back(entry);
+      ++stats_.accepted;
+      return true;
+    }
+    // Worst queued entry: highest class, newest arrival among ties.
+    auto worst = std::max_element(
+        entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+          if (a.cls != b.cls) return a.cls < b.cls;
+          return a.seq < b.seq;
+        });
+    if (!(entry.cls < worst->cls)) {
+      ++stats_.shed_rejected;
+      return false;
+    }
+    worst->node->OnSolveShed();
+    ++stats_.shed_displaced;
+    *worst = entry;
+    ++stats_.accepted;
+    return true;
+  }
+
+  // Slice-boundary drain: runs every queued solve on `pool` (pure compute,
+  // one conference per entry — the in-flight guard in ConferenceNode means
+  // no node appears twice), then commits sequentially on the calling
+  // thread in (class, seq) order.
+  void Drain(ThreadPool& pool, sim::EventLoop* loop) {
+    if (entries_.empty()) return;
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.cls != b.cls) return a.cls < b.cls;
+                return a.seq < b.seq;
+              });
+    const auto drain_start = std::chrono::steady_clock::now();
+    for (const Entry& entry : entries_) {
+      stats_.queue_latency_us.Add(
+          static_cast<double>(std::chrono::duration_cast<
+                                  std::chrono::microseconds>(
+                                  drain_start - entry.enqueued)
+                                  .count()));
+    }
+    std::vector<Entry>& entries = entries_;
+    pool.ParallelFor(static_cast<int>(entries.size()),
+                     [&entries](int i, int /*worker*/) {
+                       entries[static_cast<size_t>(i)].node->RunDeferredSolve();
+                     },
+                     /*grain=*/1);
+    for (const Entry& entry : entries_) {
+      const sim::EventLoop::OwnerScope scope(loop, entry.owner);
+      entry.node->CommitDeferredSolve();
+    }
+    stats_.solved += entries_.size();
+    ++stats_.batches;
+    entries_.clear();
+  }
+
+  int depth() const { return static_cast<int>(entries_.size()); }
+  int backlog() const { return backlog_; }
+  SolveQueueStats& stats() { return stats_; }
+  const SolveQueueStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    conference::ConferenceNode* node;
+    SolveClass cls;
+    uint64_t seq;    // arrival order within the batch
+    uint64_t owner;  // the conference's event-loop owner id
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  int backlog_;
+  uint64_t next_seq_ = 0;
+  std::vector<Entry> entries_;
+  SolveQueueStats stats_;
+};
+
+}  // namespace gso::service
+
+#endif  // GSO_SERVICE_SOLVE_QUEUE_H_

@@ -4,6 +4,16 @@
 // absolute or relative virtual times; RunUntil() drains events in timestamp
 // order (FIFO among equal timestamps). Nothing in the library reads wall
 // clock — a 105-day fleet simulation runs in seconds.
+//
+// Ownership / cancellation: when many independent components (e.g. the
+// orchestration service's hosted conferences) share one loop, a component
+// must be destroyable mid-run even though its closures are still queued.
+// Owner ids solve this without per-event bookkeeping at call sites: tasks
+// scheduled inside an OwnerScope — or from within an owned task — inherit
+// the current owner, and Cancel(owner) turns every queued and future task
+// of that owner into a no-op (periodic timers stop rescheduling because
+// the skipped task never runs). Owner 0 is the default "unowned" id and
+// can never be cancelled, so single-conference harnesses pay nothing.
 #ifndef GSO_SIM_EVENT_LOOP_H_
 #define GSO_SIM_EVENT_LOOP_H_
 
@@ -27,10 +37,51 @@ class EventLoop {
 
   Timestamp Now() const { return now_; }
 
-  // Schedules `task` at absolute virtual time `when` (clamped to Now()).
+  // --- Ownership (see the header comment) --------------------------------
+  // Mints a fresh owner id for a component whose events may need to be
+  // cancelled as a group.
+  uint64_t NewOwner() { return next_owner_++; }
+
+  // Scopes the current owner: tasks scheduled while the scope is alive are
+  // tagged with `owner`. Nest freely; the previous owner is restored on
+  // destruction.
+  class OwnerScope {
+   public:
+    OwnerScope(EventLoop* loop, uint64_t owner)
+        : loop_(loop), previous_(loop->current_owner_) {
+      loop_->current_owner_ = owner;
+    }
+    ~OwnerScope() { loop_->current_owner_ = previous_; }
+    OwnerScope(const OwnerScope&) = delete;
+    OwnerScope& operator=(const OwnerScope&) = delete;
+
+   private:
+    EventLoop* loop_;
+    uint64_t previous_;
+  };
+
+  // Cancels every queued and future task of `owner`: queued ones are
+  // skipped when popped (their closures may reference freed state, so they
+  // must never run), future At()/After() calls under this owner are
+  // dropped at scheduling time. Owner 0 is never cancelled.
+  void Cancel(uint64_t owner) {
+    if (owner == 0) return;
+    if (cancelled_.size() <= owner) cancelled_.resize(owner + 1, 0);
+    cancelled_[owner] = 1;
+  }
+
+  bool IsCancelled(uint64_t owner) const {
+    return owner < cancelled_.size() && cancelled_[owner] != 0;
+  }
+
+  uint64_t current_owner() const { return current_owner_; }
+
+  // Schedules `task` at absolute virtual time `when` (clamped to Now()),
+  // tagged with the current owner.
   void At(Timestamp when, Task task) {
+    if (IsCancelled(current_owner_)) return;
     if (when < now_) when = now_;
-    queue_.push_back(Event{when, next_seq_++, std::move(task)});
+    queue_.push_back(Event{when, next_seq_++, current_owner_, std::move(task)});
     std::push_heap(queue_.begin(), queue_.end(), Event::Later);
   }
 
@@ -49,6 +100,7 @@ class EventLoop {
   // Leaves the clock at `until` (or at the last event time if earlier events
   // emptied the queue exactly at `until`).
   void RunUntil(Timestamp until) {
+    const uint64_t entry_owner = current_owner_;
     while (!queue_.empty() && queue_.front().when <= until) {
       // pop_heap moves the minimum to the back, from where it can be moved
       // out without const_cast (std::priority_queue::top() only exposes a
@@ -57,7 +109,11 @@ class EventLoop {
       Event ev = std::move(queue_.back());
       queue_.pop_back();
       now_ = ev.when;
+      if (IsCancelled(ev.owner)) continue;
+      // Tasks scheduled from inside this task inherit its owner.
+      current_owner_ = ev.owner;
       ev.task();
+      current_owner_ = entry_owner;
     }
     if (until.IsFinite() && until > now_) now_ = until;
   }
@@ -75,6 +131,7 @@ class EventLoop {
   struct Event {
     Timestamp when;
     uint64_t seq;  // breaks ties FIFO
+    uint64_t owner = 0;
     Task task;
 
     // Min-heap comparator: a sorts after b when it fires later (or was
@@ -87,6 +144,9 @@ class EventLoop {
 
   Timestamp now_ = Timestamp::Zero();
   uint64_t next_seq_ = 0;
+  uint64_t next_owner_ = 1;     // 0 is the permanent "unowned" id
+  uint64_t current_owner_ = 0;  // inherited by tasks scheduled right now
+  std::vector<uint8_t> cancelled_;  // indexed by owner id
   // Explicit binary min-heap on (when, seq); front() is the next event.
   std::vector<Event> queue_;
 };

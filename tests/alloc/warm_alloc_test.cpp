@@ -145,9 +145,9 @@ TEST(WarmAlloc, SolveCompiledIsAllocationFreeAfterWarmup) {
   const auto problem = MeshWithReductions(12);
   const CompiledProblem compiled = CompiledProblem::Compile(problem);
 
-  for (int i = 0; i < 3; ++i) (void)orchestrator.SolveCompiled(compiled);
+  for (int i = 0; i < 3; ++i) (void)orchestrator.Solve(SolveRequest::Precompiled(compiled));
   const int64_t allocs = CountAllocations([&] {
-    for (int i = 0; i < 5; ++i) (void)orchestrator.SolveCompiled(compiled);
+    for (int i = 0; i < 5; ++i) (void)orchestrator.Solve(SolveRequest::Precompiled(compiled));
   });
   EXPECT_EQ(allocs, 0) << "steady-state SolveCompiled allocated";
 #endif
@@ -166,9 +166,9 @@ TEST(WarmAlloc, SolveCompiledIsAllocationFreeWithThreadPool) {
   const CompiledProblem compiled = CompiledProblem::Compile(problem);
 
   // Warm-up also creates the lazy pool and its per-worker scratch.
-  for (int i = 0; i < 3; ++i) (void)orchestrator.SolveCompiled(compiled);
+  for (int i = 0; i < 3; ++i) (void)orchestrator.Solve(SolveRequest::Precompiled(compiled));
   const int64_t allocs = CountAllocations([&] {
-    for (int i = 0; i < 5; ++i) (void)orchestrator.SolveCompiled(compiled);
+    for (int i = 0; i < 5; ++i) (void)orchestrator.Solve(SolveRequest::Precompiled(compiled));
   });
   EXPECT_EQ(allocs, 0) << "parallel SolveCompiled allocated";
 #endif
@@ -188,12 +188,12 @@ TEST(WarmAlloc, DeltaResolveIsAllocationFreeAfterWarmup) {
   const DataRate kB = DataRate::KilobitsPerSec(5000);
   for (int i = 0; i < 6; ++i) {
     problem.budgets[4].downlink = i % 2 == 0 ? kA : kB;
-    (void)orchestrator.SolveWarm(problem);
+    (void)orchestrator.Solve(SolveRequest::Warm(problem));
   }
   const int64_t allocs = CountAllocations([&] {
     for (int i = 0; i < 6; ++i) {
       problem.budgets[4].downlink = i % 2 == 0 ? kA : kB;
-      (void)orchestrator.SolveWarm(problem);
+      (void)orchestrator.Solve(SolveRequest::Warm(problem));
     }
   });
   EXPECT_EQ(allocs, 0) << "steady-state delta re-solve allocated";

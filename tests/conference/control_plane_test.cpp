@@ -149,7 +149,7 @@ TEST(ControlPlane, ScreenShareGetsOwnSsrcsAndPriority) {
                   kResolution1080p, 1.0, 0});
   subs.push_back({ClientId(2), {ClientId(1), core::SourceKind::kCamera},
                   kResolution360p, 1.0, 0});
-  conference->SetSubscriptions(ClientId(2), std::move(subs));
+  conference->participant(ClientId(2)).Subscribe(std::move(subs));
   conference->control().OrchestrateNow();
 
   const auto screen_layers = conference->control().directory()->LayersOf(

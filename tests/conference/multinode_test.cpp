@@ -95,8 +95,7 @@ TEST(MultiNode, RemoteOnlySubscribersStillServed) {
   }
   // 2 and 3 subscribe to 1 only.
   for (uint32_t sub = 2; sub <= 3; ++sub) {
-    conference->SetSubscriptions(
-        ClientId(sub), {{ClientId(sub),
+    conference->participant(ClientId(sub)).Subscribe({{ClientId(sub),
                          {ClientId(1), core::SourceKind::kCamera},
                          kResolution720p,
                          1.0,

@@ -1,0 +1,44 @@
+// MeetingReport::participant() lookup: hits, misses, and boundary ids.
+#include <gtest/gtest.h>
+
+#include "conference/conference.h"
+#include "conference/scenarios.h"
+
+namespace gso::conference {
+namespace {
+
+TEST(MeetingReportLookup, EmptyReportReturnsNull) {
+  MeetingReport report;
+  EXPECT_EQ(report.participant(ClientId(1)), nullptr);
+}
+
+TEST(MeetingReportLookup, FindsBoundaryIdsAndRejectsOutsiders) {
+  // Non-contiguous ids so the misses between members are real.
+  auto conference = std::make_unique<Conference>(ConferenceConfig{});
+  for (uint32_t id : {2u, 5u, 9u}) {
+    ParticipantConfig pc;
+    pc.client = DefaultClient(id);
+    conference->AddParticipant(pc);
+  }
+  conference->SubscribeAllCameras(kResolution720p);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(2));
+
+  const MeetingReport report = conference->Report();
+  ASSERT_EQ(report.participants.size(), 3u);
+
+  // First and last (binary-search boundaries) and an interior member.
+  for (uint32_t id : {2u, 5u, 9u}) {
+    const ParticipantReport* p = report.participant(ClientId(id));
+    ASSERT_NE(p, nullptr) << "id " << id;
+    EXPECT_EQ(p->id, ClientId(id));
+  }
+
+  // Below the first, between members, above the last: all misses.
+  for (uint32_t id : {1u, 3u, 4u, 6u, 8u, 10u, 1000u}) {
+    EXPECT_EQ(report.participant(ClientId(id)), nullptr) << "id " << id;
+  }
+}
+
+}  // namespace
+}  // namespace gso::conference

@@ -355,7 +355,7 @@ TEST(OrchestratorEquivalence, FastPathMatchesReferenceBitIdentical) {
   for (const auto& shape : kShapes) {
     for (uint64_t seed = 1; seed <= 110; ++seed) {
       const auto problem = RandomProblem(shape, seed);
-      const Solution fast = orchestrator.Solve(problem);
+      const Solution fast = orchestrator.Solve(SolveRequest::Cold(problem));
       const Solution ref = reference::Solve(problem, ref_dp, ref_dp);
       ExpectBitIdentical(fast, ref, "shape", seed);
       ++cases;
@@ -376,8 +376,8 @@ TEST(OrchestratorEquivalence, ParallelStep1MatchesSerialBitIdentical) {
   for (const auto& shape : kShapes) {
     for (uint64_t seed = 1; seed <= 20; ++seed) {
       const auto problem = RandomProblem(shape, seed);
-      const Solution a = serial.Solve(problem);
-      const Solution b = parallel.Solve(problem);
+      const Solution a = serial.Solve(SolveRequest::Cold(problem));
+      const Solution b = parallel.Solve(SolveRequest::Cold(problem));
       ExpectBitIdentical(a, b, "parallel", seed);
       EXPECT_EQ(a.stats.knapsack_solves, b.stats.knapsack_solves);
       EXPECT_EQ(a.stats.reductions, b.stats.reductions);
@@ -395,7 +395,7 @@ TEST(OrchestratorEquivalence, WorkspaceReuseIsStateless) {
   for (uint64_t seed = 1; seed <= 30; ++seed) {
     for (const auto& shape : {kShapes[3], kShapes[0], kShapes[2]}) {
       const auto problem = RandomProblem(shape, seed);
-      const Solution fast = reused.Solve(problem);
+      const Solution fast = reused.Solve(SolveRequest::Cold(problem));
       const Solution ref = reference::Solve(problem, ref_dp, ref_dp);
       ExpectBitIdentical(fast, ref, "reuse", seed);
     }

@@ -66,7 +66,7 @@ TEST_P(OrchestratorSweep, AllConstraintsHoldOnRandomProblems) {
   Orchestrator orchestrator(&solver);
   for (uint64_t seed = 1; seed <= 25; ++seed) {
     const auto problem = RandomProblem(params, seed);
-    const Solution solution = orchestrator.Solve(problem);
+    const Solution solution = orchestrator.Solve(SolveRequest::Cold(problem));
     EXPECT_EQ(ValidateSolution(problem, solution), "")
         << params.name << " seed " << seed;
   }
@@ -78,7 +78,7 @@ TEST_P(OrchestratorSweep, ConvergesWithinIterationBound) {
   Orchestrator orchestrator(&solver);
   for (uint64_t seed = 1; seed <= 25; ++seed) {
     const auto problem = RandomProblem(params, seed);
-    const Solution solution = orchestrator.Solve(problem);
+    const Solution solution = orchestrator.Solve(SolveRequest::Cold(problem));
     // Bound (paper §4.1): iterations <= #publishers x #resolutions (+1
     // final check). Our tighter implementation bound: one reduction per
     // iteration, <= total resolutions across sources.
@@ -93,8 +93,8 @@ TEST_P(OrchestratorSweep, SolvingIsDeterministic) {
   DpMckpSolver solver;
   Orchestrator orchestrator(&solver);
   const auto problem = RandomProblem(params, 77);
-  const Solution a = orchestrator.Solve(problem);
-  const Solution b = orchestrator.Solve(problem);
+  const Solution a = orchestrator.Solve(SolveRequest::Cold(problem));
+  const Solution b = orchestrator.Solve(SolveRequest::Cold(problem));
   EXPECT_EQ(a.total_qoe, b.total_qoe);
   EXPECT_EQ(a.iterations, b.iterations);
   ASSERT_EQ(a.publish.size(), b.publish.size());
@@ -119,7 +119,7 @@ TEST_P(OrchestratorSweep, EveryFeasibleSubscriberGetsSomething) {
   Orchestrator orchestrator(&solver);
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     const auto problem = RandomProblem(params, seed);
-    const Solution solution = orchestrator.Solve(problem);
+    const Solution solution = orchestrator.Solve(SolveRequest::Cold(problem));
     std::map<ClientId, DataRate> uplinks;
     for (const auto& b : problem.budgets) uplinks[b.client] = b.uplink;
     for (const auto& budget : problem.budgets) {
@@ -174,7 +174,7 @@ TEST(OrchestratorEdge, AllZeroBudgets) {
            kResolution720p, 1.0, 0});
     }
   }
-  const Solution solution = orchestrator.Solve(problem);
+  const Solution solution = orchestrator.Solve(SolveRequest::Cold(problem));
   EXPECT_TRUE(solution.publish.empty());
   EXPECT_EQ(ValidateSolution(problem, solution), "");
 }
@@ -188,7 +188,7 @@ TEST(OrchestratorEdge, SubscriptionToMissingPublisherIgnored) {
   problem.subscriptions.push_back(
       {ClientId(1), {ClientId(99), SourceKind::kCamera}, kResolution720p,
        1.0, 0});
-  const Solution solution = orchestrator.Solve(problem);
+  const Solution solution = orchestrator.Solve(SolveRequest::Cold(problem));
   EXPECT_TRUE(solution.publish.empty());
 }
 
@@ -216,7 +216,7 @@ TEST(OrchestratorEdge, HugeMeetingSolvesQuickly) {
            kResolution360p, 1.0, 0});
     }
   }
-  const Solution solution = orchestrator.Solve(problem);
+  const Solution solution = orchestrator.Solve(SolveRequest::Cold(problem));
   EXPECT_EQ(ValidateSolution(problem, solution), "");
   EXPECT_FALSE(solution.publish.empty());
 }

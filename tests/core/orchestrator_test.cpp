@@ -59,7 +59,7 @@ TEST(OrchestratorTable1, Case1DownlinkLimited) {
       DataRate::MegabitsPerSec(5), DataRate::KilobitsPerSec(500));
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
 
   // Paper's final solution: A publishes 720P@1.5M and 360P@400K;
@@ -86,7 +86,7 @@ TEST(OrchestratorTable1, Case2UplinkLimited) {
       DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(5));
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
 
   EXPECT_EQ(PublishedAt(s, Cam(kA), kResolution720p),
@@ -108,7 +108,7 @@ TEST(OrchestratorTable1, Case3UplinkAndDownlinkLimited) {
       DataRate::MegabitsPerSec(5), DataRate::MegabitsPerSec(5));
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
 
   // Common to both co-optimal solutions (see below): A's 720p at 1.5M for
@@ -152,7 +152,7 @@ TEST(Orchestrator, Fig3aStopsUnsubscribedStream) {
                      {sub2, Cam(pub), kResolution720p, 1.0, 0}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
   // 720p (1.5M) must not be published: nobody can receive it.
   EXPECT_EQ(PublishedAt(s, Cam(pub), kResolution720p), DataRate::Zero());
@@ -177,7 +177,7 @@ TEST(Orchestrator, Fig3bFineBitrateFitsDownlink) {
   p.subscriptions = {{sub1, Cam(pub), kResolution720p, 1.0, 0}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
   const DataRate sent = PublishedAt(s, Cam(pub), kResolution720p);
   EXPECT_GE(sent, DataRate::MegabitsPerSecF(1.3));
@@ -202,7 +202,7 @@ TEST(Orchestrator, Fig3cFairStreamCompetition) {
                      {sub1, Cam(pub2), kResolution720p, 1.0, 0}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
   const DataRate r1 = PublishedAt(s, Cam(pub1), kResolution720p);
   const DataRate r2 = PublishedAt(s, Cam(pub2), kResolution720p);
@@ -219,7 +219,7 @@ TEST(Orchestrator, EmptyProblem) {
   OrchestrationProblem p;
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_TRUE(s.publish.empty());
   EXPECT_EQ(s.total_qoe, 0.0);
   EXPECT_EQ(ValidateSolution(p, s), "");
@@ -232,7 +232,7 @@ TEST(Orchestrator, SelfSubscriptionIgnored) {
   p.subscriptions = {{kA, Cam(kA), kResolution720p, 1.0, 0}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_TRUE(s.publish.empty());
 }
 
@@ -244,7 +244,7 @@ TEST(Orchestrator, ZeroDownlinkGetsNothing) {
   p.subscriptions = {{kA, Cam(kB), kResolution720p, 1.0, 0}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
   EXPECT_TRUE(s.publish.empty());
 }
@@ -264,7 +264,7 @@ TEST(Orchestrator, PriorityProtectsSpeakerStream) {
                      {viewer, Cam(other), kResolution720p, 1.0, 0}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
   // Only one 300K stream fits; priority must pick the speaker.
   EXPECT_EQ(PublishedAt(s, Cam(speaker), kResolution180p),
@@ -286,7 +286,7 @@ TEST(Orchestrator, VirtualPublisherSpeakerFirstTwoStreams) {
                      {viewer, Cam(speaker), kResolution180p, 1.0, 1}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
   EXPECT_EQ(PublishedAt(s, Cam(speaker), kResolution720p),
             DataRate::MegabitsPerSecF(1.5));
@@ -312,7 +312,7 @@ TEST(Orchestrator, ScreenShareIsSeparateSource) {
                      {viewer, screen, kResolution1080p, 3.0, 0}};
   DpMckpSolver solver;
   Orchestrator orch(&solver);
-  const Solution s = orch.Solve(p);
+  const Solution s = orch.Solve(SolveRequest::Cold(p));
   EXPECT_EQ(ValidateSolution(p, s), "");
   EXPECT_GT(PublishedAt(s, screen, kResolution1080p).bps(), 0);
   EXPECT_GT(PublishedAt(s, Cam(presenter), kResolution360p).bps(), 0);
@@ -347,7 +347,7 @@ TEST(Orchestrator, BruteForceMatchesDpOnSmallMeshes) {
     }
     DpMckpSolver dp;
     Orchestrator gso(&dp);
-    const Solution s_dp = gso.Solve(p);
+    const Solution s_dp = gso.Solve(SolveRequest::Cold(p));
     BruteForceOrchestrator bf;
     const Solution s_bf = bf.Solve(p);
     EXPECT_EQ(ValidateSolution(p, s_dp), "");

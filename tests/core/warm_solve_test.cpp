@@ -150,9 +150,9 @@ TEST(WarmSolve, MatchesColdAfterEveryDeltaAt1And8Threads) {
         if (step > 0) {
           ApplyDelta(problem, rng, next_id, shape.levels_per_resolution);
         }
-        const Solution expected = cold.Solve(problem);
-        const Solution got1 = warm1.SolveWarm(problem);
-        const Solution got8 = warm8.SolveWarm(problem);
+        const Solution expected = cold.Solve(SolveRequest::Cold(problem));
+        const Solution got1 = warm1.Solve(SolveRequest::Warm(problem));
+        const Solution got8 = warm8.Solve(SolveRequest::Warm(problem));
         SCOPED_TRACE(testing::Message()
                      << "clients " << shape.clients << " step " << step);
         ExpectBitIdentical(got1, expected, "warm1-vs-cold", seed);
@@ -190,12 +190,12 @@ TEST(WarmSolve, IdenticalResolveIsAllCacheHits) {
     }
   }
 
-  const Solution first = warm.SolveWarm(problem);
+  const Solution first = warm.Solve(SolveRequest::Warm(problem));
   EXPECT_EQ(first.stats.dirty_subscribers, 12);
   EXPECT_EQ(first.stats.step1_cache_hits, 0);
   EXPECT_GT(first.stats.knapsack_solves, 0);
 
-  const Solution second = warm.SolveWarm(problem);
+  const Solution second = warm.Solve(SolveRequest::Warm(problem));
   EXPECT_EQ(second.stats.dirty_subscribers, 0);
   EXPECT_EQ(second.stats.knapsack_solves, 0);
   EXPECT_GT(second.stats.step1_cache_hits, 0);
@@ -224,17 +224,17 @@ TEST(WarmSolve, SingleReportDeltaDirtiesOneSubscriber) {
                                        0});
     }
   }
-  (void)warm.SolveWarm(problem);
+  (void)warm.Solve(SolveRequest::Warm(problem));
 
   problem.budgets[3].downlink = DataRate::KilobitsPerSec(700);
-  const Solution delta = warm.SolveWarm(problem);
+  const Solution delta = warm.Solve(SolveRequest::Warm(problem));
   EXPECT_EQ(delta.stats.dirty_subscribers, 1);
   EXPECT_EQ(delta.stats.knapsack_solves, 1);
   EXPECT_EQ(delta.stats.step1_cache_hits, 9);
 
   const DpMckpSolver fresh_solver;
   const Orchestrator cold(&fresh_solver);
-  ExpectBitIdentical(delta, cold.Solve(problem), "one-report-delta", 0);
+  ExpectBitIdentical(delta, cold.Solve(SolveRequest::Cold(problem)), "one-report-delta", 0);
 }
 
 // ResetWarmState drops the caches: the next warm solve is a full re-solve
@@ -243,9 +243,9 @@ TEST(WarmSolve, ResetForcesFullResolve) {
   DpMckpSolver solver;
   const Orchestrator warm(&solver);
   const auto problem = RandomProblem({8, 4, 0.4, 0.7}, 99);
-  const Solution first = warm.SolveWarm(problem);
+  const Solution first = warm.Solve(SolveRequest::Warm(problem));
   warm.ResetWarmState();
-  const Solution second = warm.SolveWarm(problem);
+  const Solution second = warm.Solve(SolveRequest::Warm(problem));
   EXPECT_EQ(second.stats.dirty_subscribers, first.stats.dirty_subscribers);
   EXPECT_EQ(second.stats.step1_cache_hits, 0);
   ExpectBitIdentical(second, first, "post-reset", 99);

@@ -74,7 +74,7 @@ TEST(ExportSchema, ConferenceExportSpansThreePlanes) {
   auto conference = BuildMeeting(config, 3);
   conference->Start();
   conference->RunFor(TimeDelta::Seconds(8));
-  conference->SetDownlinkCapacity(ClientId(3), DataRate::KilobitsPerSec(600));
+  conference->participant(ClientId(3)).SetDownlinkCapacity(DataRate::KilobitsPerSec(600));
   conference->RunFor(TimeDelta::Seconds(4));
 
   // Locked (name, unit) pairs: renaming or re-uniting any of these breaks

@@ -1,0 +1,193 @@
+// Orchestration-service tests: admission control, shard placement, fleet
+// determinism under churn and shedding, per-shard observability, and the
+// shared fleet-population model.
+#include "service/service.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/churn.h"
+#include "service/fleet_model.h"
+
+namespace gso::service {
+namespace {
+
+ServiceConfig SmallConfig() {
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.solver_threads_per_shard = 1;
+  config.max_conferences = 4;
+  config.parallel_shards = false;
+  return config;
+}
+
+TEST(OrchestrationService, AdmissionRejectsBeyondBound) {
+  OrchestrationService service(SmallConfig());
+  ConferenceSpec spec;
+  spec.participants = 2;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    spec.seed = static_cast<uint64_t>(i + 1);
+    const std::optional<uint64_t> id = service.Admit(spec);
+    ASSERT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  EXPECT_FALSE(service.Admit(spec).has_value());
+  EXPECT_FALSE(service.Admit(spec).has_value());
+  EXPECT_EQ(service.admitted(), 4u);
+  EXPECT_EQ(service.rejected(), 2u);
+  EXPECT_EQ(service.conference_count(), 4);
+
+  // Removing a conference frees its admission slot.
+  service.RunFor(TimeDelta::Seconds(1));
+  service.Remove(ids[0]);
+  EXPECT_EQ(service.conference_count(), 3);
+  EXPECT_TRUE(service.Admit(spec).has_value());
+  EXPECT_EQ(service.admitted(), 5u);
+}
+
+TEST(OrchestrationService, PlacementBalancesLeastLoadedShards) {
+  OrchestrationService service(SmallConfig());
+  ConferenceSpec spec;
+  for (int i = 0; i < 4; ++i) {
+    spec.seed = static_cast<uint64_t>(i + 1);
+    ASSERT_TRUE(service.Admit(spec).has_value());
+  }
+  EXPECT_EQ(service.shard(0).conference_count(), 2);
+  EXPECT_EQ(service.shard(1).conference_count(), 2);
+}
+
+TEST(OrchestrationService, ReportAggregatesCompletedOutcomes) {
+  ServiceConfig config = SmallConfig();
+  config.num_shards = 1;
+  OrchestrationService service(config);
+  ConferenceSpec spec;
+  spec.participants = 3;
+  spec.seed = 11;
+  const uint64_t a = *service.Admit(spec);
+  spec.seed = 12;
+  const uint64_t b = *service.Admit(spec);
+
+  service.RunFor(TimeDelta::Seconds(8));
+  service.Remove(a);
+  service.Remove(b);
+
+  FleetReport report = service.Report();
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.live, 0);
+  EXPECT_GT(report.solves, 0u);
+  EXPECT_GT(report.mean_satisfaction, 0.0);
+  EXPECT_LE(report.mean_satisfaction, 1.0);
+  EXPECT_LE(report.min_satisfaction, report.p5_satisfaction);
+  EXPECT_LE(report.p5_satisfaction, 1.0);
+  EXPECT_NE(report.digest, 0u);
+}
+
+// One mini fleet under churn, fault waves, and a backlog tight enough to
+// force shedding. Returns the order-sensitive digest of every completed
+// outcome's bits.
+uint64_t RunMiniFleet(bool parallel_shards, int solver_threads) {
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.solver_threads_per_shard = solver_threads;
+  config.max_conferences = 8;
+  config.solve_backlog = 2;  // force displacement/rejection shedding
+  config.parallel_shards = parallel_shards;
+  OrchestrationService service(config);
+
+  ChurnConfig churn;
+  churn.target_concurrent = 8;
+  churn.mean_lifetime = TimeDelta::Seconds(8);
+  churn.wave_period = TimeDelta::Seconds(3);
+  churn.seed = 5;
+  ChurnStorm storm(&service, churn);
+  storm.RunFor(TimeDelta::Seconds(10));
+
+  FleetReport report = service.Report();
+  EXPECT_GT(report.completed, 0);
+  EXPECT_GT(report.solves_shed, 0u);  // the tight backlog did shed
+  return report.digest;
+}
+
+TEST(OrchestrationService, FleetDigestIsReproducible) {
+  EXPECT_EQ(RunMiniFleet(false, 1), RunMiniFleet(false, 1));
+}
+
+TEST(OrchestrationService, FleetDigestInvariantToThreadingChoices) {
+  // Shed/admission decisions depend only on virtual-time arrival order,
+  // so the fleet history is bit-identical whether shards run sequentially
+  // or on parallel threads, and at any solver pool width.
+  const uint64_t sequential = RunMiniFleet(false, 1);
+  EXPECT_EQ(sequential, RunMiniFleet(true, 1));
+  EXPECT_EQ(sequential, RunMiniFleet(true, 2));
+}
+
+TEST(OrchestrationService, ExportsPerShardMetrics) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config = SmallConfig();
+  config.metrics = &registry;
+  OrchestrationService service(config);
+  ConferenceSpec spec;
+  spec.seed = 3;
+  ASSERT_TRUE(service.Admit(spec).has_value());
+  service.RunFor(TimeDelta::Seconds(2));
+
+  int shard_series = 0;
+  bool saw_queue_depth = false;
+  for (const auto& metric : registry.metrics()) {
+    if (metric->name().rfind("service.shard.", 0) == 0) {
+      ++shard_series;
+      EXPECT_GT(metric->samples().size(), 0u) << metric->name();
+    }
+    if (metric->name() == "service.shard.queue_depth") {
+      saw_queue_depth = true;
+    }
+  }
+  // Both shards export their series even when only one hosts conferences.
+  EXPECT_GE(shard_series, 2 * 7);
+  EXPECT_TRUE(saw_queue_depth);
+}
+
+TEST(FleetModel, ParsePositiveIntAcceptsOnlyPositiveDecimals) {
+  EXPECT_EQ(ParsePositiveInt("1"), std::optional<int>(1));
+  EXPECT_EQ(ParsePositiveInt("123"), std::optional<int>(123));
+  EXPECT_EQ(ParsePositiveInt("1000000000"), std::optional<int>(1000000000));
+  EXPECT_FALSE(ParsePositiveInt("").has_value());
+  EXPECT_FALSE(ParsePositiveInt("0").has_value());
+  EXPECT_FALSE(ParsePositiveInt("00").has_value());
+  EXPECT_FALSE(ParsePositiveInt("-5").has_value());
+  EXPECT_FALSE(ParsePositiveInt("+5").has_value());
+  EXPECT_FALSE(ParsePositiveInt("12x").has_value());
+  EXPECT_FALSE(ParsePositiveInt(" 12").has_value());
+  EXPECT_FALSE(ParsePositiveInt("1e3").has_value());
+  EXPECT_FALSE(ParsePositiveInt("10000000000").has_value());  // overflow
+}
+
+TEST(FleetModel, ConfsPerDayFromEnvFallsBackWhenUnset) {
+  unsetenv("GSO_FLEET_CONFS_PER_DAY");
+  EXPECT_EQ(ConfsPerDayFromEnv(250), 250);
+}
+
+TEST(FleetModel, ConfsPerDayFromEnvReadsOverride) {
+  setenv("GSO_FLEET_CONFS_PER_DAY", "1234", 1);
+  EXPECT_EQ(ConfsPerDayFromEnv(250), 1234);
+  unsetenv("GSO_FLEET_CONFS_PER_DAY");
+}
+
+TEST(FleetModelDeathTest, ConfsPerDayFromEnvRejectsGarbage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  setenv("GSO_FLEET_CONFS_PER_DAY", "not-a-number", 1);
+  EXPECT_EXIT(ConfsPerDayFromEnv(250), ::testing::ExitedWithCode(2),
+              "not a positive integer");
+  setenv("GSO_FLEET_CONFS_PER_DAY", "-3", 1);
+  EXPECT_EXIT(ConfsPerDayFromEnv(250), ::testing::ExitedWithCode(2),
+              "not a positive integer");
+  unsetenv("GSO_FLEET_CONFS_PER_DAY");
+}
+
+}  // namespace
+}  // namespace gso::service

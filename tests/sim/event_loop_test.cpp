@@ -171,5 +171,101 @@ TEST(EventLoop, PendingCountAndEmpty) {
   EXPECT_TRUE(loop.empty());
 }
 
+
+// --- Owner-scoped cancellation (service mode) ----------------------------
+
+TEST(EventLoopOwners, CancelSkipsQueuedTasks) {
+  EventLoop loop;
+  const uint64_t owner = loop.NewOwner();
+  int owned_runs = 0;
+  int other_runs = 0;
+  {
+    EventLoop::OwnerScope scope(&loop, owner);
+    loop.At(Timestamp::Millis(10), [&] { ++owned_runs; });
+    loop.At(Timestamp::Millis(20), [&] { ++owned_runs; });
+  }
+  loop.At(Timestamp::Millis(15), [&] { ++other_runs; });
+  loop.Cancel(owner);
+  loop.RunAll();
+  EXPECT_EQ(owned_runs, 0);
+  EXPECT_EQ(other_runs, 1);
+}
+
+TEST(EventLoopOwners, CancelDropsFutureScheduling) {
+  EventLoop loop;
+  const uint64_t owner = loop.NewOwner();
+  loop.Cancel(owner);
+  int runs = 0;
+  {
+    EventLoop::OwnerScope scope(&loop, owner);
+    loop.At(Timestamp::Millis(1), [&] { ++runs; });
+  }
+  EXPECT_TRUE(loop.empty());  // dropped at scheduling time
+  loop.RunAll();
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(EventLoopOwners, TasksInheritOwnerOfTheirScheduler) {
+  // A periodic timer started under an owner keeps that owner through every
+  // reschedule, so Cancel() kills the whole chain.
+  EventLoop loop;
+  const uint64_t owner = loop.NewOwner();
+  int ticks = 0;
+  {
+    EventLoop::OwnerScope scope(&loop, owner);
+    loop.Every(TimeDelta::Millis(10), [&] {
+      ++ticks;
+      return true;
+    });
+  }
+  loop.RunUntil(Timestamp::Millis(35));
+  EXPECT_EQ(ticks, 3);
+  loop.Cancel(owner);
+  loop.RunUntil(Timestamp::Millis(100));
+  EXPECT_EQ(ticks, 3);  // the chain died with its owner
+}
+
+TEST(EventLoopOwners, ScopesNestAndRestore) {
+  EventLoop loop;
+  const uint64_t outer = loop.NewOwner();
+  const uint64_t inner = loop.NewOwner();
+  EXPECT_EQ(loop.current_owner(), 0u);
+  {
+    EventLoop::OwnerScope a(&loop, outer);
+    EXPECT_EQ(loop.current_owner(), outer);
+    {
+      EventLoop::OwnerScope b(&loop, inner);
+      EXPECT_EQ(loop.current_owner(), inner);
+    }
+    EXPECT_EQ(loop.current_owner(), outer);
+  }
+  EXPECT_EQ(loop.current_owner(), 0u);
+}
+
+TEST(EventLoopOwners, OwnerZeroIsNeverCancelled) {
+  EventLoop loop;
+  loop.Cancel(0);  // no-op by contract
+  int runs = 0;
+  loop.At(Timestamp::Millis(1), [&] { ++runs; });
+  loop.RunAll();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventLoopOwners, CancelOneOwnerAmongInterleaved) {
+  // Two components interleaved on one loop: cancelling one must not
+  // disturb the other's ordering or delivery.
+  EventLoop loop;
+  const uint64_t a = loop.NewOwner();
+  const uint64_t b = loop.NewOwner();
+  std::vector<int> ran;
+  for (int i = 0; i < 10; ++i) {
+    EventLoop::OwnerScope scope(&loop, i % 2 == 0 ? a : b);
+    loop.At(Timestamp::Millis(i), [&ran, i] { ran.push_back(i); });
+  }
+  loop.Cancel(a);
+  loop.RunAll();
+  EXPECT_EQ(ran, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
 }  // namespace
 }  // namespace gso::sim

@@ -249,3 +249,79 @@ EOF
 else
   echo "bench_smoke: ${OUTAGE} not built, skipping robustness validation" >&2
 fi
+
+# --- Fleet-service churn storm ------------------------------------------
+# Exits non-zero unless every storm sustains its target concurrency and
+# holds the QoE floor, so the run is itself the fleet acceptance gate; the
+# queue-latency rows then go through the same perf gate as the controller
+# measurements.
+FLEET="${BUILD_DIR}/bench/fleet_service"
+FLEET_OUT="${BUILD_DIR}/BENCH_fleet_smoke.json"
+FLEET_TRACE="${BUILD_DIR}/fleet_service_smoke_metrics.jsonl"
+FLEET_BASELINE="$(dirname "$0")/../BENCH_fleet.json"
+if [[ -x "${FLEET}" ]]; then
+  "${FLEET}" --out="${FLEET_OUT}" --label=smoke --trace-out="${FLEET_TRACE}"
+  python3 - "${FLEET_OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("label", "unit", "qoe_floor_min", "host_cpus", "results"):
+    if key not in doc:
+        sys.exit(f"bench_smoke: BENCH_fleet missing key {key!r}")
+if not doc["results"]:
+    sys.exit("bench_smoke: BENCH_fleet has no results")
+storms = [r for r in doc["results"] if not r["shape"].endswith("_queue_p99")]
+p99s = [r for r in doc["results"] if r["shape"].endswith("_queue_p99")]
+if not storms or len(p99s) != len(storms):
+    sys.exit("bench_smoke: BENCH_fleet needs a _queue_p99 row per storm")
+for row in doc["results"]:
+    if row["mode"] != "service":
+        sys.exit(f"bench_smoke: BENCH_fleet row not mode=service: {row}")
+    if row["ns_per_solve"] <= 0 or row["solves"] <= 0:
+        sys.exit(f"bench_smoke: non-positive fleet measurement: {row}")
+for row in storms:
+    for key in ("concurrent", "completed", "qoe_floor", "digest"):
+        if key not in row:
+            sys.exit(f"bench_smoke: fleet storm row missing {key!r}: {row}")
+    if row["qoe_floor"] < doc["qoe_floor_min"]:
+        sys.exit(f"bench_smoke: fleet QoE floor below minimum: {row}")
+print(f"bench_smoke: OK ({len(storms)} fleet storms, worst QoE floor "
+      f"{min(r['qoe_floor'] for r in storms):.3f})")
+EOF
+  validate_metrics_jsonl "${FLEET_TRACE}"
+  # The per-shard service series must be present in the trace.
+  python3 - "${FLEET_TRACE}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    rows = [json.loads(l) for l in f if l.strip()]
+names = {row["name"] for row in rows if row["type"] == "series"}
+required = {
+    "service.shard.conferences",
+    "service.shard.queue_depth",
+    "service.shard.solves",
+    "service.shard.shed",
+    "service.shard.queue_latency_p99",
+    "service.admission.rejected",
+}
+missing = required - names
+if missing:
+    sys.exit(f"bench_smoke: fleet trace missing series {sorted(missing)}")
+shards = {frozenset(row["labels"].items()) for row in rows
+          if row["type"] == "series"
+          and row["name"] == "service.shard.queue_depth"}
+if len(shards) < 2:
+    sys.exit(f"bench_smoke: fleet trace covers only {len(shards)} shard(s)")
+print(f"bench_smoke: OK (fleet trace spans {len(shards)} shards)")
+EOF
+  if [[ -s "${FLEET_BASELINE}" ]]; then
+    python3 "$(dirname "$0")/perf_gate.py" "${FLEET_BASELINE}" "${FLEET_OUT}"
+  else
+    echo "bench_smoke: no committed baseline at ${FLEET_BASELINE}, skipping fleet perf gate" >&2
+  fi
+else
+  echo "bench_smoke: ${FLEET} not built, skipping fleet-service validation" >&2
+fi
