@@ -255,6 +255,8 @@ int main(int argc, char** argv) {
     std::snprintf(
         buffer, sizeof buffer,
         "{\"label\":\"robustness\",\"unit\":\"fps\",\"results\":[{"
+        "\"shape\":\"controller_outage\",\"mode\":\"robustness\","
+        "\"threads\":1,"
         "\"crashes\":%d,\"restarts\":%d,"
         "\"reconstruction_latency_ms\":%.3f,"
         "\"resolves_after_restart\":%d,"

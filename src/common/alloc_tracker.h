@@ -1,0 +1,183 @@
+// Counting global operator new/delete for leak-shaped regressions.
+//
+// The soak harness (bench/soak) and the allocation-discipline tests
+// (tests/alloc) both need to observe the process heap: the former to
+// prove a steady-state virtual hour allocates nothing it does not free,
+// the latter to prove warm solves allocate nothing at all. Both share
+// this header instead of each hand-rolling operator replacements.
+//
+// Usage: exactly one translation unit of a binary defines
+// GSO_ALLOC_TRACKER_IMPL before including this header; that TU carries
+// the replacement operators (replacements must be ordinary non-inline
+// definitions, so they cannot live header-only). Every other TU includes
+// the header for the read API. Binaries that never define the macro are
+// untouched — the accessors then report an inactive tracker.
+//
+// Under address/thread/memory sanitizers the interceptors own the
+// allocator, so the replacement compiles out entirely and
+// tracker_active() is false; callers fall back to sanitizer_live_bytes(),
+// which wraps __sanitizer_get_current_allocated_bytes() when available.
+#ifndef GSO_COMMON_ALLOC_TRACKER_H_
+#define GSO_COMMON_ALLOC_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GSO_ALLOC_TRACKER_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define GSO_ALLOC_TRACKER_SANITIZED 1
+#endif
+#endif
+
+#if defined(GSO_ALLOC_TRACKER_SANITIZED) && defined(__SANITIZE_ADDRESS__)
+#define GSO_ALLOC_TRACKER_HAS_ASAN_API 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GSO_ALLOC_TRACKER_HAS_ASAN_API 1
+#endif
+#endif
+
+#if defined(GSO_ALLOC_TRACKER_HAS_ASAN_API)
+// <sanitizer/allocator_interface.h> ships with clang but not with every
+// gcc toolchain, so declare the one entry point we use directly; the ASan
+// runtime (linked whenever the feature macro is defined) provides it.
+extern "C" std::size_t __sanitizer_get_current_allocated_bytes();
+#endif
+
+namespace gso::alloc {
+
+namespace internal {
+// One instance per process (C++17 inline variables). The IMPL translation
+// unit's operators are the only writers.
+inline std::atomic<int64_t> g_total_allocations{0};
+inline std::atomic<int64_t> g_live_allocations{0};
+inline std::atomic<bool> g_active{false};
+}  // namespace internal
+
+// True when this binary's global operator new/delete are the counting
+// replacements (an IMPL TU is linked in and no sanitizer owns the heap).
+inline bool tracker_active() {
+  return internal::g_active.load(std::memory_order_relaxed);
+}
+
+// Monotone count of operator-new calls since process start.
+inline int64_t total_allocations() {
+  return internal::g_total_allocations.load(std::memory_order_relaxed);
+}
+
+// Allocations minus frees: the number of live heap blocks. Flat across a
+// steady-state interval == nothing accumulated.
+inline int64_t live_allocations() {
+  return internal::g_live_allocations.load(std::memory_order_relaxed);
+}
+
+// Live heap bytes as the address sanitizer sees them; 0 when not built
+// under ASan. The counting operators intentionally do not track bytes
+// (sized delete is not guaranteed), so ASan builds gate on bytes and
+// native builds gate on block counts.
+inline uint64_t sanitizer_live_bytes() {
+#if defined(GSO_ALLOC_TRACKER_HAS_ASAN_API)
+  return __sanitizer_get_current_allocated_bytes();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace gso::alloc
+
+#if defined(GSO_ALLOC_TRACKER_IMPL) && !defined(GSO_ALLOC_TRACKER_SANITIZED)
+
+#include <cstdlib>
+#include <new>
+
+namespace gso::alloc::internal {
+
+inline void* CountedAlloc(std::size_t size) {
+  g_total_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_live_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  std::abort();
+}
+
+inline void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_total_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_live_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size ? size : 1) != 0) {
+    std::abort();
+  }
+  return p;
+}
+
+inline void CountedFree(void* p) {
+  if (p != nullptr) g_live_allocations.fetch_sub(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+// Flips g_active at static-initialization time so readers can tell the
+// replacements are linked in.
+struct TrackerActivator {
+  TrackerActivator() { g_active.store(true, std::memory_order_relaxed); }
+};
+inline TrackerActivator g_activator;
+
+}  // namespace gso::alloc::internal
+
+void* operator new(std::size_t size) {
+  return gso::alloc::internal::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return gso::alloc::internal::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return gso::alloc::internal::CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return gso::alloc::internal::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return gso::alloc::internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return gso::alloc::internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { gso::alloc::internal::CountedFree(p); }
+void operator delete[](void* p) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  gso::alloc::internal::CountedFree(p);
+}
+
+#endif  // GSO_ALLOC_TRACKER_IMPL && !GSO_ALLOC_TRACKER_SANITIZED
+
+#endif  // GSO_COMMON_ALLOC_TRACKER_H_

@@ -49,16 +49,40 @@ class RunningStats {
 };
 
 // Collects raw samples; answers percentile and CDF queries. Intended for
-// bench/report use where sample counts are modest (≲ millions).
+// bench/report use where sample counts are modest (≲ millions). For
+// run-lifetime collectors (a service shard's queue-latency stats live as
+// long as the process), SetCapacity bounds the buffer with deterministic
+// reservoir sampling so percentiles stay representative at O(capacity)
+// memory.
 class SampleSet {
  public:
   void Add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
+    ++total_added_;
+    sum_ += x;
+    if (capacity_ == 0 || samples_.size() < capacity_) {
+      samples_.push_back(x);
+      sorted_ = false;
+      return;
+    }
+    // Vitter's algorithm R; the LCG keeps replacement deterministic, so
+    // bounded collectors don't break bit-reproducible runs.
+    lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t slot = (lcg_ >> 33) % total_added_;
+    if (slot < capacity_) {
+      samples_[slot] = x;
+      sorted_ = false;
+    }
   }
+
+  // Bounds the buffer to `capacity` retained samples (0 = unbounded, the
+  // default). Call before the first Add; shrinking an already-full set is
+  // not supported.
+  void SetCapacity(size_t capacity) { capacity_ = capacity; }
 
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  // Lifetime count, including samples the reservoir no longer retains.
+  uint64_t total_added() const { return total_added_; }
 
   double Percentile(double p) {
     if (samples_.empty()) return 0.0;
@@ -71,10 +95,8 @@ class SampleSet {
   }
 
   double Mean() const {
-    if (samples_.empty()) return 0.0;
-    double s = 0.0;
-    for (double x : samples_) s += x;
-    return s / static_cast<double>(samples_.size());
+    if (total_added_ == 0) return 0.0;
+    return sum_ / static_cast<double>(total_added_);
   }
 
   double Min() {
@@ -125,6 +147,10 @@ class SampleSet {
 
   std::vector<double> samples_;
   bool sorted_ = false;
+  size_t capacity_ = 0;  // 0 = keep every sample
+  uint64_t total_added_ = 0;
+  double sum_ = 0.0;
+  uint64_t lcg_ = 0x9e3779b97f4a7c15ull;
 };
 
 // Exponentially weighted moving average with a configurable smoothing factor.

@@ -155,6 +155,12 @@ void AccessingNode::HandleMediaPacket(const net::RtpPacket& packet,
     while (stream.received.size() > 2000) {
       stream.received.erase(stream.received.begin());
     }
+    // Retry state below the NACK window is dead — the RTCP tick never
+    // looks back more than 150 seqs — so without this a lossy stream
+    // accretes one entry per permanently lost packet for its lifetime.
+    stream.nack_state.erase(
+        stream.nack_state.begin(),
+        stream.nack_state.lower_bound(stream.highest - 150));
   }
   forward_cache_.Put(packet);
 
@@ -756,6 +762,23 @@ void AccessingNode::Restart() {
   // Fresh watchdog grace: the revived node must not instantly declare the
   // controller dead just because no table arrived while it was down.
   last_forwarding_time_ = loop_->Now();
+}
+
+AccessingNode::TableSizes AccessingNode::table_sizes() const {
+  TableSizes sizes;
+  sizes.clients = clients_.size();
+  sizes.forwarding = forwarding_.size();
+  sizes.pending_switches = pending_switches_.size();
+  sizes.uplink_streams = uplink_streams_.size();
+  sizes.audio_publishers = audio_publishers_.size();
+  for (const auto& [_, attached] : clients_) {
+    sizes.paused += attached->paused.size();
+    sizes.selected += attached->selected.size();
+  }
+  for (const auto& [_, stream] : uplink_streams_) {
+    sizes.nack_entries += stream.nack_state.size();
+  }
+  return sizes;
 }
 
 }  // namespace gso::conference

@@ -123,6 +123,21 @@ class AccessingNode : public sim::CrashableProcess {
   }
   int gtbr_retransmissions() const { return gtbr_retransmissions_; }
 
+  // Sizes of every run-lifetime table, for soak-harness invariants: under
+  // steady churn each of these must stay bounded (departed clients and
+  // their streams fully purged).
+  struct TableSizes {
+    size_t clients = 0;
+    size_t forwarding = 0;
+    size_t pending_switches = 0;
+    size_t uplink_streams = 0;
+    size_t audio_publishers = 0;
+    size_t paused = 0;        // summed over attached clients
+    size_t selected = 0;      // summed over attached clients
+    size_t nack_entries = 0;  // summed over uplink streams
+  };
+  TableSizes table_sizes() const;
+
  private:
   struct AttachedClient {
     Client* client = nullptr;

@@ -640,6 +640,57 @@ void Client::OnViewEnded(ClientId publisher, core::SourceKind kind) {
   if (!it->second.ended_at.IsFinite()) it->second.ended_at = loop_->Now();
 }
 
+void Client::TrimQoeHistoryBefore(Timestamp t) {
+  const int64_t first_kept = t.us() / TimeDelta::Seconds(1).us();
+  for (auto it = views_.begin(); it != views_.end();) {
+    ViewStats& view = it->second;
+    if (view.ended_at <= t) {
+      // ReceiveReport skips it (window empty) and OnViewResumed restarts
+      // the entry fresh, so dropping it is report-neutral.
+      it = views_.erase(it);
+      continue;
+    }
+    view.stalls.ForgetBefore(t);
+    ++it;
+  }
+  for (auto it = audio_received_.begin(); it != audio_received_.end();) {
+    AudioReceiveState& state = it->second;
+    if (state.last_arrival <= t) {
+      // Silent since before the window: its active span (which excludes
+      // the final partial interval) cannot intersect any report starting
+      // at or after `t`, so VoiceStallRate would skip it entirely.
+      it = audio_received_.erase(it);
+      continue;
+    }
+    state.received_per_interval.erase(
+        state.received_per_interval.begin(),
+        state.received_per_interval.lower_bound(first_kept));
+    ++it;
+  }
+  // Reassembly state of long-dead SSRCs. The SSRC allocator is monotone —
+  // a departed publisher's ids never come back — and a live stream idle
+  // this long restarts cleanly from a keyframe (fresh jitter buffer, PLI
+  // clock at zero) if it ever resumes.
+  static constexpr TimeDelta kDeadStreamIdle = TimeDelta::Seconds(30);
+  std::erase_if(received_, [t](const auto& entry) {
+    return entry.second.last_packet + kDeadStreamIdle <= t;
+  });
+}
+
+Client::TableSizes Client::table_sizes() const {
+  TableSizes sizes;
+  sizes.received_streams = received_.size();
+  sizes.views = views_.size();
+  sizes.audio_received = audio_received_.size();
+  for (const auto& [_, state] : audio_received_) {
+    sizes.audio_intervals += state.received_per_interval.size();
+  }
+  for (const auto& [_, view] : views_) {
+    sizes.stall_intervals += view.stalls.resident_interval_count();
+  }
+  return sizes;
+}
+
 std::vector<ReceivedStreamStats> Client::ReceiveReport(
     Timestamp session_start, Timestamp session_end) {
   std::vector<ReceivedStreamStats> report;

@@ -173,6 +173,15 @@ class Client {
   // fresh (the ended segment is dropped from reports).
   void OnViewResumed(ClientId publisher, core::SourceKind kind);
 
+  // Drops QoE bookkeeping that can no longer affect a report windowed at
+  // or after `t`: views whose subscription ended before it, video stall
+  // intervals behind it, audio per-interval counts behind it, and
+  // per-SSRC reassembly state for streams silent long enough to be dead
+  // (departed publishers' SSRCs are never reused). Driven by the
+  // conference at MarkMeasurementStart so hours-long churny meetings keep
+  // per-client state O(measurement window), not O(session).
+  void TrimQoeHistoryBefore(Timestamp t);
+
   // Finalizes stall windows and returns per-stream receive stats.
   std::vector<ReceivedStreamStats> ReceiveReport(Timestamp session_start,
                                                  Timestamp session_end);
@@ -181,6 +190,17 @@ class Client {
   // The ladder advertised to the GSO controller (camera source).
   std::vector<core::StreamOption> GsoCameraLadder() const;
   std::vector<core::StreamOption> GsoScreenLadder() const;
+
+  // Sizes of every run-lifetime table, for soak-harness invariants: under
+  // steady churn + periodic TrimQoeHistoryBefore these must stay bounded.
+  struct TableSizes {
+    size_t received_streams = 0;
+    size_t views = 0;
+    size_t audio_received = 0;
+    size_t audio_intervals = 0;  // summed received_per_interval entries
+    size_t stall_intervals = 0;  // summed per-view stall detector state
+  };
+  TableSizes table_sizes() const;
 
  private:
   // Per-SSRC reassembly state. Logical per-view statistics live in

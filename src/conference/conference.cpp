@@ -170,8 +170,23 @@ void Conference::RemoveParticipant(ClientId client) {
     }
   }
 
-  departed_.push_back(std::move(it->second));
+  departed_.push_back(Departed{std::move(it->second), loop_->Now()});
   participants_.erase(it);
+  if (config_.departed_linger.IsFinite()) {
+    loop_->After(config_.departed_linger, [this] { ReapDeparted(); });
+  }
+}
+
+void Conference::ReapDeparted() {
+  // Entries are in removal order, so the expired ones form a prefix.
+  while (!departed_.empty() &&
+         loop_->Now() >= departed_.front().removed_at + config_.departed_linger) {
+    Participant& reaped = departed_.front().participant;
+    if (config_.metrics != nullptr) {
+      config_.metrics->RemoveProbes(reaped.client.get());
+    }
+    departed_.pop_front();
+  }
 }
 
 void Conference::HandleNodeFailure(NodeId dead) {
@@ -286,6 +301,15 @@ void Conference::SetSubscriptions(
   control_->SetSubscriptions(subscriber, std::move(subscriptions));
 }
 
+void Conference::MarkMeasurementStart() {
+  start_time_ = loop_->Now();
+  // Everything below the new window start is unreachable by Report();
+  // drop it so per-client QoE state tracks the window, not the session.
+  for (auto& [_, participant] : participants_) {
+    participant.client->TrimQoeHistoryBefore(start_time_);
+  }
+}
+
 void Conference::Start() {
   const sim::EventLoop::OwnerScope scope(loop_, owner_);
   GSO_CHECK(!started_);
@@ -337,62 +361,69 @@ void Conference::WireParticipantMetrics(ClientId id,
   {
     Client* client = participant.client.get();
     const obs::Labels labels = obs::LabelClient(id.value());
+    // Tagged with the client: when a departed participant is reaped
+    // (ConferenceConfig::departed_linger), RemoveProbes(client) detaches
+    // these before the Client is destroyed.
+    const auto add_probe = [registry, client](obs::Metric* metric,
+                                              std::function<double()> fn) {
+      registry->AddProbe(metric, std::move(fn), client);
+    };
 
-    registry->AddProbe(
+    add_probe(
         registry->Get("transport.bwe.target", MetricKind::kGauge, "bps",
                       labels),
         [client] { return static_cast<double>(client->uplink_estimate().bps()); });
-    registry->AddProbe(
+    add_probe(
         registry->Get("transport.bwe.loss", MetricKind::kGauge, "fraction",
                       labels),
         [client] { return client->uplink_bwe().loss_fraction(); });
-    registry->AddProbe(
+    add_probe(
         registry->Get("transport.pacer.queue", MetricKind::kGauge, "packets",
                       labels),
         [client] { return static_cast<double>(client->pacer().queue_size()); });
-    registry->AddProbe(
+    add_probe(
         registry->Get("transport.pacer.queue_delay", MetricKind::kGauge, "us",
                       labels),
         [client] {
           return static_cast<double>(client->pacer().QueueDelay().us());
         });
-    registry->AddProbe(
+    add_probe(
         registry->Get("media.encoder.target", MetricKind::kGauge, "bps",
                       labels),
         [client] {
           return static_cast<double>(client->encoder_target_rate().bps());
         });
-    registry->AddProbe(
+    add_probe(
         registry->Get("media.jitter.frames_decoded", MetricKind::kCounter,
                       "frames", labels),
         [client] { return static_cast<double>(client->TotalFramesDecoded()); });
-    registry->AddProbe(
+    add_probe(
         registry->Get("media.jitter.frames_dropped", MetricKind::kCounter,
                       "frames", labels),
         [client] { return static_cast<double>(client->TotalFramesDropped()); });
-    registry->AddProbe(
+    add_probe(
         registry->Get("media.stall.intervals", MetricKind::kCounter,
                       "intervals", labels),
         [client] {
           return static_cast<double>(client->TotalStalledIntervals());
         });
-    registry->AddProbe(
+    add_probe(
         registry->Get("media.receive.rate", MetricKind::kGauge, "bps", labels),
         [this, client] {
           return static_cast<double>(
               client->TotalReceiveRate(loop_->Now()).bps());
         });
-    registry->AddProbe(
+    add_probe(
         registry->Get("control.gtbr.received", MetricKind::kCounter,
                       "messages", labels),
         [client] {
           return static_cast<double>(client->gtbr_messages_received());
         });
-    registry->AddProbe(
+    add_probe(
         registry->Get("gso.robustness.client_degraded", MetricKind::kGauge,
                       "bool", labels),
         [client] { return client->degraded() ? 1.0 : 0.0; });
-    registry->AddProbe(
+    add_probe(
         registry->Get("gso.robustness.time_in_degraded", MetricKind::kCounter,
                       "us", labels),
         [this, client] {

@@ -9,6 +9,7 @@
 #ifndef GSO_CONFERENCE_CONFERENCE_H_
 #define GSO_CONFERENCE_CONFERENCE_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -52,6 +53,15 @@ struct ConferenceConfig {
   // Zero disables. (The client-side analogue lives in
   // ClientConfig::controller_watchdog.)
   TimeDelta node_watchdog = TimeDelta::Seconds(8);
+  // How long a removed participant's Client and links stay alive before
+  // being destroyed (and their metric probes detached). In-flight closures
+  // — link deliveries, timers racing the removal — may still reference
+  // them, so anything past a few network round trips is safe; hosts of
+  // long-lived churning meetings (service shards, the soak harness) set a
+  // finite linger so departed state can't accumulate for hours.
+  // PlusInfinity (the default) keeps every departed participant until the
+  // conference dies.
+  TimeDelta departed_linger = TimeDelta::PlusInfinity();
   uint64_t seed = 1;
 };
 
@@ -155,8 +165,12 @@ class Conference {
   void RunFor(TimeDelta duration);
   // Resets the measurement window: Report() metrics cover the span from
   // the last call (or Start()) to now. Used to exclude the join/ramp-up
-  // transient from steady-state QoE measurements.
-  void MarkMeasurementStart() { start_time_ = loop_->Now(); }
+  // transient from steady-state QoE measurements. Also trims every
+  // client's QoE history below the new window start (history there is
+  // unreachable by any future Report()), so long-lived meetings that mark
+  // periodically — service shards, the soak harness — hold per-client
+  // QoE state proportional to the window, not the session.
+  void MarkMeasurementStart();
 
   // --- Access ------------------------------------------------------------
   sim::EventLoop& loop() { return *loop_; }
@@ -177,6 +191,11 @@ class Conference {
   // Directed inter-node backbone link, or null when from == to / out of
   // range.
   sim::Link* inter_node_link(int from, int to);
+  // Removed participants still held alive: awaiting their linger deadline
+  // (finite departed_linger) or kept until destruction (infinite default).
+  // Soak invariant: with a finite linger this is bounded by
+  // churn rate x linger, independent of meeting age.
+  size_t departed_count() const { return departed_.size(); }
 
   MeetingReport Report();
 
@@ -230,8 +249,15 @@ class Conference {
   std::map<ClientId, Participant> participants_;
   // Participants removed mid-meeting: kept alive (scheduled closures and
   // probes may still reference the Client and its links) but excluded from
-  // reports, solves, and the node resolver.
-  std::vector<Participant> departed_;
+  // reports, solves, and the node resolver. With a finite
+  // config_.departed_linger each entry is reaped `linger` after removal;
+  // with the infinite default they live until the conference dies.
+  struct Departed {
+    Participant participant;
+    Timestamp removed_at;
+  };
+  void ReapDeparted();
+  std::deque<Departed> departed_;
   Timestamp start_time_;
   bool started_ = false;
 };

@@ -477,7 +477,13 @@ void ConferenceNode::Orchestrate() {
   }
   const Timestamp now = loop_->Now();
   if (has_run_) {
-    call_intervals_.push_back(now - last_run_);
+    if (call_intervals_.empty()) call_intervals_.reserve(kCallIntervalHistory);
+    if (call_intervals_.size() < kCallIntervalHistory) {
+      call_intervals_.push_back(now - last_run_);
+    } else {
+      call_intervals_[call_interval_next_] = now - last_run_;
+      call_interval_next_ = (call_interval_next_ + 1) % kCallIntervalHistory;
+    }
     obs::Record(metric_interval_, now,
                 static_cast<double>((now - last_run_).us()));
   }

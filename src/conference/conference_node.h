@@ -92,6 +92,9 @@ class ConferenceNode : public sim::CrashableProcess {
   ConferenceNode(sim::EventLoop* loop, ControllerConfig config = {});
 
   StreamDirectory* directory() { return &directory_; }
+  // Read-only view for harness invariant checks: ids stay monotone and
+  // the live-owner set stays bounded under churn.
+  const net::SsrcAllocator& ssrc_allocator() const { return ssrc_allocator_; }
 
   // --- Signaling ---------------------------------------------------------
   // Joins `client` homed at `node`: negotiates the SDP offer, allocates
@@ -191,6 +194,10 @@ class ConferenceNode : public sim::CrashableProcess {
   // --- Introspection ------------------------------------------------------
   int member_count() const { return static_cast<int>(members_.size()); }
   int orchestration_count() const { return orchestration_count_; }
+  // Most recent solve-to-solve intervals (a ring of the last
+  // kCallIntervalHistory entries; older ones are overwritten in place, so
+  // iteration order is not chronological). Every interval is also recorded
+  // on the `control.solve.interval` series, which streams without a cap.
   const std::vector<TimeDelta>& call_intervals() const {
     return call_intervals_;
   }
@@ -313,7 +320,14 @@ class ConferenceNode : public sim::CrashableProcess {
   std::function<void(NodeId)> node_failure_handler_;
   int rehomed_ = 0;
   int node_failures_ = 0;
+  // Sized so every existing bench/test horizon keeps its complete history
+  // (fig12 runs 600 s at a >= 1 s cadence ~= 600 entries) while a soak
+  // that runs for days stays bounded. Stored as a reserve-once ring —
+  // steady-state recording never touches the allocator, which the soak's
+  // hour-over-hour live-allocation gate relies on.
+  static constexpr size_t kCallIntervalHistory = 2048;
   std::vector<TimeDelta> call_intervals_;
+  size_t call_interval_next_ = 0;
   // Solve-trace series; null when no registry is attached (recording is
   // then a single branch per site — see obs::Record).
   obs::Metric* metric_interval_ = nullptr;

@@ -8,6 +8,7 @@
 #define GSO_MEDIA_STALL_DETECTOR_H_
 
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -48,18 +49,37 @@ class VideoStallDetector {
     const int64_t first = session_start.us() / kPlaybackInterval.us();
     const int64_t last = (session_end.us() - 1) / kPlaybackInterval.us();
     if (last < first) return 0.0;
-    int64_t stalled = 0;
-    for (int64_t i = first; i <= last; ++i) stalled += stalled_intervals_.count(i);
+    const int64_t stalled = static_cast<int64_t>(
+        std::distance(stalled_intervals_.lower_bound(first),
+                      stalled_intervals_.upper_bound(last)));
     return static_cast<double>(stalled) / static_cast<double>(last - first + 1);
+  }
+
+  // Drops stall bookkeeping for intervals that end before `t`. Reports
+  // always window at a measurement start >= `t`, so trimming below it
+  // never changes a reported rate — but a detector that lives for hours
+  // of churny meeting (service shards, the soak harness) stays O(window)
+  // instead of O(session). Freeze detection is unaffected: the open gap
+  // state (last_frame_) is kept.
+  void ForgetBefore(Timestamp t) {
+    const int64_t first_kept = t.us() / kPlaybackInterval.us();
+    auto end = stalled_intervals_.lower_bound(first_kept);
+    forgotten_ += std::distance(stalled_intervals_.begin(), end);
+    stalled_intervals_.erase(stalled_intervals_.begin(), end);
   }
 
   int64_t total_frames() const { return total_frames_; }
 
-  // Playback intervals marked stalled so far (monotone; feeds the
-  // observability counter without finalizing the session).
+  // Playback intervals marked stalled so far (monotone across
+  // ForgetBefore; feeds the observability counter without finalizing the
+  // session).
   int64_t stalled_interval_count() const {
-    return static_cast<int64_t>(stalled_intervals_.size());
+    return forgotten_ + static_cast<int64_t>(stalled_intervals_.size());
   }
+
+  // Intervals currently held in memory (soak invariant: O(window) after
+  // periodic ForgetBefore, not O(session)).
+  size_t resident_interval_count() const { return stalled_intervals_.size(); }
 
   // Average framerate over the session.
   double AverageFramerate(Timestamp session_start, Timestamp session_end) const {
@@ -78,6 +98,7 @@ class VideoStallDetector {
   Timestamp last_frame_;
   Timestamp session_end_;
   int64_t total_frames_ = 0;
+  int64_t forgotten_ = 0;  // intervals dropped by ForgetBefore
   std::set<int64_t> stalled_intervals_;
 };
 
@@ -103,6 +124,15 @@ class VoiceStallDetector {
     }
     return static_cast<double>(stalled) / static_cast<double>(intervals_.size());
   }
+
+  // Drops per-interval counts for intervals that end before `t`; the rate
+  // then covers the remaining (recent) playback intervals only.
+  void ForgetBefore(Timestamp t) {
+    const int64_t first_kept = t.us() / kPlaybackInterval.us();
+    intervals_.erase(intervals_.begin(), intervals_.lower_bound(first_kept));
+  }
+
+  size_t resident_interval_count() const { return intervals_.size(); }
 
  private:
   struct Counts {

@@ -46,6 +46,11 @@ class SsrcAllocator {
   void Release(Ssrc ssrc) { owners_.erase(ssrc); }
 
   size_t size() const { return owners_.size(); }
+  // Next id to be handed out. Intentionally monotone for the lifetime of
+  // the conference — ids are never reused, so in-flight closures can
+  // never confuse an old stream with a new one (soak harnesses assert
+  // this never moves backwards).
+  uint32_t next_value() const { return next_; }
 
  private:
   uint32_t next_ = 1000;  // avoid 0: some stacks treat SSRC 0 as unset

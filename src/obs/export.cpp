@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -67,6 +68,77 @@ void AppendValue(std::string* out, double v) {
   }
 }
 
+// One exported sample row; both formats emit rows sorted by (t_us, id).
+struct Row {
+  int64_t t_us;
+  int id;
+  double value;
+};
+
+void SortRows(std::vector<Row>* rows) {
+  std::stable_sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    if (a.t_us != b.t_us) return a.t_us < b.t_us;
+    return a.id < b.id;
+  });
+}
+
+void AppendMetaLine(std::string* out, size_t series, size_t samples) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"meta\",\"schema\":\"%s\",\"version\":%d,"
+                "\"series\":%zu,\"samples\":%zu}\n",
+                kSchemaName, kSchemaVersion, series, samples);
+  *out += buf;
+}
+
+void AppendSeriesLine(std::string* out, const Metric& metric) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"type\":\"series\",\"id\":%d,\"name\":\"",
+                metric.id());
+  *out += buf;
+  AppendEscaped(out, metric.name());
+  *out += "\",\"kind\":\"";
+  *out += ToString(metric.kind());
+  *out += "\",\"unit\":\"";
+  AppendEscaped(out, metric.unit());
+  *out += "\",\"labels\":";
+  AppendLabelsJson(out, metric.labels());
+  *out += "}\n";
+}
+
+void AppendJsonSampleLine(std::string* out, const Row& row) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"sample\",\"id\":%d,\"t_us\":%" PRId64 ",\"v\":",
+                row.id, row.t_us);
+  *out += buf;
+  AppendValue(out, row.value);
+  *out += "}\n";
+}
+
+std::string CsvLabelString(const Metric& metric) {
+  std::string labels;
+  for (const auto& [key, value] : metric.labels()) {
+    if (!labels.empty()) labels += ';';
+    labels += key;
+    labels += '=';
+    labels += value;
+  }
+  return labels;
+}
+
+void AppendCsvRow(std::string* out, const std::string& name,
+                  const std::string& labels, const Row& row) {
+  char buf[32];
+  *out += name;
+  *out += ',';
+  *out += labels;
+  std::snprintf(buf, sizeof(buf), ",%" PRId64 ",", row.t_us);
+  *out += buf;
+  AppendValue(out, row.value);
+  *out += '\n';
+}
+
 }  // namespace
 
 std::string ToJsonLines(const MetricsRegistry& registry) {
@@ -74,35 +146,13 @@ std::string ToJsonLines(const MetricsRegistry& registry) {
   out.reserve(64 + registry.num_metrics() * 96 +
               registry.total_samples() * 40);
 
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "{\"type\":\"meta\",\"schema\":\"%s\",\"version\":%d,"
-                "\"series\":%zu,\"samples\":%zu}\n",
-                kSchemaName, kSchemaVersion, registry.num_metrics(),
-                registry.total_samples());
-  out += buf;
-
+  AppendMetaLine(&out, registry.num_metrics(), registry.total_samples());
   for (const auto& metric : registry.metrics()) {
-    std::snprintf(buf, sizeof(buf), "{\"type\":\"series\",\"id\":%d,\"name\":\"",
-                  metric->id());
-    out += buf;
-    AppendEscaped(&out, metric->name());
-    out += "\",\"kind\":\"";
-    out += ToString(metric->kind());
-    out += "\",\"unit\":\"";
-    AppendEscaped(&out, metric->unit());
-    out += "\",\"labels\":";
-    AppendLabelsJson(&out, metric->labels());
-    out += "}\n";
+    AppendSeriesLine(&out, *metric);
   }
 
   // Merge all series into one stream sorted by (t_us, series id): readers
   // replay the meeting in virtual-time order without buffering per series.
-  struct Row {
-    int64_t t_us;
-    int id;
-    double value;
-  };
   std::vector<Row> rows;
   rows.reserve(registry.total_samples());
   for (const auto& metric : registry.metrics()) {
@@ -110,41 +160,28 @@ std::string ToJsonLines(const MetricsRegistry& registry) {
       rows.push_back(Row{sample.time.us(), metric->id(), sample.value});
     }
   }
-  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    if (a.t_us != b.t_us) return a.t_us < b.t_us;
-    return a.id < b.id;
-  });
-  for (const Row& row : rows) {
-    std::snprintf(buf, sizeof(buf),
-                  "{\"type\":\"sample\",\"id\":%d,\"t_us\":%" PRId64 ",\"v\":",
-                  row.id, row.t_us);
-    out += buf;
-    AppendValue(&out, row.value);
-    out += "}\n";
-  }
+  SortRows(&rows);
+  for (const Row& row : rows) AppendJsonSampleLine(&out, row);
   return out;
 }
 
 std::string ToCsv(const MetricsRegistry& registry) {
   std::string out = "name,labels,t_us,value\n";
-  char buf[64];
+  std::vector<std::string> labels_by_id;
+  labels_by_id.reserve(registry.num_metrics());
+  std::vector<Row> rows;
+  rows.reserve(registry.total_samples());
   for (const auto& metric : registry.metrics()) {
-    std::string labels;
-    for (const auto& [key, value] : metric->labels()) {
-      if (!labels.empty()) labels += ';';
-      labels += key;
-      labels += '=';
-      labels += value;
-    }
+    labels_by_id.push_back(CsvLabelString(*metric));
     for (const auto& sample : metric->samples()) {
-      out += metric->name();
-      out += ',';
-      out += labels;
-      std::snprintf(buf, sizeof(buf), ",%" PRId64 ",", sample.time.us());
-      out += buf;
-      AppendValue(&out, sample.value);
-      out += '\n';
+      rows.push_back(Row{sample.time.us(), metric->id(), sample.value});
     }
+  }
+  SortRows(&rows);
+  for (const Row& row : rows) {
+    const Metric& metric = *registry.metrics()[static_cast<size_t>(row.id)];
+    AppendCsvRow(&out, metric.name(), labels_by_id[static_cast<size_t>(row.id)],
+                 row);
   }
   return out;
 }
@@ -162,6 +199,111 @@ bool WriteFile(const std::string& path, const std::string& contents) {
     return false;
   }
   return true;
+}
+
+MetricsStreamWriter::MetricsStreamWriter(std::string path, Format format)
+    : path_(std::move(path)), spill_path_(path_ + ".spill"), format_(format) {
+  spill_ = std::fopen(spill_path_.c_str(), "w");
+  if (spill_ == nullptr) {
+    GSO_LOG(kError) << "obs: cannot open spill file " << spill_path_;
+    failed_ = true;
+  }
+}
+
+MetricsStreamWriter::~MetricsStreamWriter() {
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    std::remove(spill_path_.c_str());
+  }
+}
+
+bool MetricsStreamWriter::FlushRows(MetricsRegistry& registry,
+                                    Timestamp up_to) {
+  // Drain per metric in id order, then sort by (t_us, id): the same row
+  // construction the one-shot exporters use, so equal-(t_us, id) runs keep
+  // identical relative order and concatenated flushes reproduce the
+  // one-shot byte stream exactly.
+  std::vector<Sample> scratch;
+  std::vector<Row> rows;
+  for (const auto& metric : registry.metrics()) {
+    scratch.clear();
+    metric->Drain(up_to, &scratch);
+    for (const Sample& sample : scratch) {
+      rows.push_back(Row{sample.time.us(), metric->id(), sample.value});
+    }
+  }
+  SortRows(&rows);
+  std::string out;
+  out.reserve(rows.size() * 48);
+  for (const Row& row : rows) {
+    if (format_ == Format::kJsonLines) {
+      AppendJsonSampleLine(&out, row);
+    } else {
+      const Metric& metric = *registry.metrics()[static_cast<size_t>(row.id)];
+      // Label strings are rebuilt per flush; flushes are checkpoint-rate
+      // (seconds to minutes of virtual time apart), not sample-rate.
+      AppendCsvRow(&out, metric.name(), CsvLabelString(metric), row);
+    }
+  }
+  if (std::fwrite(out.data(), 1, out.size(), spill_) != out.size()) {
+    GSO_LOG(kError) << "obs: short write to spill file " << spill_path_;
+    failed_ = true;
+    return false;
+  }
+  samples_flushed_ += rows.size();
+  return true;
+}
+
+bool MetricsStreamWriter::Flush(MetricsRegistry& registry, Timestamp up_to) {
+  if (closed_ || failed_) return false;
+  return FlushRows(registry, up_to);
+}
+
+bool MetricsStreamWriter::Close(MetricsRegistry& registry) {
+  if (closed_ || failed_) return false;
+  if (!FlushRows(registry, Timestamp::PlusInfinity())) return false;
+  closed_ = true;
+  if (std::fclose(spill_) != 0) {
+    spill_ = nullptr;
+    GSO_LOG(kError) << "obs: close failed for spill file " << spill_path_;
+    return false;
+  }
+  spill_ = nullptr;
+
+  std::string header;
+  if (format_ == Format::kJsonLines) {
+    AppendMetaLine(&header, registry.num_metrics(), samples_flushed_);
+    for (const auto& metric : registry.metrics()) {
+      AppendSeriesLine(&header, *metric);
+    }
+  } else {
+    header = "name,labels,t_us,value\n";
+  }
+
+  std::FILE* out = std::fopen(path_.c_str(), "w");
+  if (out == nullptr) {
+    GSO_LOG(kError) << "obs: cannot open " << path_ << " for writing";
+    std::remove(spill_path_.c_str());
+    return false;
+  }
+  std::FILE* spill = std::fopen(spill_path_.c_str(), "r");
+  bool ok = std::fwrite(header.data(), 1, header.size(), out) == header.size();
+  if (spill == nullptr) {
+    GSO_LOG(kError) << "obs: cannot reopen spill file " << spill_path_;
+    ok = false;
+  } else {
+    char buf[1 << 16];
+    size_t n = 0;
+    while (ok && (n = std::fread(buf, 1, sizeof(buf), spill)) > 0) {
+      ok = std::fwrite(buf, 1, n, out) == n;
+    }
+    if (std::ferror(spill) != 0) ok = false;
+    std::fclose(spill);
+  }
+  if (std::fclose(out) != 0) ok = false;
+  std::remove(spill_path_.c_str());
+  if (!ok) GSO_LOG(kError) << "obs: streaming export to " << path_ << " failed";
+  return ok;
 }
 
 }  // namespace gso::obs

@@ -10,10 +10,20 @@
 //   {"type":"sample","id":0,"t_us":200000,"v":300000}
 //   ... samples sorted by (t_us, id); t_us is virtual time ...
 //
-// CSV layout: header `name,labels,t_us,value`, labels joined `k=v;k=v`.
+// CSV layout: header `name,labels,t_us,value`, labels joined `k=v;k=v`,
+// rows sorted by (t_us, series id) like the JSONL sample stream.
+//
+// Two export paths produce byte-identical files:
+//  - One-shot: ToJsonLines/ToCsv serialize everything the registry holds.
+//  - Streaming: MetricsStreamWriter::Flush(registry, up_to) drains samples
+//    older than `up_to` out of memory and appends them to a spill file;
+//    Close() writes the header (meta + series lines, which need the final
+//    totals) and splices the spilled body after it. Hour-scale soaks stay
+//    at a bounded resident sample count this way.
 #ifndef GSO_OBS_EXPORT_H_
 #define GSO_OBS_EXPORT_H_
 
+#include <cstdio>
 #include <string>
 
 #include "obs/metrics.h"
@@ -31,6 +41,48 @@ std::string ToCsv(const MetricsRegistry& registry);
 
 // Writes `contents` to `path`; returns false (and logs) on I/O failure.
 bool WriteFile(const std::string& path, const std::string& contents);
+
+// Incremental exporter: periodically drains recorded samples to disk so the
+// registry's resident memory stays bounded for the lifetime of the run.
+//
+// Contract (DESIGN.md §4g): between Flush(up_to) calls virtual time must
+// have advanced past `up_to` for every recording site — the registry clamps
+// stragglers to the drain floor, so the output file is always sorted, but a
+// clamped straggler would carry a shifted timestamp relative to a one-shot
+// export. Flushing from a virtual-time checkpoint event (everything
+// recorded so far is strictly older than "now") satisfies this trivially.
+class MetricsStreamWriter {
+ public:
+  enum class Format { kJsonLines, kCsv };
+
+  MetricsStreamWriter(std::string path, Format format);
+  ~MetricsStreamWriter();
+
+  MetricsStreamWriter(const MetricsStreamWriter&) = delete;
+  MetricsStreamWriter& operator=(const MetricsStreamWriter&) = delete;
+
+  // Drains every metric's samples strictly before `up_to` and appends the
+  // formatted lines to the spill file. Returns false on I/O failure.
+  bool Flush(MetricsRegistry& registry, Timestamp up_to);
+
+  // Drains everything still buffered, writes `path` = header + spilled
+  // body, and removes the spill file. No further calls are allowed.
+  bool Close(MetricsRegistry& registry);
+
+  size_t samples_flushed() const { return samples_flushed_; }
+  bool closed() const { return closed_; }
+
+ private:
+  bool FlushRows(MetricsRegistry& registry, Timestamp up_to);
+
+  std::string path_;
+  std::string spill_path_;
+  Format format_;
+  std::FILE* spill_ = nullptr;
+  size_t samples_flushed_ = 0;
+  bool closed_ = false;
+  bool failed_ = false;
+};
 
 }  // namespace gso::obs
 

@@ -45,9 +45,15 @@ Metric* MetricsRegistry::Get(std::string_view name, MetricKind kind,
   return metrics_.back().get();
 }
 
-void MetricsRegistry::AddProbe(Metric* metric, std::function<double()> probe) {
+void MetricsRegistry::AddProbe(Metric* metric, std::function<double()> probe,
+                               const void* tag) {
   GSO_CHECK(metric != nullptr);
-  probes_.push_back(Probe{metric, std::move(probe)});
+  probes_.push_back(Probe{metric, std::move(probe), tag});
+}
+
+void MetricsRegistry::RemoveProbes(const void* tag) {
+  if (tag == nullptr) return;
+  std::erase_if(probes_, [tag](const Probe& probe) { return probe.tag == tag; });
 }
 
 void MetricsRegistry::SampleProbes(Timestamp now) {
@@ -59,6 +65,12 @@ void MetricsRegistry::SampleProbes(Timestamp now) {
 size_t MetricsRegistry::total_samples() const {
   size_t total = 0;
   for (const auto& metric : metrics_) total += metric->samples().size();
+  return total;
+}
+
+size_t MetricsRegistry::total_recorded_samples() const {
+  size_t total = 0;
+  for (const auto& metric : metrics_) total += metric->total_recorded();
   return total;
 }
 

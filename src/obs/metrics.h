@@ -74,17 +74,44 @@ class Metric {
 
   // Appends one sample. Virtual time must not run backwards; late samples
   // are clamped to the last recorded instant so exported series stay
-  // monotone (the export schema guarantees this).
+  // monotone (the export schema guarantees this). After a Drain(up_to),
+  // samples are additionally clamped to `up_to` so a stream that has
+  // already been flushed can never be ordered before emitted lines.
   void Record(Timestamp now, double value) {
-    if (!samples_.empty() && now < samples_.back().time) {
-      now = samples_.back().time;
-    }
+    if (total_recorded_ > 0 && now < last_time_) now = last_time_;
+    if (now < drain_floor_) now = drain_floor_;
     samples_.push_back(Sample{now, value});
+    last_time_ = now;
+    last_value_ = value;
+    ++total_recorded_;
   }
 
   // Counter convenience: adds `delta` to the running total and records the
   // new total.
   void Add(Timestamp now, double delta) { Record(now, last_value() + delta); }
+
+  // Streaming flush support: moves every buffered sample with time strictly
+  // before `up_to` to the back of `*out` and drops it from the in-memory
+  // log; returns the number moved. Strictly-before keeps a run of samples
+  // sharing one instant intact (they are contiguous because time is
+  // monotone), so a flushed stream concatenates to the exact bytes the
+  // one-shot exporters would have produced. last_value()/Add() keep working
+  // across drains — the running total is cached, not re-read from the log.
+  size_t Drain(Timestamp up_to, std::vector<Sample>* out) {
+    size_t keep = 0;
+    while (keep < samples_.size() && samples_[keep].time < up_to) ++keep;
+    if (keep == 0) {
+      if (up_to > drain_floor_) drain_floor_ = up_to;
+      return 0;
+    }
+    out->insert(out->end(), samples_.begin(),
+                samples_.begin() + static_cast<ptrdiff_t>(keep));
+    samples_.erase(samples_.begin(),
+                   samples_.begin() + static_cast<ptrdiff_t>(keep));
+    drained_ += keep;
+    if (up_to > drain_floor_) drain_floor_ = up_to;
+    return keep;
+  }
 
   int id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -92,9 +119,10 @@ class Metric {
   const std::string& unit() const { return unit_; }
   const Labels& labels() const { return labels_; }
   const std::vector<Sample>& samples() const { return samples_; }
-  double last_value() const {
-    return samples_.empty() ? 0.0 : samples_.back().value;
-  }
+  double last_value() const { return total_recorded_ == 0 ? 0.0 : last_value_; }
+  // Lifetime sample count, including drained samples no longer in memory.
+  size_t total_recorded() const { return total_recorded_; }
+  size_t drained() const { return drained_; }
 
  private:
   int id_;
@@ -103,6 +131,11 @@ class Metric {
   std::string unit_;
   Labels labels_;
   std::vector<Sample> samples_;
+  Timestamp last_time_ = Timestamp::Zero();
+  Timestamp drain_floor_ = Timestamp::Zero();
+  double last_value_ = 0.0;
+  size_t total_recorded_ = 0;
+  size_t drained_ = 0;
 };
 
 // Disabled-path helpers: every instrument site records through these, so a
@@ -127,8 +160,16 @@ class MetricsRegistry {
 
   // Registers a polled gauge: `probe` is evaluated at every SampleProbes()
   // and its value recorded on `metric`. The probe must stay valid for the
-  // registry's lifetime (the harness owns both).
-  void AddProbe(Metric* metric, std::function<double()> probe);
+  // registry's lifetime (the harness owns both) — or, when `tag` is set,
+  // until RemoveProbes(tag) detaches it.
+  void AddProbe(Metric* metric, std::function<double()> probe,
+                const void* tag = nullptr);
+
+  // Detaches every probe registered under `tag`, so a component whose
+  // lifetime ends mid-run (a reaped departed participant) can take its
+  // probes with it; its series keep their descriptors and recorded
+  // samples, they just stop advancing. No-op for a null tag.
+  void RemoveProbes(const void* tag);
 
   // Samples every registered probe at virtual time `now`. Driven by the
   // harness from a sim::EventLoop timer.
@@ -138,12 +179,17 @@ class MetricsRegistry {
     return metrics_;
   }
   size_t num_metrics() const { return metrics_.size(); }
+  size_t num_probes() const { return probes_.size(); }
+  // Samples currently resident in memory (excludes drained samples).
   size_t total_samples() const;
+  // Lifetime samples recorded, including drained ones (streaming meta line).
+  size_t total_recorded_samples() const;
 
  private:
   struct Probe {
     Metric* metric;
     std::function<double()> fn;
+    const void* tag = nullptr;
   };
 
   std::map<std::pair<std::string, Labels>, int> index_;

@@ -1,17 +1,17 @@
 #include "service/service.h"
 
 #include <algorithm>
-#include <cstring>
+#include <array>
 #include <thread>
 
 #include "common/logging.h"
-#include "common/stats.h"
 
 namespace gso::service {
 namespace {
 
-// FNV-1a over raw bytes; doubles hash by bit pattern so the digest is an
-// exact-equality check, not an approximate one.
+// FNV-1a over raw bytes: combines the shards' running outcome digests
+// (each itself an FNV-1a fold, see OutcomeAggregate::Fold) in shard index
+// order into one fleet digest.
 uint64_t HashBytes(uint64_t h, const void* data, size_t size) {
   const unsigned char* bytes = static_cast<const unsigned char*>(data);
   for (size_t i = 0; i < size; ++i) {
@@ -19,12 +19,6 @@ uint64_t HashBytes(uint64_t h, const void* data, size_t size) {
     h *= 1099511628211ull;
   }
   return h;
-}
-
-uint64_t HashDouble(uint64_t h, double value) {
-  uint64_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
-  return HashBytes(h, &bits, sizeof(bits));
 }
 
 }  // namespace
@@ -122,38 +116,53 @@ int OrchestrationService::conference_count() const {
 FleetReport OrchestrationService::Report() {
   FleetReport report;
   report.live = conference_count();
-  SampleSet satisfaction;
   uint64_t digest = 1469598103934665603ull;  // FNV offset basis
   double satisfaction_sum = 0;
   double video_sum = 0;
   double voice_sum = 0;
+  double min_satisfaction = 0;
+  std::array<uint64_t, OutcomeAggregate::kBuckets> histogram{};
   for (const auto& shard : shards_) {
     report.solves += shard->queue_stats().solved;
     report.solves_shed += shard->queue_stats().shed_rejected +
                           shard->queue_stats().shed_displaced;
-    for (const ConferenceOutcome& outcome : shard->completed()) {
-      ++report.completed;
-      satisfaction.Add(outcome.satisfaction);
-      satisfaction_sum += outcome.satisfaction;
-      video_sum += outcome.video_stall;
-      voice_sum += outcome.voice_stall;
-      digest = HashBytes(digest, &outcome.id, sizeof(outcome.id));
-      digest = HashBytes(digest, &outcome.participants,
-                         sizeof(outcome.participants));
-      digest = HashDouble(digest, outcome.video_stall);
-      digest = HashDouble(digest, outcome.voice_stall);
-      digest = HashDouble(digest, outcome.framerate);
-      digest = HashDouble(digest, outcome.satisfaction);
-      digest = HashBytes(digest, &outcome.solves, sizeof(outcome.solves));
+    const OutcomeAggregate& aggregate = shard->aggregate();
+    if (aggregate.completed > 0 &&
+        (report.completed == 0 ||
+         aggregate.min_satisfaction < min_satisfaction)) {
+      min_satisfaction = aggregate.min_satisfaction;
     }
+    report.completed += aggregate.completed;
+    satisfaction_sum += aggregate.satisfaction_sum;
+    video_sum += aggregate.video_sum;
+    voice_sum += aggregate.voice_sum;
+    for (int i = 0; i < OutcomeAggregate::kBuckets; ++i) {
+      histogram[static_cast<size_t>(i)] +=
+          aggregate.satisfaction_histogram[static_cast<size_t>(i)];
+    }
+    digest = HashBytes(digest, &aggregate.digest, sizeof(aggregate.digest));
   }
   if (report.completed > 0) {
     const double n = static_cast<double>(report.completed);
     report.mean_satisfaction = satisfaction_sum / n;
     report.mean_video_stall = video_sum / n;
     report.mean_voice_stall = voice_sum / n;
-    report.p5_satisfaction = satisfaction.Percentile(5);
-    report.min_satisfaction = satisfaction.Percentile(0);
+    report.min_satisfaction = min_satisfaction;
+    // 5th-percentile floor from the merged histogram (nearest-rank, lower
+    // bucket edge), clamped up to the exact min so floor <= p5 holds even
+    // when the rank lands in the min's own bucket.
+    const uint64_t rank = (static_cast<uint64_t>(report.completed) * 5 + 99) / 100;
+    uint64_t seen = 0;
+    double p5 = min_satisfaction;
+    for (int i = 0; i < OutcomeAggregate::kBuckets; ++i) {
+      seen += histogram[static_cast<size_t>(i)];
+      if (seen >= rank) {
+        p5 = std::max(min_satisfaction, static_cast<double>(i) /
+                                            OutcomeAggregate::kBuckets);
+        break;
+      }
+    }
+    report.p5_satisfaction = p5;
   }
   report.digest = digest;
   return report;

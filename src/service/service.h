@@ -57,14 +57,19 @@ struct FleetReport {
   // QoE floor: 5th-percentile satisfaction across completed conferences —
   // the churn-storm gate watches this, not the mean, because load shedding
   // that starves a few meetings moves the floor long before the mean.
+  // Computed from the shards' fixed-width histograms (outcomes fold into
+  // O(1) per-shard aggregates, see OutcomeAggregate), so the value is a
+  // nearest-rank bucket floor within 1/OutcomeAggregate::kBuckets of exact.
   double p5_satisfaction = 0;
   double min_satisfaction = 0;
   double mean_video_stall = 0;
   double mean_voice_stall = 0;
   uint64_t solves = 0;
   uint64_t solves_shed = 0;
-  // Order-sensitive hash of every outcome's bits: two runs produced the
-  // same fleet history iff the digests match (per-shard determinism gate).
+  // Order-sensitive hash: each shard folds its outcomes' bits into a
+  // running FNV-1a digest as they complete, and the fleet digest combines
+  // the per-shard digests in shard index order. Two runs produced the same
+  // fleet history iff the digests match (per-shard determinism gate).
   uint64_t digest = 0;
 };
 

@@ -1,9 +1,53 @@
 #include "service/shard.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/logging.h"
 #include "service/fleet_model.h"
 
 namespace gso::service {
+namespace {
+
+// FNV-1a over raw bytes; doubles hash by bit pattern so the digest is an
+// exact-equality check, not an approximate one.
+uint64_t HashBytes(uint64_t h, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashDouble(uint64_t h, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return HashBytes(h, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+void OutcomeAggregate::Fold(const ConferenceOutcome& outcome) {
+  if (completed == 0 || outcome.satisfaction < min_satisfaction) {
+    min_satisfaction = outcome.satisfaction;
+  }
+  ++completed;
+  satisfaction_sum += outcome.satisfaction;
+  video_sum += outcome.video_stall;
+  voice_sum += outcome.voice_stall;
+  const int bucket = std::clamp(
+      static_cast<int>(outcome.satisfaction * kBuckets), 0, kBuckets - 1);
+  ++satisfaction_histogram[static_cast<size_t>(bucket)];
+  digest = HashBytes(digest, &outcome.id, sizeof(outcome.id));
+  digest =
+      HashBytes(digest, &outcome.participants, sizeof(outcome.participants));
+  digest = HashDouble(digest, outcome.video_stall);
+  digest = HashDouble(digest, outcome.voice_stall);
+  digest = HashDouble(digest, outcome.framerate);
+  digest = HashDouble(digest, outcome.satisfaction);
+  digest = HashBytes(digest, &outcome.solves, sizeof(outcome.solves));
+}
 
 Shard::Shard(const ShardConfig& config)
     : config_(config),
@@ -25,6 +69,10 @@ void Shard::Host(uint64_t id, const ConferenceSpec& spec) {
   // slices run on shard threads; observability stays at the shard level
   // (service.shard.* probes sampled between slices).
   config.metrics = nullptr;
+  // Shard-hosted meetings churn for hours: reap departed participants
+  // once in-flight closures have drained instead of holding every Client
+  // ever removed until the conference ends.
+  config.departed_linger = TimeDelta::Seconds(30);
 
   Hosted hosted;
   hosted.spec = spec;
@@ -85,12 +133,19 @@ void Shard::Remove(uint64_t id) {
                                       outcome.voice_stall, outcome.framerate);
   outcome.solves = conf->control().orchestration_count();
   outcome.solves_shed = conf->control().solves_shed();
-  completed_.push_back(outcome);
+  aggregate_.Fold(outcome);
 
   // Destroying the conference cancels its owner: every queued closure —
   // media timers, metric-free probes, fault episodes scheduled on its
   // behalf — becomes a no-op.
   hosted_.erase(it);
+
+  // Periodically sweep the dead conferences' still-queued closures out of
+  // the heap and recycle their owner ids; without this, hours of churn
+  // accumulate skipped events and an ever-growing cancelled bitmap. Safe
+  // here: Remove runs between slices (no task in flight) and the erased
+  // owners' components are destroyed above.
+  if (++removals_ % 32 == 0) loop_.PurgeCancelled();
 }
 
 void Shard::RunSlice(TimeDelta slice) {

@@ -13,6 +13,7 @@
 #ifndef GSO_SERVICE_SHARD_H_
 #define GSO_SERVICE_SHARD_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,6 +56,26 @@ struct ConferenceOutcome {
   int solves_shed = 0;
 };
 
+// Running aggregate over completed conferences. A shard that lives for
+// hours completes an unbounded stream of conferences, so outcomes fold
+// into O(1) state at Remove() time instead of accumulating per outcome:
+// sums and the exact min for the means/floor, a fixed-width satisfaction
+// histogram (satisfaction lives in [0, 1]) for percentile floors, and an
+// order-sensitive FNV-1a digest over each outcome's bytes for the
+// determinism gates.
+struct OutcomeAggregate {
+  static constexpr int kBuckets = 1024;
+  int completed = 0;
+  double satisfaction_sum = 0;
+  double video_sum = 0;
+  double voice_sum = 0;
+  double min_satisfaction = 0;
+  std::array<uint32_t, kBuckets> satisfaction_histogram{};
+  uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+
+  void Fold(const ConferenceOutcome& outcome);
+};
+
 class Shard {
  public:
   explicit Shard(const ShardConfig& config);
@@ -86,9 +107,7 @@ class Shard {
   sim::EventLoop& loop() { return loop_; }
   Timestamp Now() const { return loop_.Now(); }
   int conference_count() const { return static_cast<int>(hosted_.size()); }
-  const std::vector<ConferenceOutcome>& completed() const {
-    return completed_;
-  }
+  const OutcomeAggregate& aggregate() const { return aggregate_; }
   int queue_depth() const { return queue_.depth(); }
   SolveQueueStats& queue_stats() { return queue_.stats(); }
   const ShardConfig& config() const { return config_; }
@@ -111,7 +130,8 @@ class Shard {
   ThreadPool pool_;
   SolveQueue queue_;
   std::map<uint64_t, Hosted> hosted_;
-  std::vector<ConferenceOutcome> completed_;
+  OutcomeAggregate aggregate_;
+  uint64_t removals_ = 0;
 };
 
 }  // namespace gso::service

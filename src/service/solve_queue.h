@@ -41,12 +41,17 @@ namespace gso::service {
 enum class SolveClass { kDegraded = 0, kLarge = 1, kNormal = 2 };
 
 struct SolveQueueStats {
+  SolveQueueStats() { queue_latency_us.SetCapacity(8192); }
+
   uint64_t accepted = 0;
   uint64_t shed_rejected = 0;   // Push refused: queue full, lowest priority
   uint64_t shed_displaced = 0;  // queued entry bumped by a higher class
   uint64_t solved = 0;
   uint64_t batches = 0;
   // Wall clock from Push to the start of the drain that ran the solve.
+  // Bounded (reservoir) because the queue records one sample per solve for
+  // the lifetime of the shard; it feeds latency gauges only, never the
+  // simulation, so the sampling cannot perturb determinism.
   SampleSet queue_latency_us;
 };
 

@@ -39,8 +39,17 @@ class EventLoop {
 
   // --- Ownership (see the header comment) --------------------------------
   // Mints a fresh owner id for a component whose events may need to be
-  // cancelled as a group.
-  uint64_t NewOwner() { return next_owner_++; }
+  // cancelled as a group. Ids of cancelled owners reclaimed by
+  // PurgeCancelled() are reused before new ones are minted, so long-lived
+  // multi-tenant loops don't grow the owner space without bound.
+  uint64_t NewOwner() {
+    if (!free_owners_.empty()) {
+      const uint64_t owner = free_owners_.back();
+      free_owners_.pop_back();
+      return owner;
+    }
+    return next_owner_++;
+  }
 
   // Scopes the current owner: tasks scheduled while the scope is alive are
   // tagged with `owner`. Nest freely; the previous owner is restored on
@@ -72,6 +81,35 @@ class EventLoop {
 
   bool IsCancelled(uint64_t owner) const {
     return owner < cancelled_.size() && cancelled_[owner] != 0;
+  }
+
+  // Reclaims cancelled-owner bookkeeping: drops every queued task of a
+  // cancelled owner from the heap (they would be skipped at pop anyway) and
+  // recycles the owner ids through NewOwner(). Only call when every
+  // cancelled owner's component is already destroyed — nothing may schedule
+  // under those ids again — and never from inside a running task. Pop order
+  // is unaffected: (when, seq) keys are unique, so rebuilding the heap
+  // cannot reorder surviving events. Long-lived multi-tenant loops (service
+  // shards) call this periodically so hours of conference churn leave
+  // neither skipped heap entries nor an ever-growing cancelled bitmap.
+  void PurgeCancelled() {
+    bool any = false;
+    for (uint64_t owner = 1; owner < cancelled_.size(); ++owner) {
+      if (cancelled_[owner] != 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
+    std::erase_if(queue_,
+                  [this](const Event& ev) { return IsCancelled(ev.owner); });
+    std::make_heap(queue_.begin(), queue_.end(), Event::Later);
+    for (uint64_t owner = 1; owner < cancelled_.size(); ++owner) {
+      if (cancelled_[owner] != 0) {
+        cancelled_[owner] = 0;
+        free_owners_.push_back(owner);
+      }
+    }
   }
 
   uint64_t current_owner() const { return current_owner_; }
@@ -147,6 +185,7 @@ class EventLoop {
   uint64_t next_owner_ = 1;     // 0 is the permanent "unowned" id
   uint64_t current_owner_ = 0;  // inherited by tasks scheduled right now
   std::vector<uint8_t> cancelled_;  // indexed by owner id
+  std::vector<uint64_t> free_owners_;  // reclaimed by PurgeCancelled()
   // Explicit binary min-heap on (when, seq); front() is the next event.
   std::vector<Event> queue_;
 };

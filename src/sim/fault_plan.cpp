@@ -9,17 +9,41 @@ namespace gso::sim {
 
 void FaultPlan::SetMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
-    metric_events_ = metric_active_ = nullptr;
+    metric_events_ = metric_active_ = metric_dropped_ = nullptr;
     return;
   }
   metric_events_ =
       registry->Get("sim.fault.events", obs::MetricKind::kCounter, "count");
   metric_active_ =
       registry->Get("sim.fault.active", obs::MetricKind::kGauge, "count");
+  metric_dropped_ = registry->Get("sim.fault.transitions_dropped",
+                                  obs::MetricKind::kCounter, "count");
+}
+
+void FaultPlan::DrainTransitions(std::vector<Transition>* out) {
+  if (out != nullptr) {
+    out->insert(out->end(), std::make_move_iterator(transitions_.begin()),
+                std::make_move_iterator(transitions_.end()));
+  }
+  transitions_.clear();
+}
+
+void FaultPlan::SetTransitionCapacity(size_t capacity) {
+  transition_capacity_ = capacity;
+  while (transitions_.size() > transition_capacity_) {
+    transitions_.pop_front();
+    ++transitions_dropped_;
+    obs::Add(metric_dropped_, loop_->Now(), 1.0);
+  }
 }
 
 void FaultPlan::RecordTransition(const std::string& label, bool begin) {
   transitions_.push_back(Transition{loop_->Now(), label, begin});
+  while (transitions_.size() > transition_capacity_) {
+    transitions_.pop_front();
+    ++transitions_dropped_;
+    obs::Add(metric_dropped_, loop_->Now(), 1.0);
+  }
   if (begin) {
     ++episodes_applied_;
     ++active_episodes_;

@@ -31,6 +31,7 @@
 #define GSO_SIM_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -95,7 +96,18 @@ class FaultPlan {
     std::string label;
     bool begin = false;  // true when the episode starts, false when it ends
   };
-  const std::vector<Transition>& transitions() const { return transitions_; }
+  // The buffered transition log. Bounded: once more than
+  // transition_capacity() transitions are buffered, the oldest are dropped
+  // (counted by transitions_dropped() and the `sim.fault.transitions_dropped`
+  // counter when metrics are attached). Streaming consumers should
+  // DrainTransitions() periodically instead of letting the cap engage.
+  const std::deque<Transition>& transitions() const { return transitions_; }
+  // Moves every buffered transition to the back of `*out` (nullptr: discard)
+  // and empties the buffer, so hour-scale runs keep a bounded log.
+  void DrainTransitions(std::vector<Transition>* out);
+  // Adjusts the buffer cap (default 4096); dropping applies immediately.
+  void SetTransitionCapacity(size_t capacity);
+  size_t transitions_dropped() const { return transitions_dropped_; }
   int episodes_applied() const { return episodes_applied_; }
   int active_episodes() const { return active_episodes_; }
 
@@ -127,7 +139,9 @@ class FaultPlan {
   static void WriteKnob(Link* link, Knob knob, double value, bool flag);
 
   EventLoop* loop_;
-  std::vector<Transition> transitions_;
+  std::deque<Transition> transitions_;
+  size_t transition_capacity_ = 4096;
+  size_t transitions_dropped_ = 0;
   int episodes_applied_ = 0;
   int active_episodes_ = 0;
   int64_t next_episode_id_ = 0;
@@ -135,6 +149,7 @@ class FaultPlan {
   std::map<Link*, int> outage_depth_;
   obs::Metric* metric_events_ = nullptr;
   obs::Metric* metric_active_ = nullptr;
+  obs::Metric* metric_dropped_ = nullptr;
 };
 
 }  // namespace gso::sim

@@ -36,8 +36,17 @@ class PacketHistory {
                     DataSize size) {
     const int64_t seq = send_unwrapper_.Unwrap(transport_sequence);
     history_[seq] = SentPacket{send_time, size};
-    // Bound memory: drop entries older than the feedback horizon.
+    // Bound memory two ways. The size cap handles bursts; the age cap
+    // handles *feedback loss*: when the feedback packet itself is dropped,
+    // its packets are never looked up, and without an age-out each loss
+    // episode would strand another batch of entries until the size cap
+    // engaged (a leak-shaped plateau the soak harness flagged).
     while (history_.size() > kMaxTrackedPackets) {
+      history_.erase(history_.begin());
+    }
+    const Timestamp horizon = send_time - kFeedbackHorizon;
+    while (!history_.empty() &&
+           history_.begin()->second.send_time < horizon) {
       history_.erase(history_.begin());
     }
   }
@@ -63,6 +72,9 @@ class PacketHistory {
 
  private:
   static constexpr size_t kMaxTrackedPackets = 10000;
+  // Far beyond any feedback RTT (feedback ticks every ~100 ms): an entry
+  // this old can only belong to a lost feedback packet.
+  static constexpr TimeDelta kFeedbackHorizon = TimeDelta::Seconds(5);
 
   SequenceUnwrapper send_unwrapper_;
   SequenceUnwrapper feedback_unwrapper_;

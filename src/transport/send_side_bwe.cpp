@@ -20,6 +20,11 @@ void SendSideBwe::OnPacketSent(uint16_t transport_sequence,
   history_.OnPacketSent(transport_sequence, send_time, size);
   if (probe_cluster_id) {
     seq_to_cluster_[transport_sequence] = *probe_cluster_id;
+    // Entries normally leave via feedback; when the feedback is lost they
+    // would sit forever, so cap the map at a few clusters' worth.
+    while (seq_to_cluster_.size() > kMaxTrackedProbePackets) {
+      seq_to_cluster_.erase(seq_to_cluster_.begin());
+    }
   }
 }
 
@@ -139,6 +144,19 @@ void SendSideBwe::EvaluateProbes(const std::vector<PacketResult>&) {
       }
     }
     it = probe_clusters_.erase(it);
+  }
+  // Clusters still short of 3 arrivals after newer rounds have come and
+  // gone lost their remaining feedback and can never complete; drop them
+  // (and their stranded arrival samples) instead of accumulating one per
+  // probe-into-loss episode. Cluster ids are monotone, so "two rounds
+  // behind the newest" is strictly older probing.
+  if (!probe_clusters_.empty()) {
+    const int newest = probe_clusters_.rbegin()->first;
+    for (auto it = probe_clusters_.begin(); it != probe_clusters_.end();) {
+      if (it->first >= newest - 1) break;  // ordered by id
+      for (const int64_t seq : it->second) probe_arrivals_.erase(seq);
+      it = probe_clusters_.erase(it);
+    }
   }
 }
 

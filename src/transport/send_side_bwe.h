@@ -99,6 +99,9 @@ class SendSideBwe {
 
   // probe cluster id -> unwrapped sequences belonging to it
   std::map<int, std::vector<int64_t>> probe_clusters_;
+  // A probe cluster is ~6 packets; this covers many in-flight clusters
+  // while bounding what lost feedback can strand.
+  static constexpr size_t kMaxTrackedProbePackets = 256;
   std::map<int64_t, int> seq_to_cluster_;
   std::map<int64_t, std::pair<Timestamp, DataSize>> probe_arrivals_;
 };

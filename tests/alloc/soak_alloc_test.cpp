@@ -1,0 +1,87 @@
+// Soak checkpoint test for steady-state allocation flatness.
+//
+// Runs one steady meeting (no churn, no faults — the storm variants live
+// in bench/soak) for two virtual hours with the full observability path
+// active: per-second metric sampling, periodic streaming flush, and
+// measurement-window resets, exactly as a long-lived production
+// conference would run. Live-allocation counts (counting operator new,
+// see warm_alloc_test.cpp which hosts the tracker impl for this binary)
+// must not grow between the hour-1 and hour-2 checkpoints: every
+// per-tick container — metric samples, stall intervals, QoE history,
+// BWE packet bookkeeping — has to be drained, trimmed, or ring-bounded.
+// A single strand-on-loss bug in this path costs thousands of blocks
+// per virtual hour, so the tolerance here is zero.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/alloc_tracker.h"
+#include "conference/scenarios.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace gso {
+namespace {
+
+TEST(SoakAlloc, SteadyMeetingIsAllocationFlatHourOverHour) {
+  if (!alloc::tracker_active()) {
+    GTEST_SKIP() << "allocation tracker disabled (sanitizer build)";
+  }
+
+  constexpr TimeDelta kCheckpoint = TimeDelta::Seconds(300);
+  constexpr int kCheckpointsPerHour = 12;
+
+  obs::MetricsRegistry registry;
+  const std::string trace_path =
+      testing::TempDir() + "/soak_alloc_trace.jsonl";
+  obs::MetricsStreamWriter writer(trace_path,
+                                  obs::MetricsStreamWriter::Format::kJsonLines);
+  conference::ConferenceConfig config;
+  config.metrics = &registry;
+  config.metrics_sample_period = TimeDelta::Seconds(1);
+  auto conference = conference::BuildMeeting(config, 2);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(10));
+  conference->MarkMeasurementStart();
+
+  // Hour-over-hour comparison on the quiescent floor: the instantaneous
+  // live count wobbles by ~10 blocks with the phase of in-flight packets
+  // and armed timer closures at the sampling instant, so each hour's
+  // statistic is the minimum across its 12 checkpoints — the fewest
+  // blocks the hour ever needed. A real per-hour accumulator moves this
+  // floor by hundreds to thousands (the BWE feedback-loss strand this
+  // harness caught cost ~12k blocks/hour; unbounded metric samples
+  // ~40k/hour); in-flight jitter moves it by single digits.
+  int64_t hour_floor[2] = {0, 0};
+  for (int hour = 0; hour < 2; ++hour) {
+    int64_t floor = std::numeric_limits<int64_t>::max();
+    for (int i = 0; i < kCheckpointsPerHour; ++i) {
+      conference->RunFor(kCheckpoint);
+      // The steady-state contract only holds if every drain runs: the
+      // report windows QoE and trims detector history, the measurement
+      // reset re-bases the window, and the streaming flush moves buffered
+      // samples out of the registry.
+      (void)conference->Report();
+      conference->MarkMeasurementStart();
+      ASSERT_TRUE(writer.Flush(registry, conference->loop().Now()));
+      floor = std::min(floor, alloc::live_allocations());
+    }
+    hour_floor[hour] = floor;
+    std::printf("hour %d: live-allocation floor=%lld\n", hour + 1,
+                static_cast<long long>(floor));
+  }
+  EXPECT_TRUE(writer.Close(registry));
+  std::remove(trace_path.c_str());
+
+  // Zero steady-state growth, at the resolution the statistic supports:
+  // the hour-2 floor may not exceed the hour-1 floor beyond sampling
+  // jitter.
+  constexpr int64_t kInFlightJitter = 16;
+  EXPECT_LE(hour_floor[1], hour_floor[0] + kInFlightJitter);
+}
+
+}  // namespace
+}  // namespace gso

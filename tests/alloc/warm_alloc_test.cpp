@@ -1,103 +1,29 @@
 // Hot-path allocation discipline: after warm-up, a warm SolveCompiled and
 // a delta re-solve (SolveWarm) must perform zero heap allocations. Global
-// operator new/delete are replaced with counting versions, so this test
-// lives in its own executable (gso_alloc_tests) and is skipped under
-// sanitizers, whose interceptors own the allocator.
+// operator new/delete are replaced with the counting versions from
+// common/alloc_tracker.h, so this test lives in its own executable
+// (gso_alloc_tests) and skips itself under sanitizers, whose interceptors
+// own the allocator.
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstdint>
-#include <cstdlib>
 
+#define GSO_ALLOC_TRACKER_IMPL
+#include "common/alloc_tracker.h"
 #include "core/mckp.h"
 #include "core/orchestrator.h"
 #include "core/types.h"
 
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define GSO_ALLOC_TEST_DISABLED 1
-#endif
-#if defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
-    __has_feature(memory_sanitizer)
-#define GSO_ALLOC_TEST_DISABLED 1
-#endif
-#endif
-
-#ifndef GSO_ALLOC_TEST_DISABLED
-
-namespace {
-std::atomic<int64_t> g_alloc_count{0};
-std::atomic<bool> g_counting{false};
-
-void* CountedAlloc(std::size_t size) {
-  if (g_counting.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  std::abort();
-}
-
-void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
-  if (g_counting.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  void* p = nullptr;
-  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
-                     size ? size : 1) != 0) {
-    std::abort();
-  }
-  return p;
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return CountedAlloc(size); }
-void* operator new[](std::size_t size) { return CountedAlloc(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  return CountedAlloc(size);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  return CountedAlloc(size);
-}
-void* operator new(std::size_t size, std::align_val_t align) {
-  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
-}
-void* operator new[](std::size_t size, std::align_val_t align) {
-  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-
-#endif  // !GSO_ALLOC_TEST_DISABLED
-
 namespace gso::core {
 namespace {
 
-#ifndef GSO_ALLOC_TEST_DISABLED
-// Runs `fn` with allocation counting enabled; returns the number of
-// operator-new calls it performed.
+// Runs `fn` and returns the number of operator-new calls it performed.
 template <typename Fn>
 int64_t CountAllocations(Fn&& fn) {
-  const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
-  g_counting.store(true, std::memory_order_relaxed);
+  const int64_t before = alloc::total_allocations();
   fn();
-  g_counting.store(false, std::memory_order_relaxed);
-  return g_alloc_count.load(std::memory_order_relaxed) - before;
+  return alloc::total_allocations() - before;
 }
-#endif
 
 // An all-subscribe mesh with mixed budgets: slow clients force uplink
 // fixes and reductions, so the counted solves exercise Steps 1-3 plus the
@@ -137,9 +63,9 @@ OrchestrationProblem MeshWithReductions(int clients) {
 }
 
 TEST(WarmAlloc, SolveCompiledIsAllocationFreeAfterWarmup) {
-#ifdef GSO_ALLOC_TEST_DISABLED
-  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
-#else
+  if (!alloc::tracker_active()) {
+    GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+  }
   const DpMckpSolver solver;
   const Orchestrator orchestrator(&solver);
   const auto problem = MeshWithReductions(12);
@@ -150,13 +76,12 @@ TEST(WarmAlloc, SolveCompiledIsAllocationFreeAfterWarmup) {
     for (int i = 0; i < 5; ++i) (void)orchestrator.Solve(SolveRequest::Precompiled(compiled));
   });
   EXPECT_EQ(allocs, 0) << "steady-state SolveCompiled allocated";
-#endif
 }
 
 TEST(WarmAlloc, SolveCompiledIsAllocationFreeWithThreadPool) {
-#ifdef GSO_ALLOC_TEST_DISABLED
-  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
-#else
+  if (!alloc::tracker_active()) {
+    GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+  }
   const DpMckpSolver solver;
   OrchestratorOptions options;
   options.step1_threads = 4;
@@ -171,13 +96,12 @@ TEST(WarmAlloc, SolveCompiledIsAllocationFreeWithThreadPool) {
     for (int i = 0; i < 5; ++i) (void)orchestrator.Solve(SolveRequest::Precompiled(compiled));
   });
   EXPECT_EQ(allocs, 0) << "parallel SolveCompiled allocated";
-#endif
 }
 
 TEST(WarmAlloc, DeltaResolveIsAllocationFreeAfterWarmup) {
-#ifdef GSO_ALLOC_TEST_DISABLED
-  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
-#else
+  if (!alloc::tracker_active()) {
+    GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+  }
   const DpMckpSolver solver;
   const Orchestrator orchestrator(&solver);
   OrchestrationProblem problem = MeshWithReductions(12);
@@ -197,7 +121,6 @@ TEST(WarmAlloc, DeltaResolveIsAllocationFreeAfterWarmup) {
     }
   });
   EXPECT_EQ(allocs, 0) << "steady-state delta re-solve allocated";
-#endif
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "conference/scenarios.h"
+#include "obs/metrics.h"
 #include "sim/fault_plan.h"
 
 namespace gso::conference {
@@ -94,6 +95,38 @@ TEST(Churn, RejoinAfterLeaveReceivesVideo) {
   for (const auto& other : report.participants) {
     if (other.id == ClientId(5)) continue;
     EXPECT_GT(other.mean_framerate, 10.0) << other.id.ToString();
+  }
+}
+
+// With a finite departed_linger, a removed participant's Client, links and
+// metric probes are destroyed once in-flight closures have drained —
+// instead of accumulating until the conference dies — and the meeting
+// keeps running cleanly afterwards.
+TEST(Churn, FiniteDepartedLingerReapsRemovedParticipants) {
+  obs::MetricsRegistry registry;
+  ConferenceConfig config;
+  config.metrics = &registry;
+  config.departed_linger = TimeDelta::Seconds(30);
+  auto conference = BuildMeeting(config, 4);
+  conference->Start();
+  conference->RunFor(TimeDelta::Seconds(5));
+  const size_t probes_before = registry.num_probes();
+  conference->RemoveParticipant(ClientId(2));
+  // The linger keeps the departed state alive while closures drain...
+  conference->RunFor(TimeDelta::Seconds(10));
+  EXPECT_EQ(conference->departed_count(), 1u);
+  EXPECT_EQ(registry.num_probes(), probes_before);
+  // ...and past the deadline the Client goes away, probes and all.
+  conference->RunFor(TimeDelta::Seconds(25));
+  EXPECT_EQ(conference->departed_count(), 0u);
+  EXPECT_LT(registry.num_probes(), probes_before);
+  conference->MarkMeasurementStart();
+  conference->RunFor(TimeDelta::Seconds(10));
+  const auto report = conference->Report();
+  EXPECT_EQ(report.participants.size(), 3u);
+  EXPECT_EQ(report.participant(ClientId(2)), nullptr);
+  for (const auto& participant : report.participants) {
+    EXPECT_GT(participant.mean_framerate, 10.0) << participant.id.ToString();
   }
 }
 

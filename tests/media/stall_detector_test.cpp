@@ -95,5 +95,47 @@ TEST(VoiceStall, IntervalOverTenPercentLossStalls) {
   EXPECT_DOUBLE_EQ(detector.StallRate(), 0.5);
 }
 
+TEST(VideoStall, ForgetBeforePreservesWindowedRateAndMonotoneCount) {
+  VideoStallDetector detector;
+  // Second 0 stalls (900 ms freeze), then smooth 25 fps playback until a
+  // second stall inside second 5, then smooth again until 8 s.
+  detector.OnFrameRendered(Timestamp::Zero());
+  detector.OnFrameRendered(Timestamp::Millis(900));
+  for (int64_t t = 960; t <= 5000; t += 40) {
+    detector.OnFrameRendered(Timestamp::Millis(t));
+  }
+  detector.OnFrameRendered(Timestamp::Millis(5900));
+  for (int64_t t = 5940; t < 8000; t += 40) {
+    detector.OnFrameRendered(Timestamp::Millis(t));
+  }
+  detector.OnSessionEnd(Timestamp::Seconds(8));
+  EXPECT_EQ(detector.stalled_interval_count(), 2);
+  const double windowed =
+      detector.StallRate(Timestamp::Seconds(4), Timestamp::Seconds(8));
+  EXPECT_DOUBLE_EQ(windowed, 0.25);
+
+  // Dropping history below the window start changes nothing observable:
+  // the windowed rate is identical and the stall counter stays monotone.
+  detector.ForgetBefore(Timestamp::Seconds(4));
+  EXPECT_DOUBLE_EQ(
+      detector.StallRate(Timestamp::Seconds(4), Timestamp::Seconds(8)),
+      windowed);
+  EXPECT_EQ(detector.stalled_interval_count(), 2);
+}
+
+TEST(VoiceStall, ForgetBeforeDropsOldIntervals) {
+  VoiceStallDetector detector;
+  // Second 0: 20% loss (stalled). Second 1: clean.
+  for (int i = 0; i < 50; ++i) {
+    detector.OnPacketExpected(Timestamp::Millis(i * 20), i % 5 != 0);
+  }
+  for (int i = 50; i < 100; ++i) {
+    detector.OnPacketExpected(Timestamp::Millis(i * 20), true);
+  }
+  EXPECT_DOUBLE_EQ(detector.StallRate(), 0.5);
+  detector.ForgetBefore(Timestamp::Seconds(1));
+  EXPECT_DOUBLE_EQ(detector.StallRate(), 0.0);
+}
+
 }  // namespace
 }  // namespace gso::media

@@ -3,6 +3,7 @@
 // ordering must not drift without bumping obs::kSchemaVersion.
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -51,6 +52,26 @@ TEST(ExportSchema, GoldenCsv) {
   const std::string expected =
       "name,labels,t_us,value\n"
       "transport.bwe.target,client=3,200000,300000\n";
+  EXPECT_EQ(ToCsv(registry), expected);
+}
+
+// CSV rows are globally sorted by (t_us, series id) — the same order as the
+// JSONL sample stream — so the streaming exporter can append rows
+// incrementally and still produce the one-shot bytes.
+TEST(ExportSchema, GoldenCsvSortsRowsByTimeThenId) {
+  MetricsRegistry registry;
+  Metric* rate = registry.Get("transport.bwe.target", MetricKind::kGauge,
+                              "bps", LabelClient(3));
+  Metric* stalls =
+      registry.Get("media.stall.intervals", MetricKind::kCounter, "intervals");
+  rate->Record(Timestamp::Millis(200), 300000);
+  stalls->Add(Timestamp::Millis(100), 1);
+  stalls->Add(Timestamp::Millis(200), 1);
+  const std::string expected =
+      "name,labels,t_us,value\n"
+      "media.stall.intervals,,100000,1\n"
+      "transport.bwe.target,client=3,200000,300000\n"
+      "media.stall.intervals,,200000,2\n";
   EXPECT_EQ(ToCsv(registry), expected);
 }
 
@@ -148,6 +169,169 @@ TEST(ExportSchema, ConferenceExportSpansThreePlanes) {
     }
   }
   EXPECT_GT(sample_lines, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming export parity: MetricsStreamWriter must produce the exact bytes
+// of the one-shot exporters while keeping only un-flushed samples resident.
+
+// Records an interleaved workload with (t_us, id) ties, counter folds, and
+// same-instant bursts — the cases where streaming order could diverge.
+// `checkpoint` is invoked at the flush instants a soak harness would use.
+template <typename CheckpointFn>
+void RecordStreamedWorkload(MetricsRegistry& registry, CheckpointFn checkpoint) {
+  Metric* rate = registry.Get("transport.bwe.target", MetricKind::kGauge,
+                              "bps", LabelClient(3));
+  Metric* stalls =
+      registry.Get("media.stall.intervals", MetricKind::kCounter, "intervals");
+  rate->Record(Timestamp::Millis(100), 300000);
+  stalls->Add(Timestamp::Millis(100), 1);
+  rate->Record(Timestamp::Millis(200), 512500.5);
+  checkpoint(Timestamp::Millis(200));  // samples at exactly 200ms stay behind
+  stalls->Add(Timestamp::Millis(200), 2);
+  rate->Record(Timestamp::Millis(250), 400000);
+  rate->Record(Timestamp::Millis(250), 410000);  // same-instant burst
+  checkpoint(Timestamp::Millis(300));
+  // A series first seen after earlier flushes: ids stay dense, header at
+  // Close() covers it.
+  Metric* late = registry.Get("control.solve.wall", MetricKind::kSeries, "us");
+  late->Record(Timestamp::Millis(350), 42);
+  stalls->Add(Timestamp::Millis(400), 1);
+  checkpoint(Timestamp::Millis(400));
+  rate->Record(Timestamp::Millis(450), 350000);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  return contents;
+}
+
+TEST(StreamingExport, JsonLinesByteIdenticalToOneShot) {
+  MetricsRegistry oneshot;
+  RecordStreamedWorkload(oneshot, [](Timestamp) {});
+  const std::string expected = ToJsonLines(oneshot);
+
+  MetricsRegistry streamed;
+  const std::string path = testing::TempDir() + "/stream_parity.jsonl";
+  MetricsStreamWriter writer(path, MetricsStreamWriter::Format::kJsonLines);
+  size_t peak_resident = 0;
+  RecordStreamedWorkload(streamed, [&](Timestamp up_to) {
+    ASSERT_TRUE(writer.Flush(streamed, up_to));
+    peak_resident = std::max(peak_resident, streamed.total_samples());
+  });
+  ASSERT_TRUE(writer.Close(streamed));
+
+  EXPECT_EQ(ReadFileOrDie(path), expected);
+  // Flushes actually evicted: fewer samples were ever resident than the
+  // whole run recorded.
+  EXPECT_LT(peak_resident, streamed.total_recorded_samples());
+  EXPECT_EQ(writer.samples_flushed(), streamed.total_recorded_samples());
+  std::remove(path.c_str());
+}
+
+TEST(StreamingExport, CsvByteIdenticalToOneShot) {
+  MetricsRegistry oneshot;
+  RecordStreamedWorkload(oneshot, [](Timestamp) {});
+  const std::string expected = ToCsv(oneshot);
+
+  MetricsRegistry streamed;
+  const std::string path = testing::TempDir() + "/stream_parity.csv";
+  MetricsStreamWriter writer(path, MetricsStreamWriter::Format::kCsv);
+  RecordStreamedWorkload(streamed, [&](Timestamp up_to) {
+    ASSERT_TRUE(writer.Flush(streamed, up_to));
+  });
+  ASSERT_TRUE(writer.Close(streamed));
+
+  EXPECT_EQ(ReadFileOrDie(path), expected);
+  std::remove(path.c_str());
+}
+
+// Zeroes the "v" payload of sample lines whose series id is in `ids`:
+// control.solve.wall records host wall-clock, the one stream that two
+// otherwise deterministic runs legitimately disagree on.
+std::string MaskSampleValues(const std::string& jsonl,
+                             const std::set<int>& ids) {
+  std::istringstream stream(jsonl);
+  std::string line;
+  std::string out;
+  while (std::getline(stream, line)) {
+    int id = -1;
+    if (std::sscanf(line.c_str(), "{\"type\":\"sample\",\"id\":%d,", &id) == 1 &&
+        ids.count(id) > 0) {
+      const size_t v = line.find("\"v\":");
+      if (v != std::string::npos) line = line.substr(0, v) + "\"v\":0}";
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::set<int> WallSeriesIds(const MetricsRegistry& registry) {
+  std::set<int> ids;
+  for (const auto& metric : registry.metrics()) {
+    if (metric->name() == "control.solve.wall") ids.insert(metric->id());
+  }
+  return ids;
+}
+
+// A full meeting streamed with periodic flushes must byte-match the same
+// meeting exported one-shot (the simulation is deterministic, so two runs
+// record identical samples — except wall-clock values, masked above).
+TEST(StreamingExport, ConferenceRunByteIdenticalToOneShot) {
+  using namespace gso::conference;
+  std::string expected;
+  {
+    MetricsRegistry registry;
+    ConferenceConfig config;
+    config.metrics = &registry;
+    auto conference = BuildMeeting(config, 3);
+    conference->Start();
+    conference->RunFor(TimeDelta::Seconds(6));
+    expected = MaskSampleValues(ToJsonLines(registry), WallSeriesIds(registry));
+  }
+
+  MetricsRegistry registry;
+  ConferenceConfig config;
+  config.metrics = &registry;
+  auto conference = BuildMeeting(config, 3);
+  const std::string path = testing::TempDir() + "/stream_conf.jsonl";
+  MetricsStreamWriter writer(path, MetricsStreamWriter::Format::kJsonLines);
+  conference->Start();
+  for (int i = 0; i < 6; ++i) {
+    conference->RunFor(TimeDelta::Seconds(1));
+    ASSERT_TRUE(writer.Flush(registry, conference->loop().Now()));
+  }
+  ASSERT_TRUE(writer.Close(registry));
+
+  EXPECT_EQ(MaskSampleValues(ReadFileOrDie(path), WallSeriesIds(registry)),
+            expected);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingExport, CounterTotalSurvivesDrain) {
+  MetricsRegistry registry;
+  Metric* counter = registry.Get("c", MetricKind::kCounter, "count");
+  counter->Add(Timestamp::Millis(1), 5);
+  std::vector<Sample> drained;
+  EXPECT_EQ(counter->Drain(Timestamp::Millis(10), &drained), 1u);
+  EXPECT_TRUE(counter->samples().empty());
+  EXPECT_EQ(counter->last_value(), 5.0);
+  counter->Add(Timestamp::Millis(20), 2);
+  EXPECT_EQ(counter->last_value(), 7.0);
+  // A straggler recorded behind the drain floor is clamped onto it so the
+  // already-flushed stream stays sorted.
+  counter->Record(Timestamp::Millis(5), 9);
+  EXPECT_EQ(counter->samples().back().time, Timestamp::Millis(20));
+  EXPECT_EQ(counter->total_recorded(), 3u);
+  EXPECT_EQ(counter->drained(), 1u);
 }
 
 }  // namespace

@@ -267,5 +267,38 @@ TEST(EventLoopOwners, CancelOneOwnerAmongInterleaved) {
   EXPECT_EQ(ran, (std::vector<int>{1, 3, 5, 7, 9}));
 }
 
+TEST(EventLoopOwners, PurgeDropsCancelledEventsAndRecyclesIds) {
+  EventLoop loop;
+  const uint64_t doomed = loop.NewOwner();
+  const uint64_t kept = loop.NewOwner();
+  std::vector<int> ran;
+  {
+    EventLoop::OwnerScope scope(&loop, doomed);
+    for (int i = 0; i < 100; ++i) {
+      loop.At(Timestamp::Millis(10 + i), [&ran] { ran.push_back(-1); });
+    }
+  }
+  {
+    EventLoop::OwnerScope scope(&loop, kept);
+    loop.At(Timestamp::Millis(15), [&ran] { ran.push_back(1); });
+    loop.At(Timestamp::Millis(5), [&ran] { ran.push_back(0); });
+  }
+  loop.Cancel(doomed);
+  const size_t before = loop.pending_events();
+  loop.PurgeCancelled();
+  // The cancelled owner's events leave the heap instead of waiting to be
+  // skipped at pop, and its id goes back into circulation.
+  EXPECT_EQ(loop.pending_events(), before - 100);
+  const uint64_t recycled = loop.NewOwner();
+  EXPECT_EQ(recycled, doomed);
+  {
+    EventLoop::OwnerScope scope(&loop, recycled);
+    loop.At(Timestamp::Millis(20), [&ran] { ran.push_back(2); });
+  }
+  loop.RunAll();
+  // Survivors run in time order and the recycled owner is live again.
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2}));
+}
+
 }  // namespace
 }  // namespace gso::sim

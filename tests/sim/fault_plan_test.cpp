@@ -52,6 +52,37 @@ TEST(FaultPlan, TransitionLogRecordsBeginAndEnd) {
   EXPECT_EQ(plan.transitions()[1].time, Timestamp::Millis(150));
 }
 
+TEST(FaultPlan, TransitionLogDrainsAndStaysBounded) {
+  EventLoop loop;
+  Link link(&loop, LinkConfig{}, Rng(1), "access");
+  obs::MetricsRegistry registry;
+  FaultPlan plan(&loop);
+  plan.SetMetrics(&registry);
+  for (int i = 0; i < 8; ++i) {
+    plan.Outage(&link, Timestamp::Millis(100 + 200 * i), TimeDelta::Millis(50));
+  }
+  loop.RunUntil(Timestamp::Millis(700));  // 3 full episodes + 4th begin
+
+  std::vector<FaultPlan::Transition> drained;
+  plan.DrainTransitions(&drained);
+  EXPECT_EQ(drained.size(), 7u);
+  EXPECT_TRUE(plan.transitions().empty());
+  EXPECT_EQ(drained[0].label, "outage:access");
+
+  // Without draining, the buffer caps out and drops oldest-first.
+  plan.SetTransitionCapacity(4);
+  loop.RunAll();
+  EXPECT_EQ(plan.transitions().size(), 4u);
+  EXPECT_EQ(plan.transitions_dropped(), 5u);  // 9 remaining transitions - 4
+  // Dropping is observable: the counter series records each drop.
+  const obs::Metric* dropped = registry.Get(
+      "sim.fault.transitions_dropped", obs::MetricKind::kCounter, "count");
+  EXPECT_EQ(dropped->last_value(), 5.0);
+  // The aggregate counters are unaffected by draining or dropping.
+  EXPECT_EQ(plan.episodes_applied(), 8);
+  EXPECT_EQ(plan.active_episodes(), 0);
+}
+
 TEST(FaultPlan, CapacityDipComposesWithScriptedSteps) {
   EventLoop loop;
   LinkConfig config;

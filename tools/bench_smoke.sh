@@ -69,9 +69,32 @@ EOF
 # slower than the baseline — after normalizing out host speed via the
 # median ratio — fails the build. GSO_PERF_GATE=off skips it (refresh
 # BENCH_controller.json in the same PR and say why).
+#
+# Wall-clock measurements on a shared 1-CPU runner jitter by more than
+# the tolerance, so a timing-gate failure earns exactly one fresh
+# measurement, and the re-gate scores each row's best draw of the two
+# runs (timing noise is one-sided — a row draws slow, never fast — so
+# the best-of converges on the true value, while a real regression is
+# slow in both draws and still trips). The absolute gates (soak,
+# robustness) are deterministic and get no retry.
+gate_timing_with_retry() {
+  local baseline="$1"; local out="$2"; shift 2
+  local gate_args=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do gate_args+=("$1"); shift; done
+  [[ $# -gt 0 ]] && shift  # drop the -- separator before the re-measure cmd
+  if ! python3 "$(dirname "$0")/perf_gate.py" "${baseline}" "${out}" "${gate_args[@]}"; then
+    echo "bench_smoke: timing gate failed — re-measuring once to rule out host noise" >&2
+    cp "${out}" "${out}.first"
+    "$@"
+    python3 "$(dirname "$0")/perf_gate.py" "${baseline}" "${out}" \
+        --best-of="${out}.first" "${gate_args[@]}"
+  fi
+}
+
 BASELINE="$(dirname "$0")/../BENCH_controller.json"
 if [[ -s "${BASELINE}" ]]; then
-  python3 "$(dirname "$0")/perf_gate.py" "${BASELINE}" "${OUT}"
+  gate_timing_with_retry "${BASELINE}" "${OUT}" -- \
+      "${BIN}" --out="${OUT}" --label=smoke --min-time=0.05 --trace-out="${TRACE_OUT}"
 else
   echo "bench_smoke: no committed baseline at ${BASELINE}, skipping perf gate" >&2
 fi
@@ -246,6 +269,19 @@ if not row["passed"]:
 print(f"bench_smoke: OK (BENCH_robustness: {row['rehomed_participants']} "
       f"re-homed, reconstruction {row['reconstruction_latency_ms']:.0f} ms)")
 EOF
+  # Drift gate vs the committed robustness baseline: reconstruction must
+  # not slow down and the recovered framerate must not sag. These are
+  # virtual-time measurements — deterministic per build — so the gate is
+  # absolute, not host-normalized.
+  ROBUSTNESS_BASELINE="$(dirname "$0")/../BENCH_robustness.json"
+  if [[ -s "${ROBUSTNESS_BASELINE}" ]]; then
+    python3 "$(dirname "$0")/perf_gate.py" \
+        "${ROBUSTNESS_BASELINE}" "${ROBUSTNESS_JSON}" \
+        --metrics=reconstruction_latency_ms:50,-recovered_fps:1 \
+        --absolute --tolerance=0.25
+  else
+    echo "bench_smoke: no committed baseline at ${ROBUSTNESS_BASELINE}, skipping robustness gate" >&2
+  fi
 else
   echo "bench_smoke: ${OUTAGE} not built, skipping robustness validation" >&2
 fi
@@ -317,11 +353,72 @@ if len(shards) < 2:
     sys.exit(f"bench_smoke: fleet trace covers only {len(shards)} shard(s)")
 print(f"bench_smoke: OK (fleet trace spans {len(shards)} shards)")
 EOF
+  # Wider tolerance than the controller gate: the fleet rows include
+  # wall-clock queue-latency p99s whose run-to-run spread on a shared
+  # 1-CPU runner is ~±35% (tail latency of 8 solver threads time-slicing
+  # one core). The median normalization still catches a systematic
+  # regression; the tolerance only has to clear the tail noise.
   if [[ -s "${FLEET_BASELINE}" ]]; then
-    python3 "$(dirname "$0")/perf_gate.py" "${FLEET_BASELINE}" "${FLEET_OUT}"
+    gate_timing_with_retry "${FLEET_BASELINE}" "${FLEET_OUT}" --tolerance=0.40 -- \
+        "${FLEET}" --out="${FLEET_OUT}" --label=smoke --trace-out="${FLEET_TRACE}"
   else
     echo "bench_smoke: no committed baseline at ${FLEET_BASELINE}, skipping fleet perf gate" >&2
   fi
 else
   echo "bench_smoke: ${FLEET} not built, skipping fleet-service validation" >&2
+fi
+
+# --- Long-horizon soak (short profile) ----------------------------------
+# Drives the storm-scripted conference plus a mini fleet through tens of
+# virtual minutes. The binary's own exit code enforces the hard gates
+# (flat live allocations between the measurement halves, bounded tables,
+# drained fault log, QoE floor); the perf gate then checks drift against
+# the committed short-profile baseline. Allocation counts and QoE floors
+# are deterministic per build, so the comparison is absolute.
+SOAK="${BUILD_DIR}/bench/soak"
+SOAK_OUT="${BUILD_DIR}/BENCH_soak_smoke.json"
+SOAK_TRACE="${BUILD_DIR}/soak_smoke_metrics.jsonl"
+SOAK_BASELINE="$(dirname "$0")/../BENCH_soak.json"
+if [[ -x "${SOAK}" ]]; then
+  "${SOAK}" --short --out="${SOAK_OUT}" --label=smoke --trace-out="${SOAK_TRACE}"
+  python3 - "${SOAK_OUT}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("label", "unit", "qoe_floor_min", "tracker", "host_cpus",
+            "results"):
+    if key not in doc:
+        sys.exit(f"bench_smoke: BENCH_soak missing key {key!r}")
+shapes = {row["shape"] for row in doc["results"]}
+if shapes != {"soak_conference", "soak_fleet"}:
+    sys.exit(f"bench_smoke: BENCH_soak shapes {sorted(shapes)}")
+for row in doc["results"]:
+    for key in ("shape", "mode", "threads", "ns_per_solve", "solves",
+                "virtual_hours", "peak_rss_bytes", "allocs_per_vhour",
+                "sanitizer_growth_bytes", "qoe_floor", "samples_streamed"):
+        if key not in row:
+            sys.exit(f"bench_smoke: BENCH_soak row missing {key!r}: {row}")
+    if row["mode"] != "soak" or row["ns_per_solve"] <= 0:
+        sys.exit(f"bench_smoke: malformed soak row: {row}")
+    if row["qoe_floor"] < doc["qoe_floor_min"]:
+        sys.exit(f"bench_smoke: soak QoE floor below minimum: {row}")
+conf = next(r for r in doc["results"] if r["shape"] == "soak_conference")
+if conf["samples_streamed"] <= 0 or conf["transitions_drained"] <= 0:
+    sys.exit(f"bench_smoke: soak streamed nothing: {conf}")
+print(f"bench_smoke: OK (soak: {conf['samples_streamed']} samples streamed, "
+      f"QoE floor {conf['qoe_floor']:.3f})")
+EOF
+  validate_metrics_jsonl "${SOAK_TRACE}"
+  validate_metrics_jsonl "${SOAK_TRACE}.fleet"
+  if [[ -s "${SOAK_BASELINE}" ]]; then
+    python3 "$(dirname "$0")/perf_gate.py" "${SOAK_BASELINE}" "${SOAK_OUT}" \
+        --metrics=peak_rss_bytes,allocs_per_vhour:4096,-qoe_floor:0.05 \
+        --absolute --tolerance=0.35
+  else
+    echo "bench_smoke: no committed baseline at ${SOAK_BASELINE}, skipping soak gate" >&2
+  fi
+else
+  echo "bench_smoke: ${SOAK} not built, skipping soak validation" >&2
 fi
