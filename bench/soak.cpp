@@ -367,6 +367,15 @@ SoakResult RunFleetSoak(int checkpoints, TimeDelta period,
   churn.seed = 42;
   service::ChurnStorm storm(&service, churn);
 
+  // Shard-kill leg: one whole-shard outage mid-run — crash, gossip-driven
+  // evacuation, re-home onto the survivor, restart — so the soak's memory-
+  // flatness and QoE gates also cover the failure-domain path (the ASan CI
+  // profile runs this too and sweeps what the evacuation leaves behind).
+  const TimeDelta soak_total = period * int64_t{checkpoints};
+  service.control_faults().ShardCrash(&service.shard(1),
+                                      Timestamp::Zero() + soak_total * 0.3,
+                                      /*duration=*/period / 2);
+
   const auto wall_start = std::chrono::steady_clock::now();
   MemorySample first{}, last{};
   for (int i = 0; i < checkpoints; ++i) {
@@ -425,6 +434,25 @@ SoakResult RunFleetSoak(int checkpoints, TimeDelta period,
     Fail(failures, "soak_fleet: RSS grew by " +
                        std::to_string(last.rss_kb - first.rss_kb) +
                        " kB over the storm");
+  }
+  // The scripted outage must have actually exercised the failover path and
+  // healed: shard 1 crashed, its conferences were re-homed (or swept as
+  // limbo), and the restart brought the whole fleet back.
+  const auto& failover = service.failover();
+  if (failover.shard_crashes < 1) {
+    Fail(failures, "soak_fleet: scripted shard crash never fired");
+  }
+  if (failover.shard_restarts < 1) {
+    Fail(failures, "soak_fleet: crashed shard never restarted");
+  }
+  if (failover.conferences_rehomed + failover.limbo_removed < 1) {
+    Fail(failures, "soak_fleet: outage evacuated no conferences");
+  }
+  for (int s = 0; s < service.num_shards(); ++s) {
+    if (!service.shard(s).alive()) {
+      Fail(failures, "soak_fleet: shard " + std::to_string(s) +
+                         " still dead at soak end");
+    }
   }
   return result;
 }

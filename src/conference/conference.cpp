@@ -445,6 +445,13 @@ Client* Conference::client(ClientId id) {
   return it == participants_.end() ? nullptr : it->second.client.get();
 }
 
+std::vector<ClientId> Conference::member_ids() const {
+  std::vector<ClientId> ids;
+  ids.reserve(participants_.size());
+  for (const auto& [id, _] : participants_) ids.push_back(id);
+  return ids;  // std::map iteration is already ascending
+}
+
 sim::Link* Conference::uplink(ClientId client) {
   const auto it = participants_.find(client);
   return it == participants_.end() ? nullptr : &it->second.access->uplink();

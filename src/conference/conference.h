@@ -181,6 +181,10 @@ class Conference {
   uint64_t owner() const { return owner_; }
   ConferenceNode& control() { return *control_; }
   Client* client(ClientId id);
+  // Current member ids, ascending. Hosts that keep a durable per-conference
+  // record (the orchestration service's migration directory) snapshot the
+  // roster through this between slices.
+  std::vector<ClientId> member_ids() const;
   AccessingNode* node(int index) { return nodes_[static_cast<size_t>(index)].get(); }
   Timestamp start_time() const { return start_time_; }
   // Raw link handles so fault plans (sim::FaultPlan) can script outages,

@@ -10,7 +10,11 @@ ConferenceNode::ConferenceNode(sim::EventLoop* loop, ControllerConfig config)
     : loop_(loop),
       config_(config),
       orchestrator_(&solver_),
-      conditioner_(config.conditioner) {}
+      conditioner_(config.conditioner) {
+  if (config_.first_ssrc != 0) {
+    ssrc_allocator_.ReserveAtLeast(config_.first_ssrc);
+  }
+}
 
 bool ConferenceNode::Join(Client* client, AccessingNode* node) {
   GSO_CHECK(client != nullptr && node != nullptr);

@@ -85,6 +85,11 @@ struct ControllerConfig {
   // 100 ms cadence) for this long is declared dead and its participants
   // are re-homed through the failure handler.
   TimeDelta node_heartbeat_timeout = TimeDelta::Seconds(1);
+  // SSRC allocation starts at this value when non-zero (the allocator's
+  // own default otherwise). A conference rebuilt on another shard after a
+  // shard crash seeds this past the old incarnation's recorded frontier,
+  // so the never-reissued SSRC guarantee spans the migration.
+  uint32_t first_ssrc = 0;
 };
 
 class ConferenceNode : public sim::CrashableProcess {

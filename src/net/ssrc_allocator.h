@@ -52,6 +52,14 @@ class SsrcAllocator {
   // this never moves backwards).
   uint32_t next_value() const { return next_; }
 
+  // Moves the frontier forward to at least `next` (never backwards). Used
+  // when a conference is rebuilt on another shard from its durable record:
+  // seeding the new allocator past the old incarnation's frontier extends
+  // the never-reissued guarantee across migrations.
+  void ReserveAtLeast(uint32_t next) {
+    if (next > next_) next_ = next;
+  }
+
  private:
   uint32_t next_ = 1000;  // avoid 0: some stacks treat SSRC 0 as unset
   std::unordered_map<Ssrc, SsrcOwner> owners_;

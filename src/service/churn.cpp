@@ -89,6 +89,14 @@ void ChurnStorm::InjectFault(uint64_t id, Tracked& tracked) {
   conference::Conference* conf = service_->Get(id);
   sim::FaultPlan* plan = service_->fault_plan(id);
   if (conf == nullptr || plan == nullptr) return;
+  // Re-sync belief with the live roster before picking victims: a re-homed
+  // incarnation is rebuilt from a durable record that can miss a membership
+  // change made after the last boundary sweep, so the tracked list may name
+  // a client the rebuilt meeting never had (or miss one it does).
+  tracked.live_clients.clear();
+  for (const ClientId& member : conf->member_ids()) {
+    tracked.live_clients.push_back(member.value());
+  }
   const Timestamp start = service_->Now() + TimeDelta::Millis(100);
 
   switch (rng_.UniformInt(0, 3)) {

@@ -21,6 +21,15 @@
 //    depend only on arrival order within the slice (virtual time), so a
 //    fleet run is bit-reproducible; the wall-clock queue latency recorded
 //    per entry feeds metrics only, never the simulation.
+//
+// Owner safety: every entry carries its conference's event-loop owner id,
+// and the queue never touches an entry's node once that owner is cancelled
+// — the node may be freed memory by then. Cancelled entries are dropped
+// silently at displacement, drain, and Abandon() time (counted in
+// stats.stale_dropped). Abandon() is the teardown/crash path: it sheds the
+// whole batch back to the surviving conferences without running a single
+// solve, so a shard destroyed (or killed) mid-batch leaves no stray
+// commits.
 #ifndef GSO_SERVICE_SOLVE_QUEUE_H_
 #define GSO_SERVICE_SOLVE_QUEUE_H_
 
@@ -46,6 +55,12 @@ struct SolveQueueStats {
   uint64_t accepted = 0;
   uint64_t shed_rejected = 0;   // Push refused: queue full, lowest priority
   uint64_t shed_displaced = 0;  // queued entry bumped by a higher class
+  // Entries shed without running by Abandon() — shard teardown or crash.
+  // Their conferences re-armed via OnSolveShed (when still alive).
+  uint64_t shed_abandoned = 0;
+  // Entries dropped because their owner was cancelled after they were
+  // queued (the conference is gone; its node must never be touched).
+  uint64_t stale_dropped = 0;
   uint64_t solved = 0;
   uint64_t batches = 0;
   // Wall clock from Push to the start of the drain that ran the solve.
@@ -57,7 +72,10 @@ struct SolveQueueStats {
 
 class SolveQueue {
  public:
-  explicit SolveQueue(int backlog) : backlog_(backlog < 1 ? 1 : backlog) {}
+  // `loop` is the shard loop whose owner ids tag the entries; it must
+  // outlive the queue.
+  explicit SolveQueue(int backlog, sim::EventLoop* loop)
+      : backlog_(backlog < 1 ? 1 : backlog), loop_(loop) {}
 
   SolveQueue(const SolveQueue&) = delete;
   SolveQueue& operator=(const SolveQueue&) = delete;
@@ -67,8 +85,9 @@ class SolveQueue {
   // restored around the commit so dissemination closures die with the
   // conference. Returns false when the queue is full and the request ranks
   // at or below everything queued; when a queued entry ranks strictly
-  // lower it is displaced (its node re-arms via OnSolveShed) and the new
-  // request takes the slot.
+  // lower it is displaced (its node re-arms via OnSolveShed — unless its
+  // owner has been cancelled in the meantime, in which case the node may
+  // be freed and is not touched) and the new request takes the slot.
   bool Push(conference::ConferenceNode* node, SolveClass cls,
             uint64_t owner) {
     const Entry entry{node, cls, next_seq_++, owner,
@@ -88,8 +107,14 @@ class SolveQueue {
       ++stats_.shed_rejected;
       return false;
     }
-    worst->node->OnSolveShed();
-    ++stats_.shed_displaced;
+    if (loop_->IsCancelled(worst->owner)) {
+      // The displaced entry's conference left after queueing: its node may
+      // be freed state. Drop the entry without the OnSolveShed callback.
+      ++stats_.stale_dropped;
+    } else {
+      worst->node->OnSolveShed();
+      ++stats_.shed_displaced;
+    }
     *worst = entry;
     ++stats_.accepted;
     return true;
@@ -98,8 +123,11 @@ class SolveQueue {
   // Slice-boundary drain: runs every queued solve on `pool` (pure compute,
   // one conference per entry — the in-flight guard in ConferenceNode means
   // no node appears twice), then commits sequentially on the calling
-  // thread in (class, seq) order.
-  void Drain(ThreadPool& pool, sim::EventLoop* loop) {
+  // thread in (class, seq) order. Entries whose owner was cancelled since
+  // Push are dropped up front — never run, never committed.
+  void Drain(ThreadPool& pool) {
+    if (entries_.empty()) return;
+    DropStaleEntries();
     if (entries_.empty()) return;
     std::sort(entries_.begin(), entries_.end(),
               [](const Entry& a, const Entry& b) {
@@ -121,11 +149,28 @@ class SolveQueue {
                      },
                      /*grain=*/1);
     for (const Entry& entry : entries_) {
-      const sim::EventLoop::OwnerScope scope(loop, entry.owner);
+      const sim::EventLoop::OwnerScope scope(loop_, entry.owner);
       entry.node->CommitDeferredSolve();
     }
     stats_.solved += entries_.size();
     ++stats_.batches;
+    entries_.clear();
+  }
+
+  // Teardown / crash path: sheds the whole batch without running anything.
+  // Live conferences get OnSolveShed (the in-flight flag clears and the
+  // event trigger re-arms, so a conference surviving its shard's crash
+  // re-solves after re-homing); cancelled owners' entries are dropped
+  // without touching the node. Idempotent on an empty queue.
+  void Abandon() {
+    for (const Entry& entry : entries_) {
+      if (loop_->IsCancelled(entry.owner)) {
+        ++stats_.stale_dropped;
+      } else {
+        entry.node->OnSolveShed();
+        ++stats_.shed_abandoned;
+      }
+    }
     entries_.clear();
   }
 
@@ -143,7 +188,16 @@ class SolveQueue {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  void DropStaleEntries() {
+    const size_t before = entries_.size();
+    std::erase_if(entries_, [this](const Entry& entry) {
+      return loop_->IsCancelled(entry.owner);
+    });
+    stats_.stale_dropped += before - entries_.size();
+  }
+
   int backlog_;
+  sim::EventLoop* loop_;
   uint64_t next_seq_ = 0;
   std::vector<Entry> entries_;
   SolveQueueStats stats_;

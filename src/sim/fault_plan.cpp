@@ -240,4 +240,28 @@ void FaultPlan::NodeRestart(CrashableProcess* proc, Timestamp at) {
   });
 }
 
+void FaultPlan::ShardCrash(CrashableProcess* shard, Timestamp start,
+                           TimeDelta duration) {
+  GSO_CHECK(shard != nullptr);
+  Schedule(
+      "shard_crash:" + shard->process_name(), start, duration,
+      [shard] { shard->Crash(); }, [shard] { shard->Restart(); });
+}
+
+void FaultPlan::ShardCrash(CrashableProcess* shard, Timestamp start) {
+  GSO_CHECK(shard != nullptr);
+  loop_->At(start, [this, shard] {
+    RecordTransition("shard_crash:" + shard->process_name(), /*begin=*/true);
+    shard->Crash();
+  });
+}
+
+void FaultPlan::ShardRestart(CrashableProcess* shard, Timestamp at) {
+  GSO_CHECK(shard != nullptr);
+  loop_->At(at, [this, shard] {
+    RecordTransition("shard_crash:" + shard->process_name(), /*begin=*/false);
+    shard->Restart();
+  });
+}
+
 }  // namespace gso::sim

@@ -85,6 +85,19 @@ class FaultPlan {
   // Revives `proc` at `at`; closes the episode a permanent NodeCrash opened.
   void NodeRestart(CrashableProcess* proc, Timestamp at);
 
+  // --- Shard (whole failure domain) schedulers -----------------------------
+  // Same Crash()/Restart() machinery as NodeCrash, but the victim is an
+  // entire orchestration-service shard: every conference it hosts dies with
+  // it and must be re-homed by the service's failover path. Distinct labels
+  // ("shard_crash:") keep shard kills separable from single-process crashes
+  // in transition logs and storm post-mortems.
+  void ShardCrash(CrashableProcess* shard, Timestamp start, TimeDelta duration);
+  // Permanent shard kill (no scheduled revival).
+  void ShardCrash(CrashableProcess* shard, Timestamp start);
+  // Revives a shard; pairs with a permanent ShardCrash. The revived shard
+  // rejoins empty — restart never resurrects the conferences it lost.
+  void ShardRestart(CrashableProcess* shard, Timestamp at);
+
   // Generic scripted episode for impairments the named helpers don't
   // cover. `apply` runs at `start`, `restore` at start + duration.
   void Schedule(std::string label, Timestamp start, TimeDelta duration,

@@ -147,9 +147,76 @@ TEST(OrchestrationService, ExportsPerShardMetrics) {
       saw_queue_depth = true;
     }
   }
-  // Both shards export their series even when only one hosts conferences.
-  EXPECT_GE(shard_series, 2 * 7);
+  // Both shards export their series even when only one hosts conferences:
+  // conferences, queue_depth, solves, shed, admission_rejected,
+  // solves_per_sec, queue_latency_p50, queue_latency_p99.
+  EXPECT_GE(shard_series, 2 * 8);
   EXPECT_TRUE(saw_queue_depth);
+}
+
+TEST(OrchestrationService, ExportsGossipAndFailoverMetrics) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config = SmallConfig();
+  config.metrics = &registry;
+  OrchestrationService service(config);
+  ConferenceSpec spec;
+  spec.seed = 3;
+  ASSERT_TRUE(service.Admit(spec).has_value());
+  service.RunFor(TimeDelta::Seconds(2));
+
+  int gossip_series = 0;
+  int failover_series = 0;
+  double gossip_sent = 0;
+  for (const auto& metric : registry.metrics()) {
+    if (metric->name().rfind("service.gossip.", 0) == 0) {
+      ++gossip_series;
+      ASSERT_GT(metric->samples().size(), 0u) << metric->name();
+      if (metric->name() == "service.gossip.sent") {
+        gossip_sent = metric->samples().back().value;
+      }
+    }
+    if (metric->name().rfind("service.failover.", 0) == 0) {
+      ++failover_series;
+      EXPECT_GT(metric->samples().size(), 0u) << metric->name();
+    }
+  }
+  // sent, delivered, dropped, retries, timeouts, suspicions.
+  EXPECT_EQ(gossip_series, 6);
+  // shard_crashes, shard_restarts, rehomed, rebalanced, recovery_p99,
+  // degraded_qoe_floor.
+  EXPECT_EQ(failover_series, 6);
+  // 2 shards x 1 peer x (2s / 500ms period) summaries actually flowed.
+  EXPECT_GT(gossip_sent, 0.0);
+}
+
+// Regression: destroying the service while solves are still queued (the
+// host never reached the next slice boundary) must cancel the batch via
+// the owner machinery — no solve may run or commit during teardown, and
+// no freed conference may be touched (ASan enforces the latter).
+TEST(OrchestrationService, MidBatchShutdownLeavesNoStrayCommits) {
+  ShardConfig config;
+  config.solver_threads = 1;
+  config.solve_backlog = 8;
+  auto shard = std::make_unique<Shard>(config);
+  ConferenceSpec spec;
+  spec.participants = 3;
+  spec.seed = 21;
+  shard->Host(1, spec);
+  spec.seed = 22;
+  shard->Host(2, spec);
+
+  // Advance the raw loop without draining (RunSlice would drain): solve
+  // requests pile up in the batch.
+  shard->loop().RunFor(TimeDelta::Seconds(2));
+  ASSERT_GT(shard->queue_depth(), 0);
+  const uint64_t solved_before = shard->queue_stats().solved;
+
+  // Mid-batch teardown: the destructor must abandon, not drain.
+  shard.reset();
+  // Nothing to assert post-mortem beyond "we got here alive" — the solved
+  // counter died with the shard, but a drain during destruction would have
+  // committed into destroyed conferences and tripped ASan loudly.
+  (void)solved_before;
 }
 
 TEST(FleetModel, ParsePositiveIntAcceptsOnlyPositiveDecimals) {

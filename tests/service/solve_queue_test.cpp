@@ -53,7 +53,7 @@ TEST(SolveQueue, BacklogBoundShedsAndShedNodesRetry) {
   // queue.
   loop.RunFor(TimeDelta::Seconds(1));
 
-  SolveQueue queue(/*backlog=*/2);
+  SolveQueue queue(/*backlog=*/2, &loop);
   ArmExecutor(c1.get(), &queue, SolveClass::kNormal);
   ArmExecutor(c2.get(), &queue, SolveClass::kNormal);
   ArmExecutor(c3.get(), &queue, SolveClass::kNormal);
@@ -71,7 +71,7 @@ TEST(SolveQueue, BacklogBoundShedsAndShedNodesRetry) {
   EXPECT_EQ(queue.stats().shed_rejected, 1u);
 
   ThreadPool pool(2);
-  queue.Drain(pool, &loop);
+  queue.Drain(pool);
   EXPECT_EQ(queue.depth(), 0);
   EXPECT_FALSE(c1->control().solve_in_flight());
   EXPECT_FALSE(c2->control().solve_in_flight());
@@ -84,7 +84,7 @@ TEST(SolveQueue, BacklogBoundShedsAndShedNodesRetry) {
   const int before = c3->control().orchestration_count();
   for (int i = 0; i < 10; ++i) {
     loop.RunFor(TimeDelta::Millis(200));
-    queue.Drain(pool, &loop);
+    queue.Drain(pool);
   }
   EXPECT_GT(c3->control().orchestration_count(), before);
 }
@@ -98,7 +98,7 @@ TEST(SolveQueue, HigherClassDisplacesWorstQueuedEntry) {
   auto rejected = MakeConference(&loop, 5);
   loop.RunFor(TimeDelta::Seconds(1));
 
-  SolveQueue queue(/*backlog=*/2);
+  SolveQueue queue(/*backlog=*/2, &loop);
   ArmExecutor(normal_a.get(), &queue, SolveClass::kNormal);
   ArmExecutor(normal_b.get(), &queue, SolveClass::kNormal);
   ArmExecutor(large.get(), &queue, SolveClass::kLarge);
@@ -134,7 +134,7 @@ TEST(SolveQueue, HigherClassDisplacesWorstQueuedEntry) {
   EXPECT_EQ(queue.depth(), 2);
 
   ThreadPool pool(2);
-  queue.Drain(pool, &loop);
+  queue.Drain(pool);
   EXPECT_EQ(queue.stats().solved, 2u);
   EXPECT_FALSE(large->control().solve_in_flight());
   EXPECT_FALSE(degraded->control().solve_in_flight());
@@ -146,6 +146,96 @@ TEST(SolveQueue, HigherClassDisplacesWorstQueuedEntry) {
   const auto& latencies = queue.stats().queue_latency_us.samples();
   ASSERT_EQ(latencies.size(), 2u);
   EXPECT_LT(latencies[0], latencies[1]);
+}
+
+// Displacement shedding against a conference that has since left: the
+// queued entry's owner is cancelled and its node pointer is freed memory,
+// so the displacement must drop the entry without the OnSolveShed callback
+// (under ASan this test dies if the queue touches the freed node).
+TEST(SolveQueue, DisplacingStaleOwnerEntryDoesNotTouchFreedConference) {
+  sim::EventLoop loop;
+  auto doomed = MakeConference(&loop, 1);
+  auto degraded = MakeConference(&loop, 2);
+  loop.RunFor(TimeDelta::Seconds(1));
+
+  SolveQueue queue(/*backlog=*/1, &loop);
+  ArmExecutor(doomed.get(), &queue, SolveClass::kNormal);
+  ArmExecutor(degraded.get(), &queue, SolveClass::kDegraded);
+
+  doomed->control().OrchestrateNow();
+  EXPECT_EQ(queue.depth(), 1);
+
+  // The conference leaves mid-batch: its owner is cancelled, its node
+  // freed; the queued entry is now stale.
+  doomed.reset();
+
+  // A higher-class push displaces the stale entry — dropped, not shed.
+  degraded->control().OrchestrateNow();
+  EXPECT_TRUE(degraded->control().solve_in_flight());
+  EXPECT_EQ(queue.depth(), 1);
+  EXPECT_EQ(queue.stats().stale_dropped, 1u);
+  EXPECT_EQ(queue.stats().shed_displaced, 0u);
+
+  ThreadPool pool(2);
+  queue.Drain(pool);
+  EXPECT_EQ(queue.stats().solved, 1u);
+  EXPECT_FALSE(degraded->control().solve_in_flight());
+}
+
+// Drain must drop (never run or commit) entries whose conference left
+// after queueing.
+TEST(SolveQueue, DrainDropsStaleOwnerEntries) {
+  sim::EventLoop loop;
+  auto doomed = MakeConference(&loop, 1);
+  auto survivor = MakeConference(&loop, 2);
+  loop.RunFor(TimeDelta::Seconds(1));
+
+  SolveQueue queue(/*backlog=*/4, &loop);
+  ArmExecutor(doomed.get(), &queue, SolveClass::kNormal);
+  ArmExecutor(survivor.get(), &queue, SolveClass::kNormal);
+
+  doomed->control().OrchestrateNow();
+  survivor->control().OrchestrateNow();
+  EXPECT_EQ(queue.depth(), 2);
+
+  doomed.reset();
+
+  ThreadPool pool(2);
+  queue.Drain(pool);
+  EXPECT_EQ(queue.depth(), 0);
+  EXPECT_EQ(queue.stats().solved, 1u);
+  EXPECT_EQ(queue.stats().stale_dropped, 1u);
+  EXPECT_FALSE(survivor->control().solve_in_flight());
+}
+
+// Abandon (shard teardown / crash): live conferences get the batch shed
+// back (in-flight flag clears, trigger re-arms), stale entries are dropped
+// untouched, and nothing runs or commits.
+TEST(SolveQueue, AbandonShedsLiveEntriesAndDropsStaleOnes) {
+  sim::EventLoop loop;
+  auto doomed = MakeConference(&loop, 1);
+  auto survivor = MakeConference(&loop, 2);
+  loop.RunFor(TimeDelta::Seconds(1));
+
+  SolveQueue queue(/*backlog=*/4, &loop);
+  ArmExecutor(doomed.get(), &queue, SolveClass::kNormal);
+  ArmExecutor(survivor.get(), &queue, SolveClass::kNormal);
+
+  doomed->control().OrchestrateNow();
+  survivor->control().OrchestrateNow();
+  const int solves_before = survivor->control().orchestration_count();
+  doomed.reset();
+
+  queue.Abandon();
+  EXPECT_EQ(queue.depth(), 0);
+  EXPECT_EQ(queue.stats().shed_abandoned, 1u);
+  EXPECT_EQ(queue.stats().stale_dropped, 1u);
+  EXPECT_EQ(queue.stats().solved, 0u);
+  // The survivor was shed, not solved: no commit happened, and its event
+  // trigger re-armed for a later tick.
+  EXPECT_FALSE(survivor->control().solve_in_flight());
+  EXPECT_EQ(survivor->control().orchestration_count(), solves_before);
+  EXPECT_EQ(survivor->control().solves_shed(), 1);
 }
 
 }  // namespace

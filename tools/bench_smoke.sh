@@ -323,8 +323,23 @@ for row in storms:
             sys.exit(f"bench_smoke: fleet storm row missing {key!r}: {row}")
     if row["qoe_floor"] < doc["qoe_floor_min"]:
         sys.exit(f"bench_smoke: fleet QoE floor below minimum: {row}")
+# The shard-kill storm must be in the document and must have actually
+# crashed shards, re-homed the victims, and measured the recovery.
+failover = [r for r in storms if r["shape"].startswith("fleet_failover")]
+if not failover:
+    sys.exit("bench_smoke: BENCH_fleet has no fleet_failover_* storm row")
+for row in failover:
+    for key in ("shard_crashes", "shard_restarts", "rehomed",
+                "recovery_p99_us", "degraded_qoe_floor", "post_recovery_qoe"):
+        if key not in row:
+            sys.exit(f"bench_smoke: failover row missing {key!r}: {row}")
+    if row["shard_crashes"] != 2 or row["rehomed"] < 2:
+        sys.exit(f"bench_smoke: failover storm killed {row['shard_crashes']} "
+                 f"shard(s), re-homed {row['rehomed']} — expected 2 kills "
+                 f"and >= 2 re-homes: {row}")
 print(f"bench_smoke: OK ({len(storms)} fleet storms, worst QoE floor "
-      f"{min(r['qoe_floor'] for r in storms):.3f})")
+      f"{min(r['qoe_floor'] for r in storms):.3f}, failover recovery p99 "
+      f"{failover[0]['recovery_p99_us'] / 1e6:.2f} s)")
 EOF
   validate_metrics_jsonl "${FLEET_TRACE}"
   # The per-shard service series must be present in the trace.
@@ -342,6 +357,11 @@ required = {
     "service.shard.shed",
     "service.shard.queue_latency_p99",
     "service.admission.rejected",
+    "service.gossip.sent",
+    "service.gossip.delivered",
+    "service.failover.shard_crashes",
+    "service.failover.recovery_p99",
+    "service.failover.degraded_qoe_floor",
 }
 missing = required - names
 if missing:
@@ -361,6 +381,14 @@ EOF
   if [[ -s "${FLEET_BASELINE}" ]]; then
     gate_timing_with_retry "${FLEET_BASELINE}" "${FLEET_OUT}" --tolerance=0.40 -- \
         "${FLEET}" --out="${FLEET_OUT}" --label=smoke --trace-out="${FLEET_TRACE}"
+    # Failover-quality drift gate: the recovery tail, the QoE floor held
+    # while degraded, and the post-recovery QoE are virtual-time
+    # measurements — deterministic per build — so the comparison is
+    # absolute. recovery_p99_us gets a floor so a sub-100ms baseline
+    # cannot turn jitter into a giant ratio.
+    python3 "$(dirname "$0")/perf_gate.py" "${FLEET_BASELINE}" "${FLEET_OUT}" \
+        --metrics=recovery_p99_us:100000,-degraded_qoe_floor:0.05,-post_recovery_qoe:0.05 \
+        --absolute --tolerance=0.25
   else
     echo "bench_smoke: no committed baseline at ${FLEET_BASELINE}, skipping fleet perf gate" >&2
   fi
